@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks for the simplex solver (substrate #2):
+//! scaling of the §2.2 path LP with coflow width, plus a pure-LP
+//! transportation-style stress case.
+
+use coflow_core::circuit::lp_free::{solve_free_paths_lp_paths, FreePathsLpConfig};
+use coflow_lp::{Cmp, Model};
+use coflow_net::topo;
+use coflow_workloads::gen::generate;
+use coflow_workloads::suite::fig3_config;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_free_paths_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("free_paths_lp");
+    g.sample_size(10);
+    let topo = topo::fat_tree(4, 1.0);
+    for width in [2usize, 4, 8] {
+        let inst = generate(&topo, &fig3_config(width, 0));
+        g.bench_with_input(BenchmarkId::new("fat_tree_k4", width), &inst, |b, inst| {
+            b.iter(|| {
+                let lp =
+                    solve_free_paths_lp_paths(black_box(inst), &FreePathsLpConfig::default())
+                        .unwrap();
+                black_box(lp.base.objective)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_raw_simplex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("raw_simplex");
+    g.sample_size(10);
+    for n in [20usize, 50, 100] {
+        // Transportation problem: n supplies, n demands, dense-ish costs.
+        g.bench_with_input(BenchmarkId::new("transport", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = Model::new();
+                let mut vars = vec![vec![]; n];
+                for (i, row) in vars.iter_mut().enumerate() {
+                    for j in 0..n {
+                        let cost = ((i * 7 + j * 13) % 10) as f64 + 1.0;
+                        row.push(m.add_nonneg(cost, format!("x{i}_{j}")));
+                    }
+                }
+                for (i, row) in vars.iter().enumerate() {
+                    let terms: Vec<_> = row.iter().map(|&v| (v, 1.0)).collect();
+                    m.add_row(Cmp::Eq, 1.0 + (i % 3) as f64, &terms);
+                }
+                for j in 0..n {
+                    let terms: Vec<_> = (0..n).map(|i| (vars[i][j], 1.0)).collect();
+                    let total: f64 = (0..n).map(|i| 1.0 + (i % 3) as f64).sum();
+                    m.add_row(Cmp::Le, total / n as f64 + 1.0, &terms);
+                }
+                black_box(m.solve().map(|s| s.objective).unwrap_or(f64::NAN))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_free_paths_lp, bench_raw_simplex);
+criterion_main!(benches);

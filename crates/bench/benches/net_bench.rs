@@ -1,0 +1,46 @@
+//! Criterion microbenchmarks for the network substrate: path search,
+//! enumeration, max-flow and flow decomposition on evaluation-scale
+//! topologies.
+
+use coflow_net::flow::{decompose_flow, max_flow};
+use coflow_net::{paths, topo};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paths");
+    for k in [4usize, 8] {
+        let t = topo::fat_tree(k, 1.0);
+        let (s, d) = (t.hosts[0], *t.hosts.last().unwrap());
+        g.bench_with_input(BenchmarkId::new("bfs_fat_tree", k), &t, |b, t| {
+            b.iter(|| black_box(paths::bfs_shortest_path(&t.graph, s, d)))
+        });
+        g.bench_with_input(BenchmarkId::new("enumerate_ecmp", k), &t, |b, t| {
+            b.iter(|| black_box(paths::candidate_paths(&t.graph, s, d, 0, 32)))
+        });
+        let gc = t.graph.clone();
+        g.bench_with_input(BenchmarkId::new("widest_path", k), &t, |b, t| {
+            b.iter(|| black_box(paths::widest_path(&t.graph, s, d, |e| gc.capacity(e), 0.0)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_flows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flows");
+    for k in [4usize, 8] {
+        let t = topo::fat_tree(k, 1.0);
+        let (s, d) = (t.hosts[0], *t.hosts.last().unwrap());
+        g.bench_with_input(BenchmarkId::new("max_flow", k), &t, |b, t| {
+            b.iter(|| black_box(max_flow(&t.graph, s, d).value))
+        });
+        let mf = max_flow(&t.graph, s, d);
+        g.bench_with_input(BenchmarkId::new("decompose", k), &t, |b, t| {
+            b.iter(|| black_box(decompose_flow(&t.graph, s, d, &mf.flow).paths.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_paths, bench_flows);
+criterion_main!(benches);

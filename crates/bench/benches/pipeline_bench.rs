@@ -1,0 +1,33 @@
+//! Criterion benchmark of a full experiment trial — the unit of work behind
+//! every Figure 3 / Figure 4 data point (LP solve + rounding + 4 simulated
+//! schemes).
+
+use coflow_bench::run_trial;
+use coflow_core::circuit::lp_free::FreePathsLpConfig;
+use coflow_lp::SolverOptions;
+use coflow_net::topo;
+use coflow_workloads::gen::generate;
+use coflow_workloads::suite::fig3_config;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_trial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure_trial");
+    g.sample_size(10);
+    let topo = topo::fat_tree(4, 1.0);
+    let lp_cfg =
+        FreePathsLpConfig { solver: SolverOptions::for_experiments(), ..Default::default() };
+    for width in [2usize, 4] {
+        let inst = generate(&topo, &fig3_config(width, 0));
+        g.bench_with_input(BenchmarkId::new("width", width), &inst, |b, inst| {
+            b.iter(|| {
+                let (outs, diag) = run_trial(black_box(inst), &lp_cfg, 7);
+                black_box((outs.len(), diag.lp_objective))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trial);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion microbenchmarks for the simulators: fluid event loop
+//! throughput under both allocation policies, and the packet stepper.
+
+use coflow_core::baselines::{baseline_random, BaselineConfig};
+use coflow_core::order::Priority;
+use coflow_net::topo;
+use coflow_sim::fluid::{simulate, AllocPolicy, SimConfig};
+use coflow_sim::packetsim::simulate_packets;
+use coflow_workloads::gen::{generate, generate_packets, GenConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fluid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fluid_simulator");
+    let topo = topo::fat_tree(4, 1.0);
+    for flows in [40usize, 160, 480] {
+        let inst = generate(
+            &topo,
+            &GenConfig { n_coflows: flows / 16, width: 16, seed: 1, ..Default::default() },
+        );
+        let scheme = baseline_random(&inst, &BaselineConfig::default());
+        for policy in [AllocPolicy::GreedyRate, AllocPolicy::MaxMinFair] {
+            let name = format!("{policy:?}");
+            g.bench_with_input(BenchmarkId::new(name, flows), &inst, |b, inst| {
+                b.iter(|| {
+                    black_box(
+                        simulate(
+                            inst,
+                            &scheme.paths,
+                            &scheme.order,
+                            &SimConfig { policy, ..Default::default() },
+                        )
+                        .metrics
+                        .weighted_sum,
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_packets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet_simulator");
+    let topo = topo::grid(4, 4, 1.0);
+    for packets in [16usize, 64, 256] {
+        let inst = generate_packets(
+            &topo,
+            &GenConfig { n_coflows: packets / 4, width: 4, seed: 2, ..Default::default() },
+        );
+        let routes: Vec<_> = inst
+            .flows()
+            .map(|(_, _, f)| {
+                coflow_net::paths::bfs_shortest_path(&inst.graph, f.src, f.dst).unwrap()
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("store_and_forward", packets), &inst, |b, inst| {
+            b.iter(|| {
+                black_box(
+                    simulate_packets(inst, &routes, &Priority::identity(inst.flow_count()))
+                        .metrics
+                        .makespan,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fluid, bench_packets);
+criterion_main!(benches);

@@ -1,0 +1,481 @@
+//! The interval-indexed LP for circuit coflows **without given paths**
+//! (§2.2, constraints (15)–(23)).
+//!
+//! Two interchangeable formulations are provided:
+//!
+//! * [`solve_free_paths_lp_edges`] — the paper's formulation: per flow,
+//!   interval and edge, a rate variable `x^e_{fℓ}` with flow-conservation
+//!   constraints (18)–(20) and shared capacity (21). Exact on any graph;
+//!   size `O(F·L·E)`, so intended for small/medium networks (and used as
+//!   the reference in tests).
+//! * [`solve_free_paths_lp_paths`] — a column (path-based) restriction of
+//!   the same polytope: variables `x_{f,p,ℓ}` over an enumerated candidate
+//!   path set. On fat-trees with all equal-cost shortest paths enumerated,
+//!   every edge-flow solution can be expressed over these columns (§4.3 of
+//!   the paper observes the decomposition returns one path per flow there),
+//!   so the restriction is lossless in the evaluation setting while being
+//!   dramatically smaller. Used by the experiment harness.
+//!
+//! Both produce a [`FreeLpSolution`]: the completion-fraction view shared
+//! with §2.1 plus per-flow fractional routing information consumed by the
+//! rounding step ([`crate::circuit::round_free`]).
+
+use crate::circuit::lp_given::CircuitLpSolution;
+use crate::intervals::IntervalGrid;
+use crate::model::Instance;
+use coflow_lp::{LpError, Model, SolverOptions, VarId};
+use coflow_net::{paths as netpaths, EdgeId, Path};
+
+/// Configuration for the §2.2 LP.
+#[derive(Clone, Debug)]
+pub struct FreePathsLpConfig {
+    /// Geometric growth ε (the paper sets ε = 1 here).
+    pub eps: f64,
+    /// For the path formulation: allowed extra hops over the shortest path
+    /// when enumerating candidates (0 = equal-cost shortest paths only).
+    pub path_slack: usize,
+    /// For the path formulation: cap on candidate paths per flow.
+    pub max_paths: usize,
+    /// Simplex options.
+    pub solver: SolverOptions,
+}
+
+impl Default for FreePathsLpConfig {
+    fn default() -> Self {
+        Self {
+            eps: crate::FREE_PATHS_EPS,
+            path_slack: 0,
+            max_paths: 32,
+            solver: SolverOptions::default(),
+        }
+    }
+}
+
+/// Fractional routing of one flow, as returned by the LP.
+#[derive(Clone, Debug)]
+pub enum FlowRouting {
+    /// Edge formulation: per interval, sparse `(edge, rate)` pairs.
+    EdgeFlows(Vec<Vec<(EdgeId, f64)>>),
+    /// Path formulation: candidate paths and `w[path][interval]` completion
+    /// fractions.
+    PathWeights {
+        /// Candidate paths (deterministic order).
+        paths: Vec<Path>,
+        /// `w[p][ℓ]` fraction of the flow completed on path `p` in
+        /// interval `ℓ`.
+        w: Vec<Vec<f64>>,
+    },
+}
+
+/// Solution of the §2.2 LP.
+#[derive(Clone, Debug)]
+pub struct FreeLpSolution {
+    /// Completion-fraction view (shared shape with the §2.1 solution so the
+    /// same α-point machinery applies).
+    pub base: CircuitLpSolution,
+    /// Per-flow fractional routing (flat order).
+    pub routing: Vec<FlowRouting>,
+}
+
+/// Solves the edge-flow formulation (15)–(23).
+///
+/// Rate variables exist only for "useful" edges: edges entering the flow's
+/// source or leaving its destination are omitted (they can only form
+/// circulations, which deliver nothing).
+pub fn solve_free_paths_lp_edges(
+    instance: &Instance,
+    cfg: &FreePathsLpConfig,
+) -> Result<FreeLpSolution, LpError> {
+    let grid = IntervalGrid::cover(cfg.eps, instance.horizon());
+    let nl = grid.count();
+    let nf = instance.flow_count();
+    let g = &instance.graph;
+    let ne = g.edge_count();
+    let mut m = Model::new();
+
+    let c_cof: Vec<VarId> = instance
+        .coflows
+        .iter()
+        .enumerate()
+        .map(|(i, c)| m.add_var(c.weight, c.earliest_release().max(0.0), f64::INFINITY, format!("C{i}")))
+        .collect();
+
+    let mut c_flow = Vec::with_capacity(nf);
+    let mut x: Vec<Vec<Option<VarId>>> = vec![vec![None; nl]; nf];
+    // y[flat][l] -> Vec<(edge index in `edges_of[flat]`, var)>
+    let mut y: Vec<Vec<Vec<VarId>>> = Vec::with_capacity(nf);
+    let mut edges_of: Vec<Vec<EdgeId>> = Vec::with_capacity(nf);
+
+    for (id, flat, spec) in instance.flows() {
+        let cf = m.add_var(0.0, spec.release, f64::INFINITY, format!("c{flat}"));
+        c_flow.push(cf);
+        let first = grid.first_usable(spec.release);
+
+        // Useful edges for this flow.
+        let useful: Vec<EdgeId> = g
+            .edges()
+            .filter(|&e| {
+                let (u, v) = g.endpoints(e);
+                v != spec.src && u != spec.dst && u != v
+            })
+            .collect();
+
+        for l in first..nl {
+            x[flat][l] = Some(m.add_unit(0.0, format!("x{flat}:{l}")));
+        }
+        let mut yrow: Vec<Vec<VarId>> = vec![Vec::new(); nl];
+        for (l, row) in yrow.iter_mut().enumerate().take(nl).skip(first) {
+            *row = useful
+                .iter()
+                .map(|e| m.add_nonneg(0.0, format!("y{flat}:{l}:{e:?}")))
+                .collect();
+        }
+
+        // (15) fractions sum to one.
+        let terms: Vec<_> = (first..nl).map(|l| (x[flat][l].unwrap(), 1.0)).collect();
+        m.eq(&terms, 1.0);
+        // (16) completion definition.
+        let mut terms: Vec<_> =
+            (first..nl).map(|l| (x[flat][l].unwrap(), grid.lower(l))).collect();
+        terms.push((cf, -1.0));
+        m.le(&terms, 0.0);
+        // (17) dummy-flow precedence.
+        m.le(&[(cf, 1.0), (c_cof[id.coflow as usize], -1.0)], 0.0);
+
+        // (18)-(20) conservation per usable interval.
+        for l in first..nl {
+            let len = grid.length(l);
+            let demand_coeff = spec.size / len;
+            // Build incidence per node restricted to useful edges.
+            // net_out(v) = demand * x for v = src; -demand * x for v = dst;
+            // 0 otherwise.
+            let mut per_node: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); g.node_count()];
+            for (k, &e) in useful.iter().enumerate() {
+                let (u, v) = g.endpoints(e);
+                per_node[u.index()].push((yrow[l][k], 1.0));
+                per_node[v.index()].push((yrow[l][k], -1.0));
+            }
+            for v in g.nodes() {
+                let mut terms = std::mem::take(&mut per_node[v.index()]);
+                if v == spec.src {
+                    terms.push((x[flat][l].unwrap(), -demand_coeff));
+                    m.eq(&terms, 0.0);
+                } else if v == spec.dst {
+                    terms.push((x[flat][l].unwrap(), demand_coeff));
+                    m.eq(&terms, 0.0);
+                } else if !terms.is_empty() {
+                    m.eq(&terms, 0.0);
+                }
+            }
+        }
+        y.push(yrow);
+        edges_of.push(useful);
+    }
+
+    // (21) capacity per edge and interval.
+    for l in 0..nl {
+        let mut per_edge: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); ne];
+        for flat in 0..nf {
+            if y[flat][l].is_empty() {
+                continue;
+            }
+            for (k, &e) in edges_of[flat].iter().enumerate() {
+                per_edge[e.index()].push((y[flat][l][k], 1.0));
+            }
+        }
+        for (ei, terms) in per_edge.iter().enumerate() {
+            if !terms.is_empty() {
+                m.le(terms, g.capacity(EdgeId(ei as u32)));
+            }
+        }
+    }
+
+    let sol = m.solve_with(&cfg.solver)?;
+
+    let xs: Vec<Vec<f64>> = x
+        .iter()
+        .map(|row| row.iter().map(|v| v.map(|id| sol.value(id)).unwrap_or(0.0)).collect())
+        .collect();
+    let routing: Vec<FlowRouting> = (0..nf)
+        .map(|flat| {
+            let per_l: Vec<Vec<(EdgeId, f64)>> = (0..nl)
+                .map(|l| {
+                    if y[flat][l].is_empty() {
+                        Vec::new()
+                    } else {
+                        edges_of[flat]
+                            .iter()
+                            .zip(&y[flat][l])
+                            .filter_map(|(&e, &v)| {
+                                let val = sol.value(v);
+                                (val > 1e-9).then_some((e, val))
+                            })
+                            .collect()
+                    }
+                })
+                .collect();
+            FlowRouting::EdgeFlows(per_l)
+        })
+        .collect();
+
+    Ok(FreeLpSolution {
+        base: CircuitLpSolution {
+            grid,
+            x: xs,
+            flow_completion: c_flow.iter().map(|&v| sol.value(v)).collect(),
+            coflow_completion: c_cof.iter().map(|&v| sol.value(v)).collect(),
+            objective: sol.objective,
+            iterations: sol.iterations,
+        },
+        routing,
+    })
+}
+
+/// Solves the path-based column restriction of (15)–(23).
+///
+/// # Panics
+/// If some flow has no path between its endpoints under the enumeration
+/// budget (disconnected instance).
+pub fn solve_free_paths_lp_paths(
+    instance: &Instance,
+    cfg: &FreePathsLpConfig,
+) -> Result<FreeLpSolution, LpError> {
+    let grid = IntervalGrid::cover(cfg.eps, instance.horizon());
+    let nl = grid.count();
+    let nf = instance.flow_count();
+    let g = &instance.graph;
+    let mut m = Model::new();
+
+    let c_cof: Vec<VarId> = instance
+        .coflows
+        .iter()
+        .enumerate()
+        .map(|(i, c)| m.add_var(c.weight, c.earliest_release().max(0.0), f64::INFINITY, format!("C{i}")))
+        .collect();
+
+    let mut c_flow = Vec::with_capacity(nf);
+    let mut cand: Vec<Vec<Path>> = Vec::with_capacity(nf);
+    // xv[flat][p][l]
+    let mut xv: Vec<Vec<Vec<Option<VarId>>>> = Vec::with_capacity(nf);
+
+    for (id, flat, spec) in instance.flows() {
+        let cf = m.add_var(0.0, spec.release, f64::INFINITY, format!("c{flat}"));
+        c_flow.push(cf);
+        let ps = match &spec.path {
+            Some(p) => vec![p.clone()],
+            None => netpaths::candidate_paths(g, spec.src, spec.dst, cfg.path_slack, cfg.max_paths),
+        };
+        assert!(!ps.is_empty(), "flow {flat} has no candidate path (disconnected?)");
+        let first = grid.first_usable(spec.release);
+        let mut rows: Vec<Vec<Option<VarId>>> = Vec::with_capacity(ps.len());
+        for (pi, _) in ps.iter().enumerate() {
+            let mut row = vec![None; nl];
+            for (l, slot) in row.iter_mut().enumerate().take(nl).skip(first) {
+                *slot = Some(m.add_unit(0.0, format!("x{flat}:{pi}:{l}")));
+            }
+            rows.push(row);
+        }
+        // (15) fractions over (path, interval) sum to one.
+        let terms: Vec<_> = rows
+            .iter()
+            .flat_map(|r| r.iter().flatten().map(|&v| (v, 1.0)))
+            .collect();
+        m.eq(&terms, 1.0);
+        // (16) completion definition.
+        let mut terms: Vec<_> = rows
+            .iter()
+            .flat_map(|r| {
+                r.iter().enumerate().filter_map(|(l, v)| v.map(|id| (id, grid.lower(l))))
+            })
+            .collect();
+        terms.push((cf, -1.0));
+        m.le(&terms, 0.0);
+        // (17) precedence.
+        m.le(&[(cf, 1.0), (c_cof[id.coflow as usize], -1.0)], 0.0);
+
+        cand.push(ps);
+        xv.push(rows);
+    }
+
+    // (21) capacity per edge and interval.
+    let ne = g.edge_count();
+    for l in 0..nl {
+        let len = grid.length(l);
+        let mut per_edge: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); ne];
+        for (_, flat, spec) in instance.flows() {
+            if spec.size <= 0.0 {
+                continue;
+            }
+            let coeff = spec.size / len;
+            for (pi, p) in cand[flat].iter().enumerate() {
+                if let Some(v) = xv[flat][pi][l] {
+                    for &e in p.edges.iter() {
+                        per_edge[e.index()].push((v, coeff));
+                    }
+                }
+            }
+        }
+        for (ei, terms) in per_edge.iter().enumerate() {
+            let cap = g.capacity(EdgeId(ei as u32));
+            // Redundant-row pruning: x ∈ [0,1].
+            let max_lhs: f64 = terms.iter().map(|&(_, c)| c).sum();
+            if !terms.is_empty() && max_lhs > cap {
+                m.le(terms, cap);
+            }
+        }
+    }
+
+    let sol = m.solve_with(&cfg.solver)?;
+
+    let mut xs = vec![vec![0.0; nl]; nf];
+    let mut routing = Vec::with_capacity(nf);
+    for flat in 0..nf {
+        let w: Vec<Vec<f64>> = xv[flat]
+            .iter()
+            .map(|row| row.iter().map(|v| v.map(|id| sol.value(id)).unwrap_or(0.0)).collect())
+            .collect();
+        for row in &w {
+            for (l, &v) in row.iter().enumerate() {
+                xs[flat][l] += v;
+            }
+        }
+        routing.push(FlowRouting::PathWeights { paths: cand[flat].clone(), w });
+    }
+
+    Ok(FreeLpSolution {
+        base: CircuitLpSolution {
+            grid,
+            x: xs,
+            flow_completion: c_flow.iter().map(|&v| sol.value(v)).collect(),
+            coflow_completion: c_cof.iter().map(|&v| sol.value(v)).collect(),
+            objective: sol.objective,
+            iterations: sol.iterations,
+        },
+        routing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Coflow, FlowSpec, Instance};
+    use coflow_net::topo;
+
+    fn triangle_inst() -> Instance {
+        let t = topo::triangle();
+        let (x, y, z) = (t.hosts[0], t.hosts[1], t.hosts[2]);
+        Instance::new(
+            t.graph,
+            vec![
+                Coflow::new(1.0, vec![FlowSpec::new(x, y, 1.0, 0.0)]),
+                Coflow::new(1.0, vec![FlowSpec::new(z, y, 1.0, 0.0)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn edge_and_path_formulations_agree_on_triangle() {
+        let inst = triangle_inst();
+        let cfg = FreePathsLpConfig { path_slack: 1, ..Default::default() };
+        let a = solve_free_paths_lp_edges(&inst, &cfg).unwrap();
+        let b = solve_free_paths_lp_paths(&inst, &cfg).unwrap();
+        // With slack 1 the path set spans everything the edge LP can do on
+        // a triangle, so optima coincide.
+        assert!(
+            (a.base.objective - b.base.objective).abs() < 1e-5,
+            "edge {} vs path {}",
+            a.base.objective,
+            b.base.objective
+        );
+    }
+
+    #[test]
+    fn path_restriction_never_beats_edge_lp() {
+        let inst = triangle_inst();
+        let cfg = FreePathsLpConfig::default(); // slack 0: direct paths only
+        let edge = solve_free_paths_lp_edges(&inst, &cfg).unwrap();
+        let path = solve_free_paths_lp_paths(&inst, &cfg).unwrap();
+        assert!(path.base.objective >= edge.base.objective - 1e-6);
+    }
+
+    #[test]
+    fn edge_lp_uses_both_routes_under_contention() {
+        // Two flows with the same src/dst on the triangle: the edge LP can
+        // split across the direct edge and the 2-hop detour to finish both
+        // within the first intervals.
+        let t = topo::triangle();
+        let (x, y) = (t.hosts[0], t.hosts[1]);
+        let inst = Instance::new(
+            t.graph,
+            vec![
+                Coflow::new(1.0, vec![FlowSpec::new(x, y, 1.0, 0.0)]),
+                Coflow::new(1.0, vec![FlowSpec::new(x, y, 1.0, 0.0)]),
+            ],
+        );
+        let lp = solve_free_paths_lp_edges(&inst, &FreePathsLpConfig::default()).unwrap();
+        // Serial on one edge would force total completion >= 1 + 2; with
+        // splitting both can finish around time 1, so the LP objective
+        // (sum of interval lower bounds) must be strictly below the serial
+        // bound.
+        assert!(lp.base.objective < 3.0 - 1e-6, "objective {}", lp.base.objective);
+        // At least one flow routes mass over a 2-edge path in some interval.
+        let used_detour = lp.routing.iter().any(|r| match r {
+            FlowRouting::EdgeFlows(per_l) => {
+                per_l.iter().any(|edges| edges.len() >= 2)
+            }
+            _ => false,
+        });
+        assert!(used_detour, "expected the LP to spread over multiple edges");
+    }
+
+    #[test]
+    fn release_times_respected_in_free_lp() {
+        let t = topo::triangle();
+        let (x, y) = (t.hosts[0], t.hosts[1]);
+        let inst = Instance::new(
+            t.graph,
+            vec![Coflow::new(1.0, vec![FlowSpec::new(x, y, 1.0, 6.0)])],
+        );
+        let lp = solve_free_paths_lp_paths(&inst, &FreePathsLpConfig::default()).unwrap();
+        assert!(lp.base.flow_completion[0] >= 6.0 - 1e-6);
+        let first = lp.base.grid.first_usable(6.0);
+        for l in 0..first {
+            assert_eq!(lp.base.x[0][l], 0.0);
+        }
+    }
+
+    #[test]
+    fn prescribed_paths_pass_through_path_lp() {
+        // When a flow carries a path, the path LP restricts to it.
+        let t = topo::triangle();
+        let (x, y) = (t.hosts[0], t.hosts[1]);
+        let p = coflow_net::paths::bfs_shortest_path(&t.graph, x, y).unwrap();
+        let inst = Instance::new(
+            t.graph,
+            vec![Coflow::new(1.0, vec![FlowSpec::with_path(x, y, 1.0, 0.0, p.clone())])],
+        );
+        let lp = solve_free_paths_lp_paths(&inst, &FreePathsLpConfig::default()).unwrap();
+        match &lp.routing[0] {
+            FlowRouting::PathWeights { paths, .. } => {
+                assert_eq!(paths.len(), 1);
+                assert_eq!(paths[0], p);
+            }
+            _ => panic!("expected path weights"),
+        }
+    }
+
+    #[test]
+    fn weighted_coflows_finish_in_weight_order() {
+        let t = topo::triangle();
+        let (x, y) = (t.hosts[0], t.hosts[1]);
+        let inst = Instance::new(
+            t.graph,
+            vec![
+                Coflow::new(100.0, vec![FlowSpec::new(x, y, 2.0, 0.0)]),
+                Coflow::new(0.01, vec![FlowSpec::new(x, y, 2.0, 0.0)]),
+            ],
+        );
+        let lp = solve_free_paths_lp_paths(&inst, &FreePathsLpConfig::default()).unwrap();
+        assert!(lp.base.coflow_completion[0] <= lp.base.coflow_completion[1] + 1e-6);
+    }
+}

@@ -1,0 +1,8 @@
+//! Packet-based coflow scheduling (§3 of the paper): each flow is a unit
+//! packet moving through a store-and-forward network, one packet per edge
+//! per time step.
+
+pub mod free;
+pub mod jobshop;
+pub mod listsched;
+pub mod timexp_lp;

@@ -1,0 +1,45 @@
+//! # coflow-lp
+//!
+//! A from-scratch linear-programming solver used in place of the paper's
+//! IBM CPLEX 12.6.3 (§4.2). The interval-indexed LPs of the coflow
+//! scheduling algorithms (§2.1 LP (4)–(10), §2.2 LP (15)–(23), §3.2 LP
+//! (25)–(32)) are sparse, highly degenerate, and have simple bounds
+//! (`0 <= x <= 1` or `x >= 0`), which drives the design:
+//!
+//! * [`Model`] — a builder for `min cᵀx  s.t.  Ax {<=,=,>=} b, l <= x <= u`
+//!   with sparse rows;
+//! * [`simplex`] — a **bounded-variable revised primal simplex** with an
+//!   explicitly maintained dense basis inverse, periodic refactorization,
+//!   Dantzig pricing with a Bland's-rule anti-cycling fallback, and a
+//!   two-phase start;
+//! * [`dense`] — an independent, deliberately simple full-tableau simplex
+//!   used as a cross-checking oracle in tests (never in production paths);
+//! * [`presolve`] — fixed-variable elimination and empty-row checks.
+//!
+//! The solver returns primal values, dual row prices, and the objective;
+//! optimality of every solve is asserted in debug builds by checking primal
+//! feasibility and reduced-cost signs.
+//!
+//! ```
+//! use coflow_lp::{Model, Cmp};
+//! // min -x - 2y  s.t.  x + y <= 4, y <= 2, 0 <= x,y
+//! let mut m = Model::new();
+//! let x = m.add_var(-1.0, 0.0, f64::INFINITY, "x");
+//! let y = m.add_var(-2.0, 0.0, f64::INFINITY, "y");
+//! m.add_row(Cmp::Le, 4.0, &[(x, 1.0), (y, 1.0)]);
+//! m.add_row(Cmp::Le, 2.0, &[(y, 1.0)]);
+//! let sol = m.solve().unwrap();
+//! assert!((sol.objective - (-6.0)).abs() < 1e-7);
+//! assert!((sol.value(x) - 2.0).abs() < 1e-7);
+//! assert!((sol.value(y) - 2.0).abs() < 1e-7);
+//! ```
+
+pub mod dense;
+pub mod model;
+pub mod presolve;
+pub mod simplex;
+
+pub use model::{Cmp, LpError, Model, RowId, Solution, SolverOptions, Status, VarId};
+
+/// Default feasibility / optimality tolerance.
+pub const LP_TOL: f64 = 1e-7;

@@ -1,0 +1,447 @@
+//! LP model builder and solution types.
+
+use crate::{dense, presolve, simplex, LP_TOL};
+use std::fmt;
+
+/// Identifier of a decision variable (dense index into the model).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+/// Identifier of a constraint row.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowId(pub u32);
+
+impl VarId {
+    /// Index view.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RowId {
+    /// Index view.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Debug for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Constraint sense.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Cmp {
+    /// `a·x <= b`
+    Le,
+    /// `a·x = b`
+    Eq,
+    /// `a·x >= b`
+    Ge,
+}
+
+/// Termination status of a solve.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// Proven optimal within tolerance.
+    Optimal,
+}
+
+/// Solver failure modes.
+#[derive(Clone, PartialEq, Debug)]
+pub enum LpError {
+    /// No feasible point exists (phase-1 optimum > tolerance).
+    Infeasible,
+    /// The objective is unbounded below over the feasible region.
+    Unbounded,
+    /// Iteration limit was exhausted (see [`SolverOptions::max_iters`]).
+    IterationLimit,
+    /// Numerical trouble the solver could not recover from.
+    Numerical(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "LP is infeasible"),
+            LpError::Unbounded => write!(f, "LP is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit reached"),
+            LpError::Numerical(s) => write!(f, "numerical failure: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Options controlling the simplex.
+#[derive(Clone, Debug)]
+pub struct SolverOptions {
+    /// Hard cap on simplex iterations across both phases.
+    pub max_iters: usize,
+    /// Feasibility/optimality tolerance.
+    pub tol: f64,
+    /// Refactorize the basis inverse every this many pivots.
+    pub refactor_every: usize,
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    pub bland_after: usize,
+    /// Verify the returned solution (feasibility + reduced costs) and panic
+    /// on violation. Enabled by default in debug builds.
+    pub verify: bool,
+    /// Relative magnitude of a deterministic phase-2 cost perturbation
+    /// (0 = exact costs). Interval-indexed coflow LPs are massively
+    /// degenerate; a `~1e-7` perturbation breaks ties and cuts pivot counts
+    /// by an order of magnitude. The reported objective is always
+    /// recomputed with the *true* costs; the returned vertex is optimal for
+    /// the perturbed problem, hence within `perturb · Σ|x|·scale` of the
+    /// true optimum.
+    pub perturb: f64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        Self {
+            max_iters: 2_000_000,
+            tol: LP_TOL,
+            refactor_every: 1500,
+            bland_after: 60,
+            verify: cfg!(debug_assertions),
+            perturb: 0.0,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Options tuned for the large, degenerate experiment LPs.
+    pub fn for_experiments() -> Self {
+        Self { perturb: 1e-7, verify: false, ..Default::default() }
+    }
+}
+
+/// A variable's static data.
+#[derive(Clone, Debug)]
+pub(crate) struct Column {
+    pub cost: f64,
+    pub lb: f64,
+    pub ub: f64,
+    pub name: String,
+}
+
+/// A constraint row's static data.
+#[derive(Clone, Debug)]
+pub(crate) struct Row {
+    pub cmp: Cmp,
+    pub rhs: f64,
+}
+
+/// Builder for a linear program `min cᵀx  s.t.  Ax {<=,=,>=} b, l <= x <= u`.
+///
+/// * Lower bounds must be finite (all coflow LPs have `l = 0`).
+/// * Upper bounds may be `f64::INFINITY`.
+/// * Duplicate `(var, coef)` terms within a row are summed.
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    pub(crate) cols: Vec<Column>,
+    pub(crate) rows: Vec<Row>,
+    /// Sparse constraint coefficients as (row, col, coef) triplets.
+    pub(crate) triplets: Vec<(u32, u32, f64)>,
+}
+
+impl Model {
+    /// New empty minimization model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variable with objective coefficient `cost` and bounds
+    /// `[lb, ub]`; returns its id.
+    ///
+    /// # Panics
+    /// If `lb` is not finite, `lb > ub`, or `cost` is not finite.
+    pub fn add_var(&mut self, cost: f64, lb: f64, ub: f64, name: impl Into<String>) -> VarId {
+        assert!(lb.is_finite(), "lower bound must be finite");
+        assert!(!ub.is_nan() && ub >= lb, "need lb <= ub, got [{lb}, {ub}]");
+        assert!(cost.is_finite(), "cost must be finite");
+        let id = VarId(self.cols.len() as u32);
+        self.cols.push(Column { cost, lb, ub, name: name.into() });
+        id
+    }
+
+    /// Shorthand for a `[0, inf)` variable.
+    pub fn add_nonneg(&mut self, cost: f64, name: impl Into<String>) -> VarId {
+        self.add_var(cost, 0.0, f64::INFINITY, name)
+    }
+
+    /// Shorthand for a `[0, 1]` variable.
+    pub fn add_unit(&mut self, cost: f64, name: impl Into<String>) -> VarId {
+        self.add_var(cost, 0.0, 1.0, name)
+    }
+
+    /// Changes the objective coefficient of `v`.
+    pub fn set_cost(&mut self, v: VarId, cost: f64) {
+        assert!(cost.is_finite());
+        self.cols[v.index()].cost = cost;
+    }
+
+    /// Fixes variable `v` to `value` (sets both bounds).
+    pub fn fix_var(&mut self, v: VarId, value: f64) {
+        assert!(value.is_finite());
+        self.cols[v.index()].lb = value;
+        self.cols[v.index()].ub = value;
+    }
+
+    /// Adds constraint `Σ terms {cmp} rhs`; returns the row id.
+    /// Zero-coefficient and duplicate terms are handled (duplicates sum).
+    ///
+    /// # Panics
+    /// If `rhs` or any coefficient is not finite, or a var id is invalid.
+    pub fn add_row(&mut self, cmp: Cmp, rhs: f64, terms: &[(VarId, f64)]) -> RowId {
+        assert!(rhs.is_finite(), "rhs must be finite");
+        let id = RowId(self.rows.len() as u32);
+        self.rows.push(Row { cmp, rhs });
+        for &(v, c) in terms {
+            assert!(c.is_finite(), "coefficient must be finite");
+            assert!(v.index() < self.cols.len(), "unknown variable {v:?}");
+            if c != 0.0 {
+                self.triplets.push((id.0, v.0, c));
+            }
+        }
+        id
+    }
+
+    /// `Σ terms <= rhs`.
+    pub fn le(&mut self, terms: &[(VarId, f64)], rhs: f64) -> RowId {
+        self.add_row(Cmp::Le, rhs, terms)
+    }
+
+    /// `Σ terms >= rhs`.
+    pub fn ge(&mut self, terms: &[(VarId, f64)], rhs: f64) -> RowId {
+        self.add_row(Cmp::Ge, rhs, terms)
+    }
+
+    /// `Σ terms = rhs`.
+    pub fn eq(&mut self, terms: &[(VarId, f64)], rhs: f64) -> RowId {
+        self.add_row(Cmp::Eq, rhs, terms)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of structural nonzeros.
+    pub fn num_nonzeros(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// Variable name (for diagnostics).
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.cols[v.index()].name
+    }
+
+    /// Solves with default options.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        self.solve_with(&SolverOptions::default())
+    }
+
+    /// Solves with explicit options, running presolve then the revised
+    /// simplex.
+    pub fn solve_with(&self, opts: &SolverOptions) -> Result<Solution, LpError> {
+        let reduced = presolve::presolve(self)?;
+        let mut sol = simplex::solve_presolved(self, &reduced, opts)?;
+        if opts.verify {
+            self.verify_solution(&sol, opts.tol.max(1e-6) * 100.0);
+        }
+        sol.status = Status::Optimal;
+        Ok(sol)
+    }
+
+    /// Solves with the slow dense-tableau reference solver (tests/oracles).
+    pub fn solve_dense_reference(&self) -> Result<Solution, LpError> {
+        dense::solve(self)
+    }
+
+    /// Objective value of an assignment (no feasibility check).
+    pub fn objective_of(&self, values: &[f64]) -> f64 {
+        self.cols.iter().zip(values).map(|(c, &v)| c.cost * v).sum()
+    }
+
+    /// Maximum constraint violation of an assignment.
+    pub fn max_violation(&self, values: &[f64]) -> f64 {
+        let mut act = vec![0.0; self.rows.len()];
+        for &(r, c, a) in &self.triplets {
+            act[r as usize] += a * values[c as usize];
+        }
+        let mut worst = 0.0_f64;
+        for (row, &a) in self.rows.iter().zip(&act) {
+            let v = match row.cmp {
+                Cmp::Le => a - row.rhs,
+                Cmp::Ge => row.rhs - a,
+                Cmp::Eq => (a - row.rhs).abs(),
+            };
+            worst = worst.max(v);
+        }
+        for (col, &x) in self.cols.iter().zip(values) {
+            worst = worst.max(col.lb - x).max(x - col.ub);
+        }
+        worst
+    }
+
+    /// Panics if `sol` violates feasibility by more than `tol`
+    /// (used by `SolverOptions::verify`).
+    fn verify_solution(&self, sol: &Solution, tol: f64) {
+        let viol = self.max_violation(&sol.values);
+        assert!(
+            viol <= tol,
+            "solver returned infeasible point: violation {viol:.3e} > {tol:.3e}"
+        );
+        let obj = self.objective_of(&sol.values);
+        let scale = 1.0 + obj.abs().max(sol.objective.abs());
+        assert!(
+            (obj - sol.objective).abs() / scale <= tol,
+            "objective mismatch: reported {} recomputed {obj}",
+            sol.objective
+        );
+    }
+}
+
+/// An optimal solution.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Primal values, indexed by [`VarId`].
+    pub values: Vec<f64>,
+    /// Dual prices, indexed by [`RowId`]. Sign convention: for `min`
+    /// problems, `Le` rows have nonpositive... — duals are raw simplex
+    /// multipliers `y = c_B B⁻¹`; use for diagnostics only.
+    pub duals: Vec<f64>,
+    /// Total simplex pivots across both phases.
+    pub iterations: usize,
+    /// Pivots spent in phase 1 (diagnostics).
+    pub phase1_iterations: usize,
+    /// Termination status (always [`Status::Optimal`] on `Ok`).
+    pub status: Status,
+}
+
+impl Solution {
+    /// Value of variable `v`.
+    #[inline]
+    pub fn value(&self, v: VarId) -> f64 {
+        self.values[v.index()]
+    }
+
+    /// Dual price of row `r`.
+    #[inline]
+    pub fn dual(&self, r: RowId) -> f64 {
+        self.duals[r.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_duplicates() {
+        let mut m = Model::new();
+        let x = m.add_nonneg(1.0, "x");
+        m.add_row(Cmp::Eq, 3.0, &[(x, 1.0), (x, 2.0)]);
+        // x appears twice: effective coefficient 3 => x = 1.
+        let sol = m.solve().unwrap();
+        assert!((sol.value(x) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_coefficients_dropped() {
+        let mut m = Model::new();
+        let x = m.add_nonneg(1.0, "x");
+        m.add_row(Cmp::Ge, 0.0, &[(x, 0.0)]);
+        assert_eq!(m.num_nonzeros(), 0);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.value(x), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound must be finite")]
+    fn infinite_lb_rejected() {
+        let mut m = Model::new();
+        m.add_var(0.0, f64::NEG_INFINITY, 0.0, "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "lb <= ub")]
+    fn inverted_bounds_rejected() {
+        let mut m = Model::new();
+        m.add_var(0.0, 1.0, 0.0, "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn foreign_var_rejected() {
+        let mut m = Model::new();
+        m.add_row(Cmp::Le, 1.0, &[(VarId(5), 1.0)]);
+    }
+
+    #[test]
+    fn max_violation_reports_bounds_and_rows() {
+        let mut m = Model::new();
+        let x = m.add_unit(0.0, "x");
+        m.le(&[(x, 1.0)], 0.25);
+        assert!(m.max_violation(&[0.2]) < 1e-12);
+        assert!((m.max_violation(&[0.5]) - 0.25).abs() < 1e-12);
+        assert!((m.max_violation(&[1.5]) - 1.25).abs() < 1e-12); // ub violated by 0.5, row by 1.25
+    }
+}
+
+#[cfg(test)]
+mod perturb_tests {
+    use super::*;
+
+    /// The experiment options (cost perturbation) must not move the
+    /// reported objective beyond the perturbation scale, and the returned
+    /// point must stay feasible.
+    #[test]
+    fn perturbation_preserves_objective_within_scale() {
+        let mut m = Model::new();
+        let x = m.add_unit(-3.0, "x");
+        let y = m.add_unit(-2.0, "y");
+        let z = m.add_unit(-1.0, "z");
+        m.le(&[(x, 1.0), (y, 1.0), (z, 1.0)], 1.5);
+        let exact = m.solve().unwrap();
+        let perturbed = m.solve_with(&SolverOptions::for_experiments()).unwrap();
+        assert!((exact.objective - perturbed.objective).abs() < 1e-5);
+        assert!(m.max_violation(&perturbed.values) < 1e-6);
+    }
+
+    /// Phase-1 iteration accounting: an LP whose crash basis is feasible
+    /// (all Le rows) reports zero phase-1 pivots.
+    #[test]
+    fn slack_crash_basis_skips_phase1() {
+        let mut m = Model::new();
+        let x = m.add_nonneg(-1.0, "x");
+        m.le(&[(x, 1.0)], 4.0);
+        let s = m.solve().unwrap();
+        assert_eq!(s.phase1_iterations, 0, "Le-only LPs need no phase 1");
+        // Ge rows force phase 1 work.
+        let mut m = Model::new();
+        let x = m.add_nonneg(1.0, "x");
+        m.ge(&[(x, 1.0)], 4.0);
+        let s = m.solve().unwrap();
+        assert!(s.phase1_iterations > 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Light presolve: fixed-variable elimination and empty-row consistency.
+//!
+//! The coflow LP generators fix many variables (e.g. completion fractions
+//! `x_{jℓ} = 0` for intervals before a flow's release time, constraint (9)/
+//! (22) of the paper, when expressed as fixed variables). Eliminating them
+//! before the simplex shrinks the working problem substantially.
+
+use crate::model::{Cmp, LpError, Model};
+
+/// Outcome of presolve: a mapping onto a reduced variable set plus adjusted
+/// right-hand sides.
+#[derive(Clone, Debug)]
+pub struct Presolved {
+    /// original var index -> reduced index (None if the var was fixed).
+    pub var_map: Vec<Option<u32>>,
+    /// reduced index -> original var index.
+    pub kept_vars: Vec<u32>,
+    /// Per original variable: its fixed value if fixed, else 0.0 (unused).
+    pub fixed_values: Vec<f64>,
+    /// Per original row: rhs minus contributions of fixed variables.
+    pub rhs_adjust: Vec<f64>,
+    /// Rows that still contain free variables.
+    pub keep_row: Vec<bool>,
+    /// Objective contribution of the fixed variables.
+    pub obj_offset: f64,
+}
+
+/// Tolerance for declaring an empty row inconsistent.
+const ROW_TOL: f64 = 1e-7;
+
+/// Runs presolve; fails fast with [`LpError::Infeasible`] when a row reduces
+/// to an unsatisfiable constant relation.
+pub fn presolve(m: &Model) -> Result<Presolved, LpError> {
+    let n = m.num_vars();
+    let mut var_map = vec![None; n];
+    let mut kept_vars = Vec::with_capacity(n);
+    let mut fixed_values = vec![0.0; n];
+    let mut obj_offset = 0.0;
+
+    for (j, col) in m.cols.iter().enumerate() {
+        if col.ub - col.lb <= 0.0 {
+            // Fixed: lb == ub (builder guarantees lb <= ub).
+            fixed_values[j] = col.lb;
+            obj_offset += col.cost * col.lb;
+        } else {
+            var_map[j] = Some(kept_vars.len() as u32);
+            kept_vars.push(j as u32);
+        }
+    }
+
+    let mut rhs_adjust: Vec<f64> = m.rows.iter().map(|r| r.rhs).collect();
+    let mut live = vec![false; m.num_rows()];
+    for &(r, c, a) in &m.triplets {
+        if var_map[c as usize].is_some() {
+            live[r as usize] = true;
+        } else {
+            rhs_adjust[r as usize] -= a * fixed_values[c as usize];
+        }
+    }
+
+    // Rows with no free variables must already hold as `0 {cmp} rhs'`.
+    let mut keep_row = vec![true; m.num_rows()];
+    for (i, row) in m.rows.iter().enumerate() {
+        if !live[i] {
+            let r = rhs_adjust[i];
+            let ok = match row.cmp {
+                Cmp::Le => r >= -ROW_TOL,
+                Cmp::Ge => r <= ROW_TOL,
+                Cmp::Eq => r.abs() <= ROW_TOL,
+            };
+            if !ok {
+                return Err(LpError::Infeasible);
+            }
+            keep_row[i] = false;
+        }
+    }
+
+    Ok(Presolved { var_map, kept_vars, fixed_values, rhs_adjust, keep_row, obj_offset })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Model;
+
+    #[test]
+    fn fixed_vars_eliminated_and_offset_counted() {
+        let mut m = Model::new();
+        let x = m.add_var(2.0, 3.0, 3.0, "fixed"); // fixed at 3, cost 2
+        let y = m.add_nonneg(1.0, "y");
+        m.eq(&[(x, 1.0), (y, 1.0)], 5.0);
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.kept_vars, vec![y.0]);
+        assert_eq!(p.var_map[x.index()], None);
+        assert_eq!(p.fixed_values[x.index()], 3.0);
+        assert_eq!(p.obj_offset, 6.0);
+        assert_eq!(p.rhs_adjust[0], 2.0); // 5 - 3
+        assert!(p.keep_row[0]);
+        // End-to-end: y = 2, objective 6 + 2 = 8.
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 8.0).abs() < 1e-7);
+        assert!((sol.value(x) - 3.0).abs() < 1e-12);
+        assert!((sol.value(y) - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn all_fixed_consistent_row_dropped() {
+        let mut m = Model::new();
+        let x = m.add_var(1.0, 2.0, 2.0, "x");
+        m.le(&[(x, 1.0)], 2.0);
+        let p = presolve(&m).unwrap();
+        assert!(!p.keep_row[0]);
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_fixed_inconsistent_row_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 2.0, 2.0, "x");
+        m.le(&[(x, 1.0)], 1.0);
+        assert_eq!(presolve(&m).unwrap_err(), LpError::Infeasible);
+        assert_eq!(m.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn truly_empty_row_checked() {
+        let mut m = Model::new();
+        let _ = m.add_nonneg(1.0, "x");
+        m.add_row(Cmp::Ge, 1.0, &[]); // 0 >= 1: impossible
+        assert_eq!(presolve(&m).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn empty_eq_zero_ok() {
+        let mut m = Model::new();
+        let x = m.add_nonneg(1.0, "x");
+        m.add_row(Cmp::Eq, 0.0, &[]);
+        m.ge(&[(x, 1.0)], 1.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.value(x) - 1.0).abs() < 1e-7);
+    }
+}

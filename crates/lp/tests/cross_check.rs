@@ -1,0 +1,260 @@
+//! Cross-validation of the production revised simplex against the
+//! independent dense-tableau reference on randomized LPs.
+//!
+//! Both solvers must agree on feasibility/boundedness classification and,
+//! when optimal, on the optimal objective value (primal points may differ —
+//! LPs have non-unique optima — but objectives must match and both points
+//! must be feasible).
+
+use coflow_lp::{Cmp, LpError, Model};
+use proptest::prelude::*;
+
+/// A randomly generated LP description.
+#[derive(Debug, Clone)]
+struct RandomLp {
+    n: usize,
+    costs: Vec<f64>,
+    ubs: Vec<Option<f64>>,
+    rows: Vec<(u8, f64, Vec<(usize, f64)>)>, // (cmp code, rhs, terms)
+}
+
+fn arb_lp(max_vars: usize, max_rows: usize, bounded: bool) -> impl Strategy<Value = RandomLp> {
+    (2..=max_vars).prop_flat_map(move |n| {
+        let costs = proptest::collection::vec(-5.0f64..5.0, n);
+        let ubs = proptest::collection::vec(
+            prop_oneof![
+                3 => (0.5f64..6.0).prop_map(Some),
+                if bounded { 0 } else { 2 } => Just(None)
+            ],
+            n,
+        );
+        let rows = proptest::collection::vec(
+            (
+                0u8..3,
+                -4.0f64..8.0,
+                proptest::collection::vec((0..n, -3.0f64..3.0), 1..=n.min(4)),
+            ),
+            1..=max_rows,
+        );
+        (Just(n), costs, ubs, rows).prop_map(|(n, costs, ubs, rows)| RandomLp { n, costs, ubs, rows })
+    })
+}
+
+fn build(lp: &RandomLp) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..lp.n)
+        .map(|j| {
+            m.add_var(
+                lp.costs[j],
+                0.0,
+                lp.ubs[j].unwrap_or(f64::INFINITY),
+                format!("x{j}"),
+            )
+        })
+        .collect();
+    for (code, rhs, terms) in &lp.rows {
+        let cmp = match code {
+            0 => Cmp::Le,
+            1 => Cmp::Ge,
+            _ => Cmp::Eq,
+        };
+        let t: Vec<_> = terms.iter().map(|&(j, c)| (vars[j], c)).collect();
+        m.add_row(cmp, *rhs, &t);
+    }
+    m
+}
+
+fn classify(r: &Result<coflow_lp::Solution, LpError>) -> &'static str {
+    match r {
+        Ok(_) => "optimal",
+        Err(LpError::Infeasible) => "infeasible",
+        Err(LpError::Unbounded) => "unbounded",
+        Err(e) => panic!("unexpected solver failure: {e:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Fully bounded random LPs: never unbounded, so the classification is
+    /// binary and objectives must match exactly when feasible.
+    #[test]
+    fn bounded_lps_agree(lp in arb_lp(6, 5, true)) {
+        let m = build(&lp);
+        let fast = m.solve();
+        let slow = m.solve_dense_reference();
+        prop_assert_eq!(classify(&fast), classify(&slow));
+        if let (Ok(f), Ok(s)) = (&fast, &slow) {
+            let scale = 1.0 + f.objective.abs().max(s.objective.abs());
+            prop_assert!(
+                (f.objective - s.objective).abs() / scale < 1e-6,
+                "objective mismatch: fast {} vs reference {}", f.objective, s.objective
+            );
+            prop_assert!(m.max_violation(&f.values) < 1e-6);
+            prop_assert!(m.max_violation(&s.values) < 1e-6);
+        }
+    }
+
+    /// Mixed LPs (some unbounded variables): classifications still agree.
+    #[test]
+    fn mixed_lps_agree(lp in arb_lp(5, 4, false)) {
+        let m = build(&lp);
+        let fast = m.solve();
+        let slow = m.solve_dense_reference();
+        prop_assert_eq!(classify(&fast), classify(&slow));
+        if let (Ok(f), Ok(s)) = (&fast, &slow) {
+            let scale = 1.0 + f.objective.abs().max(s.objective.abs());
+            prop_assert!((f.objective - s.objective).abs() / scale < 1e-6);
+            prop_assert!(m.max_violation(&f.values) < 1e-6);
+        }
+    }
+
+    /// LPs built to be feasible by construction (rows anchored at a random
+    /// interior point): solver must return optimal with objective <= the
+    /// witness point's objective.
+    #[test]
+    fn feasible_by_construction(
+        n in 2usize..7,
+        seedvals in proptest::collection::vec(0.1f64..2.0, 7),
+        costs in proptest::collection::vec(-3.0f64..3.0, 7),
+        rows in proptest::collection::vec(
+            (0u8..2, proptest::collection::vec((0usize..7, 0.1f64..2.0), 1..4)),
+            1..6
+        ),
+    ) {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..n)
+            .map(|j| m.add_var(costs[j], 0.0, 3.0, format!("x{j}")))
+            .collect();
+        let witness: Vec<f64> = (0..n).map(|j| seedvals[j].min(3.0)).collect();
+        for (code, terms) in &rows {
+            let t: Vec<_> = terms
+                .iter()
+                .filter(|(j, _)| *j < n)
+                .map(|&(j, c)| (vars[j], c))
+                .collect();
+            if t.is_empty() { continue; }
+            let act: f64 = t.iter().map(|&(v, c)| {
+                let idx = vars.iter().position(|&x| x == v).unwrap();
+                c * witness[idx]
+            }).sum();
+            // Anchor the row so the witness satisfies it with slack.
+            if *code == 0 {
+                m.le(&t, act + 0.5);
+            } else {
+                m.ge(&t, act - 0.5);
+            }
+        }
+        let sol = m.solve().expect("feasible by construction");
+        let witness_obj: f64 = (0..n).map(|j| costs[j] * witness[j]).sum();
+        prop_assert!(sol.objective <= witness_obj + 1e-6);
+        prop_assert!(m.max_violation(&sol.values) < 1e-6);
+    }
+}
+
+/// Deterministic regression battery: shapes that historically break naive
+/// simplex implementations.
+#[test]
+fn regression_battery() {
+    // Klee-Minty-ish 3D cube (exponential for greedy Dantzig, still must
+    // terminate correctly).
+    let mut m = Model::new();
+    let x1 = m.add_nonneg(-100.0, "x1");
+    let x2 = m.add_nonneg(-10.0, "x2");
+    let x3 = m.add_nonneg(-1.0, "x3");
+    m.le(&[(x1, 1.0)], 1.0);
+    m.le(&[(x1, 20.0), (x2, 1.0)], 100.0);
+    m.le(&[(x1, 200.0), (x2, 20.0), (x3, 1.0)], 10000.0);
+    let s = m.solve().unwrap();
+    let r = m.solve_dense_reference().unwrap();
+    assert!((s.objective - r.objective).abs() < 1e-6);
+    assert!((s.objective - (-10000.0)).abs() < 1e-5);
+
+    // Redundant equalities (rank-deficient A rows describing the same
+    // hyperplane) — phase 1 must cope with dependent artificial columns.
+    let mut m = Model::new();
+    let x = m.add_nonneg(1.0, "x");
+    let y = m.add_nonneg(1.0, "y");
+    m.eq(&[(x, 1.0), (y, 1.0)], 2.0);
+    m.eq(&[(x, 2.0), (y, 2.0)], 4.0); // same plane scaled
+    let s = m.solve().unwrap();
+    assert!((s.objective - 2.0).abs() < 1e-6);
+
+    // Equality chain forcing long pivoting sequences.
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..12).map(|i| m.add_var(1.0, 0.0, 10.0, format!("v{i}"))).collect();
+    for pair in vars.windows(2) {
+        m.eq(&[(pair[0], 1.0), (pair[1], -1.0)], 0.0);
+    }
+    m.ge(&[(vars[0], 1.0)], 3.0);
+    let s = m.solve().unwrap();
+    assert!((s.objective - 36.0).abs() < 1e-5, "all twelve equal 3, obj {}", s.objective);
+}
+
+/// A medium LP with the structure of the paper's path-based formulation:
+/// many [0,1] interval variables, per-flow convexity rows, per-edge-interval
+/// capacity rows. Checks the solver at a realistic (if small) scale.
+#[test]
+fn pathlike_lp_medium() {
+    let flows = 24usize;
+    let paths = 3usize;
+    let intervals = 8usize;
+    let edges = 20usize;
+    let tau: Vec<f64> = (0..=intervals).map(|l| if l == 0 { 0.0 } else { 2.0f64.powi(l as i32 - 1) }).collect();
+    let mut m = Model::new();
+    // x[f][p][l], completion c[f]
+    let mut xv = vec![vec![vec![None; intervals]; paths]; flows];
+    let mut cv = Vec::new();
+    for f in 0..flows {
+        cv.push(m.add_nonneg(1.0, format!("c{f}")));
+        for p in 0..paths {
+            for l in 0..intervals {
+                xv[f][p][l] = Some(m.add_unit(0.0, format!("x{f}:{p}:{l}")));
+            }
+        }
+    }
+    for f in 0..flows {
+        // Convexity.
+        let mut terms = Vec::new();
+        for p in 0..paths {
+            for l in 0..intervals {
+                terms.push((xv[f][p][l].unwrap(), 1.0));
+            }
+        }
+        m.eq(&terms, 1.0);
+        // Completion definition: c_f >= sum tau_l x.
+        let mut terms: Vec<_> = (0..paths)
+            .flat_map(|p| (0..intervals).map(move |l| (p, l)))
+            .map(|(p, l)| (xv[f][p][l].unwrap(), tau[l + 1]))
+            .collect();
+        terms.push((cv[f], -1.0));
+        m.le(&terms, 0.0);
+    }
+    // Capacity rows: flow f path p uses edges {(f+p) % E, (f+p+1) % E}.
+    for l in 0..intervals {
+        for e in 0..edges {
+            let mut terms = Vec::new();
+            for f in 0..flows {
+                for p in 0..paths {
+                    let e1 = (f + p) % edges;
+                    let e2 = (f + p + 1) % edges;
+                    if e == e1 || e == e2 {
+                        // size 1 flows: bandwidth = x / interval length
+                        let len = tau[l + 1] - tau[l];
+                        terms.push((xv[f][p][l].unwrap(), 1.0 / len));
+                    }
+                }
+            }
+            if !terms.is_empty() {
+                m.le(&terms, 1.0);
+            }
+        }
+    }
+    let sol = m.solve().expect("path-like LP should be feasible");
+    assert!(m.max_violation(&sol.values) < 1e-6);
+    assert!(sol.objective > 0.0);
+    // Every completion must be >= earliest interval end where work fits.
+    for f in 0..flows {
+        assert!(sol.value(cv[f]) >= tau[1] - 1e-6, "flow {f} finishes impossibly early");
+    }
+}

@@ -1,0 +1,450 @@
+//! Path search: BFS shortest paths, Dijkstra (additive weights), widest
+//! ("thickest") paths, and bounded simple-path enumeration.
+//!
+//! The widest-path search is the workhorse of the paper's flow-decomposition
+//! step: §4.2 — "The path decomposition algorithm tries to minimize the
+//! number of paths per flow by finding the 'thickest' paths; this is done
+//! using a well-known version of Dijkstra's shortest-path algorithm."
+
+use crate::graph::{EdgeId, Graph, NodeId, Path};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// Breadth-first shortest path (fewest edges) from `src` to `dst`.
+/// Returns `None` if unreachable; the empty path if `src == dst`.
+pub fn bfs_shortest_path(g: &Graph, src: NodeId, dst: NodeId) -> Option<Path> {
+    if src == dst {
+        return Some(Path::empty());
+    }
+    let mut pred: Vec<Option<EdgeId>> = vec![None; g.node_count()];
+    let mut seen = vec![false; g.node_count()];
+    seen[src.index()] = true;
+    let mut q = VecDeque::new();
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        for &e in g.out_edges(u) {
+            let v = g.edge_dst(e);
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                pred[v.index()] = Some(e);
+                if v == dst {
+                    return Some(reconstruct(g, &pred, src, dst));
+                }
+                q.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// Hop distances (BFS levels) from `src` to every node; `usize::MAX` marks
+/// unreachable nodes.
+pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.node_count()];
+    dist[src.index()] = 0;
+    let mut q = VecDeque::new();
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u.index()];
+        for &e in g.out_edges(u) {
+            let v = g.edge_dst(e);
+            if dist[v.index()] == usize::MAX {
+                dist[v.index()] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+fn reconstruct(g: &Graph, pred: &[Option<EdgeId>], src: NodeId, dst: NodeId) -> Path {
+    let mut edges = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let e = pred[cur.index()].expect("broken predecessor chain");
+        edges.push(e);
+        cur = g.edge_src(e);
+    }
+    edges.reverse();
+    Path::new(edges)
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    key: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by key; ties broken by node id for determinism.
+        self.key
+            .partial_cmp(&other.key)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+/// Dijkstra with additive nonnegative edge weights given by `weight(e)`.
+/// Returns the minimum-weight path from `src` to `dst`, or `None`.
+pub fn dijkstra<F: Fn(EdgeId) -> f64>(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    weight: F,
+) -> Option<(Path, f64)> {
+    if src == dst {
+        return Some((Path::empty(), 0.0));
+    }
+    let mut dist = vec![f64::INFINITY; g.node_count()];
+    let mut pred: Vec<Option<EdgeId>> = vec![None; g.node_count()];
+    let mut done = vec![false; g.node_count()];
+    dist[src.index()] = 0.0;
+    // BinaryHeap is a max-heap; negate for min semantics.
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem { key: 0.0, node: src });
+    while let Some(HeapItem { key, node: u }) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        let du = -key;
+        if u == dst {
+            return Some((reconstruct(g, &pred, src, dst), du));
+        }
+        for &e in g.out_edges(u) {
+            let w = weight(e);
+            debug_assert!(w >= 0.0, "Dijkstra requires nonnegative weights");
+            let v = g.edge_dst(e);
+            let nd = du + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                pred[v.index()] = Some(e);
+                heap.push(HeapItem { key: -nd, node: v });
+            }
+        }
+    }
+    None
+}
+
+/// Widest (maximum-bottleneck, "thickest") path from `src` to `dst`, where
+/// the width of edge `e` is `width(e)`. Edges of width `<= min_width` are
+/// ignored. Returns the path and its bottleneck width.
+///
+/// This is the "well-known version of Dijkstra" the paper's decomposition
+/// routine uses (§4.2): relax by `min(bottleneck_so_far, width(e))`,
+/// maximizing.
+pub fn widest_path<F: Fn(EdgeId) -> f64>(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    width: F,
+    min_width: f64,
+) -> Option<(Path, f64)> {
+    if src == dst {
+        return Some((Path::empty(), f64::INFINITY));
+    }
+    let mut best = vec![0.0_f64; g.node_count()];
+    let mut pred: Vec<Option<EdgeId>> = vec![None; g.node_count()];
+    let mut done = vec![false; g.node_count()];
+    best[src.index()] = f64::INFINITY;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem { key: f64::INFINITY, node: src });
+    while let Some(HeapItem { key, node: u }) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        if u == dst {
+            return Some((reconstruct(g, &pred, src, dst), key));
+        }
+        for &e in g.out_edges(u) {
+            let w = width(e);
+            if w <= min_width {
+                continue;
+            }
+            let v = g.edge_dst(e);
+            let cand = key.min(w);
+            if cand > best[v.index()] && !done[v.index()] {
+                best[v.index()] = cand;
+                pred[v.index()] = Some(e);
+                heap.push(HeapItem { key: cand, node: v });
+            }
+        }
+    }
+    None
+}
+
+/// Enumerates simple paths from `src` to `dst` with at most `max_hops`
+/// edges, stopping after `max_paths` have been found (DFS order,
+/// deterministic). Intended for topologies with small path sets (fat-trees,
+/// stars, rings) where path-based LP formulations are used.
+pub fn enumerate_simple_paths(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    max_hops: usize,
+    max_paths: usize,
+) -> Vec<Path> {
+    let mut out = Vec::new();
+    if max_paths == 0 {
+        return out;
+    }
+    if src == dst {
+        out.push(Path::empty());
+        return out;
+    }
+    // Prune: only descend into nodes that can still reach dst within budget.
+    let dist_to_dst = reverse_bfs_distances(g, dst);
+    let mut on_path = vec![false; g.node_count()];
+    on_path[src.index()] = true;
+    let mut stack: Vec<EdgeId> = Vec::new();
+    dfs_paths(
+        g,
+        src,
+        dst,
+        max_hops,
+        max_paths,
+        &dist_to_dst,
+        &mut on_path,
+        &mut stack,
+        &mut out,
+    );
+    out
+}
+
+/// BFS hop distances *to* `dst` (i.e. on the reversed graph).
+pub fn reverse_bfs_distances(g: &Graph, dst: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.node_count()];
+    dist[dst.index()] = 0;
+    let mut q = VecDeque::new();
+    q.push_back(dst);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u.index()];
+        for &e in g.in_edges(u) {
+            let v = g.edge_src(e);
+            if dist[v.index()] == usize::MAX {
+                dist[v.index()] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_paths(
+    g: &Graph,
+    u: NodeId,
+    dst: NodeId,
+    budget: usize,
+    max_paths: usize,
+    dist_to_dst: &[usize],
+    on_path: &mut Vec<bool>,
+    stack: &mut Vec<EdgeId>,
+    out: &mut Vec<Path>,
+) {
+    if out.len() >= max_paths {
+        return;
+    }
+    if u == dst {
+        out.push(Path::new(stack.clone()));
+        return;
+    }
+    if budget == 0 {
+        return;
+    }
+    for &e in g.out_edges(u) {
+        let v = g.edge_dst(e);
+        if on_path[v.index()] {
+            continue;
+        }
+        let need = dist_to_dst[v.index()];
+        if need == usize::MAX || need + 1 > budget {
+            continue; // cannot reach dst within remaining budget
+        }
+        on_path[v.index()] = true;
+        stack.push(e);
+        dfs_paths(g, v, dst, budget - 1, max_paths, dist_to_dst, on_path, stack, out);
+        stack.pop();
+        on_path[v.index()] = false;
+        if out.len() >= max_paths {
+            return;
+        }
+    }
+}
+
+/// Convenience: candidate path set for a source-sink pair — all simple paths
+/// of length at most `slack` more than the shortest, capped at `max_paths`.
+/// Returns an empty vec when disconnected.
+pub fn candidate_paths(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    slack: usize,
+    max_paths: usize,
+) -> Vec<Path> {
+    match bfs_shortest_path(g, src, dst) {
+        None => Vec::new(),
+        Some(sp) => {
+            let max_hops = sp.len() + slack;
+            // Enumerate generously, then subsample evenly: plain truncation
+            // would keep only paths through the first branch explored (all
+            // via one aggregation switch on a fat-tree), starving the LP
+            // and the load balancers of route diversity.
+            let budget = max_paths.max(64);
+            let mut ps = enumerate_simple_paths(g, src, dst, max_hops, budget);
+            // Deterministic order: shortest first, then lexicographic edge ids.
+            ps.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.edges.cmp(&b.edges)));
+            if ps.len() > max_paths {
+                let n = ps.len();
+                ps = (0..max_paths).map(|i| ps[i * n / max_paths].clone()).collect();
+            }
+            ps
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo;
+
+    #[test]
+    fn bfs_on_triangle() {
+        let t = topo::triangle();
+        let p = bfs_shortest_path(&t.graph, t.hosts[0], t.hosts[1]).unwrap();
+        assert_eq!(p.len(), 1);
+        assert!(t.graph.is_simple_path(&p, t.hosts[0], t.hosts[1]));
+    }
+
+    #[test]
+    fn bfs_same_node_empty() {
+        let t = topo::triangle();
+        let p = bfs_shortest_path(&t.graph, t.hosts[0], t.hosts[0]).unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId(1), NodeId(0), 1.0);
+        assert!(bfs_shortest_path(&g, NodeId(0), NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn bfs_distances_levels() {
+        let t = topo::line(4, 1.0);
+        let d = bfs_distances(&t.graph, NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3]);
+        let d = bfs_distances(&t.graph, NodeId(3));
+        assert_eq!(d[0], usize::MAX, "line is directed");
+    }
+
+    #[test]
+    fn dijkstra_picks_cheaper_detour() {
+        // 0->1 weight 10; 0->2->1 weight 2+3=5.
+        let mut g = Graph::with_nodes(3);
+        let e_direct = g.add_edge(NodeId(0), NodeId(1), 1.0);
+        let e_a = g.add_edge(NodeId(0), NodeId(2), 1.0);
+        let e_b = g.add_edge(NodeId(2), NodeId(1), 1.0);
+        let w = move |e: EdgeId| -> f64 {
+            if e == e_direct {
+                10.0
+            } else if e == e_a {
+                2.0
+            } else {
+                3.0
+            }
+        };
+        let (p, d) = dijkstra(&g, NodeId(0), NodeId(1), w).unwrap();
+        assert_eq!(d, 5.0);
+        assert_eq!(p.edges.as_ref(), &[e_a, e_b]);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_none() {
+        let g = Graph::with_nodes(2);
+        assert!(dijkstra(&g, NodeId(0), NodeId(1), |_| 1.0).is_none());
+    }
+
+    #[test]
+    fn widest_path_prefers_fat_route() {
+        // 0->1 width 1; 0->2->1 width min(5, 4) = 4.
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(0), NodeId(2), 5.0);
+        g.add_edge(NodeId(2), NodeId(1), 4.0);
+        let gc = g.clone();
+        let (p, w) = widest_path(&g, NodeId(0), NodeId(1), |e| gc.capacity(e), 0.0).unwrap();
+        assert_eq!(w, 4.0);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn widest_path_min_width_filter() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), 0.5);
+        let gc = g.clone();
+        assert!(widest_path(&g, NodeId(0), NodeId(1), |e| gc.capacity(e), 1.0).is_none());
+    }
+
+    #[test]
+    fn enumerate_triangle_paths() {
+        let t = topo::triangle();
+        // x -> y: direct (1 hop) and via z (2 hops).
+        let ps = enumerate_simple_paths(&t.graph, t.hosts[0], t.hosts[1], 2, 10);
+        assert_eq!(ps.len(), 2);
+        let ps1 = enumerate_simple_paths(&t.graph, t.hosts[0], t.hosts[1], 1, 10);
+        assert_eq!(ps1.len(), 1);
+    }
+
+    #[test]
+    fn enumerate_respects_cap() {
+        let t = topo::triangle();
+        let ps = enumerate_simple_paths(&t.graph, t.hosts[0], t.hosts[1], 2, 1);
+        assert_eq!(ps.len(), 1);
+    }
+
+    #[test]
+    fn candidate_paths_sorted_shortest_first() {
+        let t = topo::triangle();
+        let ps = candidate_paths(&t.graph, t.hosts[0], t.hosts[1], 1, 10);
+        assert_eq!(ps.len(), 2);
+        assert!(ps[0].len() <= ps[1].len());
+    }
+
+    #[test]
+    fn fat_tree_interpod_path_count() {
+        // In a k-ary fat tree, hosts in different pods have (k/2)^2
+        // equal-cost shortest paths.
+        let t = topo::fat_tree(4, 1.0);
+        let ps = candidate_paths(&t.graph, t.hosts[0], t.hosts[15], 0, 64);
+        assert_eq!(ps.len(), 4);
+        for p in &ps {
+            assert_eq!(p.len(), 6);
+            assert!(t.graph.is_simple_path(p, t.hosts[0], t.hosts[15]));
+        }
+        // Same pod, different edge switch: k/2 = 2 paths of length 4.
+        let ps = candidate_paths(&t.graph, t.hosts[0], t.hosts[2], 0, 64);
+        assert_eq!(ps.len(), 2);
+        // Same edge switch: unique 2-hop path.
+        let ps = candidate_paths(&t.graph, t.hosts[0], t.hosts[1], 0, 64);
+        assert_eq!(ps.len(), 1);
+    }
+
+    #[test]
+    fn candidate_paths_disconnected_empty() {
+        let g = Graph::with_nodes(2);
+        assert!(candidate_paths(&g, NodeId(0), NodeId(1), 2, 10).is_empty());
+    }
+}

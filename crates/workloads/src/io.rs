@@ -1,0 +1,75 @@
+//! Instance snapshots: JSON (de)serialization for reproducibility.
+//!
+//! The experiment harness records the exact instances behind every reported
+//! number; `serde_json` is the one dependency added beyond the base budget
+//! (justified in DESIGN.md §2).
+
+use coflow_core::model::Instance;
+use std::path::Path;
+
+/// Serializes an instance to pretty JSON.
+pub fn to_json(instance: &Instance) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(instance)
+}
+
+/// Parses an instance from JSON.
+pub fn from_json(s: &str) -> serde_json::Result<Instance> {
+    serde_json::from_str(s)
+}
+
+/// Writes an instance snapshot to disk.
+pub fn save(instance: &Instance, path: &Path) -> std::io::Result<()> {
+    let json = to_json(instance).map_err(std::io::Error::other)?;
+    std::fs::write(path, json)
+}
+
+/// Loads an instance snapshot from disk.
+pub fn load(path: &Path) -> std::io::Result<Instance> {
+    let s = std::fs::read_to_string(path)?;
+    from_json(&s).map_err(std::io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use coflow_net::topo;
+
+    #[test]
+    fn json_roundtrip_preserves_instance() {
+        let t = topo::fat_tree(4, 1.0);
+        let inst = generate(&t, &GenConfig { n_coflows: 3, width: 4, ..Default::default() });
+        let json = to_json(&inst).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.coflow_count(), inst.coflow_count());
+        assert_eq!(back.flow_count(), inst.flow_count());
+        assert_eq!(back.graph.edge_count(), inst.graph.edge_count());
+        for ((_, _, a), (_, _, b)) in inst.flows().zip(back.flows()) {
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.dst, b.dst);
+            assert_eq!(a.size, b.size);
+            // JSON float text can drop an ULP.
+            assert!((a.release - b.release).abs() < 1e-9);
+        }
+        assert!(back.validate().is_empty());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = topo::triangle();
+        let inst = crate::suite::figure1_instance();
+        let _ = t;
+        let dir = std::env::temp_dir().join("coflow-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("fig1.json");
+        save(&inst, &p).unwrap();
+        let back = load(&p).unwrap();
+        assert_eq!(back.flow_count(), 4);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(from_json("{not json").is_err());
+    }
+}
