@@ -18,9 +18,8 @@ fn bench_free_paths_lp(c: &mut Criterion) {
         let inst = generate(&topo, &fig3_config(width, 0));
         g.bench_with_input(BenchmarkId::new("fat_tree_k4", width), &inst, |b, inst| {
             b.iter(|| {
-                let lp =
-                    solve_free_paths_lp_paths(black_box(inst), &FreePathsLpConfig::default())
-                        .unwrap();
+                let lp = solve_free_paths_lp_paths(black_box(inst), &FreePathsLpConfig::default())
+                    .unwrap();
                 black_box(lp.base.objective)
             })
         });

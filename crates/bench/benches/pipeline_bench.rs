@@ -15,8 +15,10 @@ fn bench_trial(c: &mut Criterion) {
     let mut g = c.benchmark_group("figure_trial");
     g.sample_size(10);
     let topo = topo::fat_tree(4, 1.0);
-    let lp_cfg =
-        FreePathsLpConfig { solver: SolverOptions::for_experiments(), ..Default::default() };
+    let lp_cfg = FreePathsLpConfig {
+        solver: SolverOptions::for_experiments(),
+        ..Default::default()
+    };
     for width in [2usize, 4] {
         let inst = generate(&topo, &fig3_config(width, 0));
         g.bench_with_input(BenchmarkId::new("width", width), &inst, |b, inst| {

@@ -16,7 +16,12 @@ fn bench_fluid(c: &mut Criterion) {
     for flows in [40usize, 160, 480] {
         let inst = generate(
             &topo,
-            &GenConfig { n_coflows: flows / 16, width: 16, seed: 1, ..Default::default() },
+            &GenConfig {
+                n_coflows: flows / 16,
+                width: 16,
+                seed: 1,
+                ..Default::default()
+            },
         );
         let scheme = baseline_random(&inst, &BaselineConfig::default());
         for policy in [AllocPolicy::GreedyRate, AllocPolicy::MaxMinFair] {
@@ -28,7 +33,10 @@ fn bench_fluid(c: &mut Criterion) {
                             inst,
                             &scheme.paths,
                             &scheme.order,
-                            &SimConfig { policy, ..Default::default() },
+                            &SimConfig {
+                                policy,
+                                ..Default::default()
+                            },
                         )
                         .metrics
                         .weighted_sum,
@@ -46,7 +54,12 @@ fn bench_packets(c: &mut Criterion) {
     for packets in [16usize, 64, 256] {
         let inst = generate_packets(
             &topo,
-            &GenConfig { n_coflows: packets / 4, width: 4, seed: 2, ..Default::default() },
+            &GenConfig {
+                n_coflows: packets / 4,
+                width: 4,
+                seed: 2,
+                ..Default::default()
+            },
         );
         let routes: Vec<_> = inst
             .flows()
@@ -54,15 +67,19 @@ fn bench_packets(c: &mut Criterion) {
                 coflow_net::paths::bfs_shortest_path(&inst.graph, f.src, f.dst).unwrap()
             })
             .collect();
-        g.bench_with_input(BenchmarkId::new("store_and_forward", packets), &inst, |b, inst| {
-            b.iter(|| {
-                black_box(
-                    simulate_packets(inst, &routes, &Priority::identity(inst.flow_count()))
-                        .metrics
-                        .makespan,
-                )
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("store_and_forward", packets),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    black_box(
+                        simulate_packets(inst, &routes, &Priority::identity(inst.flow_count()))
+                            .metrics
+                            .makespan,
+                    )
+                })
+            },
+        );
     }
     g.finish();
 }

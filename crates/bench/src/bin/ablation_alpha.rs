@@ -20,7 +20,10 @@ fn main() {
     let args = CommonArgs::parse("results/ablation_alpha.csv");
     let trials = args.trials.max(3);
     let t = topo::star(8, 1.0);
-    println!("α/D/ε ablation of the given-paths rounding, {} trials per cell", trials);
+    println!(
+        "α/D/ε ablation of the given-paths rounding, {} trials per cell",
+        trials
+    );
 
     let instances: Vec<Instance> = (0..trials)
         .map(|trial| {
@@ -48,8 +51,14 @@ fn main() {
         let lps: Vec<_> = instances
             .iter()
             .map(|inst| {
-                solve_given_paths_lp(inst, &GivenPathsLpConfig { eps, ..Default::default() })
-                    .unwrap()
+                solve_given_paths_lp(
+                    inst,
+                    &GivenPathsLpConfig {
+                        eps,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
             })
             .collect();
         for &alpha in &[0.25, 0.5, 0.75, 1.0] {
@@ -60,7 +69,10 @@ fn main() {
                     let r = round_given_paths(
                         inst,
                         lp,
-                        &RoundingConfig { alpha, displacement: d },
+                        &RoundingConfig {
+                            alpha,
+                            displacement: d,
+                        },
                     );
                     debug_assert!(r.schedule.check(inst, 1e-6, 1e-6).is_empty());
                     let lb = bounds::circuit_lower_bound(lp.objective, eps);
@@ -84,8 +96,12 @@ fn main() {
     );
 
     if let Some(out) = &args.out {
-        write_csv(out, &["eps", "alpha", "D", "cost_over_lb", "max_stretch"], &rows)
-            .expect("csv write");
+        write_csv(
+            out,
+            &["eps", "alpha", "D", "cost_over_lb", "max_stretch"],
+            &rows,
+        )
+        .expect("csv write");
         println!("\nWrote {out}");
     }
 }

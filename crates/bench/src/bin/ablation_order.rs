@@ -37,8 +37,14 @@ fn main() {
     let names = ["LP order", "SEBF", "WSJF", "per-flow SJF", "random"];
     let results: Vec<Vec<f64>> = run_parallel(&instances, args.threads, |i, inst| {
         let lp = solve_free_paths_lp_paths(inst, &FreePathsLpConfig::default()).unwrap();
-        let rounding =
-            round_free_paths(inst, &lp, &FreeRoundingConfig { seed: i as u64, ..Default::default() });
+        let rounding = round_free_paths(
+            inst,
+            &lp,
+            &FreeRoundingConfig {
+                seed: i as u64,
+                ..Default::default()
+            },
+        );
         let paths = rounding.paths;
         let cfg = SimConfig::default();
         let n = inst.flow_count();
@@ -47,24 +53,42 @@ fn main() {
         let mut outs = Vec::new();
         // LP completion-time order (Algorithm 1).
         outs.push(
-            simulate(inst, &paths, &lp_order(inst, &lp.base), &cfg).metrics.avg_coflow_completion,
+            simulate(inst, &paths, &lp_order(inst, &lp.base), &cfg)
+                .metrics
+                .avg_coflow_completion,
         );
         // SEBF on the same routing.
         let s = baselines::sebf(inst, &paths);
-        outs.push(simulate(inst, &paths, &s.order, &cfg).metrics.avg_coflow_completion);
+        outs.push(
+            simulate(inst, &paths, &s.order, &cfg)
+                .metrics
+                .avg_coflow_completion,
+        );
         // WSJF.
         let s = baselines::wsjf(inst, &paths);
-        outs.push(simulate(inst, &paths, &s.order, &cfg).metrics.avg_coflow_completion);
+        outs.push(
+            simulate(inst, &paths, &s.order, &cfg)
+                .metrics
+                .avg_coflow_completion,
+        );
         // Per-flow SJF (Schedule-only's rule, coflow-blind).
         let sjf = Priority::by_key(n, |flat| {
             let spec = inst.flow(inst.id_of_flat(flat));
             spec.size / g.path_bottleneck(&paths[flat]).max(1e-12)
         });
-        outs.push(simulate(inst, &paths, &sjf, &cfg).metrics.avg_coflow_completion);
+        outs.push(
+            simulate(inst, &paths, &sjf, &cfg)
+                .metrics
+                .avg_coflow_completion,
+        );
         // Random order.
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(77 + i as u64));
-        outs.push(simulate(inst, &paths, &Priority { order }, &cfg).metrics.avg_coflow_completion);
+        outs.push(
+            simulate(inst, &paths, &Priority { order }, &cfg)
+                .metrics
+                .avg_coflow_completion,
+        );
         outs
     });
 

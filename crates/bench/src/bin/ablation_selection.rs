@@ -31,8 +31,10 @@ fn main() {
     let instances: Vec<Instance> = (0..args.trials)
         .map(|trial| generate(&t, &fig3_config(16, 700 + trial as u64)))
         .collect();
-    let lp_cfg =
-        FreePathsLpConfig { solver: SolverOptions::for_experiments(), ..Default::default() };
+    let lp_cfg = FreePathsLpConfig {
+        solver: SolverOptions::for_experiments(),
+        ..Default::default()
+    };
 
     let strategies = [
         ("Sample (RT, analyzed)", PathSelection::Sample),
@@ -49,7 +51,11 @@ fn main() {
                 let r = round_free_paths(
                     inst,
                     &lp,
-                    &FreeRoundingConfig { seed: i as u64, selection: sel, ..Default::default() },
+                    &FreeRoundingConfig {
+                        seed: i as u64,
+                        selection: sel,
+                        ..Default::default()
+                    },
                 );
                 let out = simulate(inst, &r.paths, &order, &SimConfig::default());
                 (out.metrics.avg_coflow_completion, r.rounded.max_stretch)
@@ -64,7 +70,11 @@ fn main() {
         .map(|(s, (name, _))| {
             let avg = results.iter().map(|r| r[s].0).sum::<f64>() / trials;
             let stretch = results.iter().map(|r| r[s].1).fold(0.0_f64, f64::max);
-            vec![name.to_string(), format!("{avg:.1}"), format!("{stretch:.2}")]
+            vec![
+                name.to_string(),
+                format!("{avg:.1}"),
+                format!("{stretch:.2}"),
+            ]
         })
         .collect();
     print_table(

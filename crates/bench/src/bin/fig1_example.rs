@@ -32,7 +32,10 @@ fn main() {
         &inst,
         &route,
         &Priority::identity(n),
-        &SimConfig { policy: AllocPolicy::MaxMinFair, ..Default::default() },
+        &SimConfig {
+            policy: AllocPolicy::MaxMinFair,
+            ..Default::default()
+        },
     );
     assert!(s1.schedule.check(&inst, 1e-6, 1e-6).is_empty());
     rows.push(describe("(s1) fair sharing", &s1.metrics.coflow_completion));
@@ -40,10 +43,20 @@ fn main() {
     // (s2): priority A > B > C.
     let s2 = simulate(&inst, &route, &Priority::identity(n), &SimConfig::default());
     assert!(s2.schedule.check(&inst, 1e-6, 1e-6).is_empty());
-    rows.push(describe("(s2) priority A,B,C", &s2.metrics.coflow_completion));
+    rows.push(describe(
+        "(s2) priority A,B,C",
+        &s2.metrics.coflow_completion,
+    ));
 
     // (s3): the optimal order (B and C first, then A).
-    let s3 = simulate(&inst, &route, &Priority { order: vec![2, 3, 0, 1] }, &SimConfig::default());
+    let s3 = simulate(
+        &inst,
+        &route,
+        &Priority {
+            order: vec![2, 3, 0, 1],
+        },
+        &SimConfig::default(),
+    );
     assert!(s3.schedule.check(&inst, 1e-6, 1e-6).is_empty());
     rows.push(describe("(s3) optimal", &s3.metrics.coflow_completion));
 
@@ -53,7 +66,10 @@ fn main() {
     let order = lp_order(&inst, &lp.base);
     let lpd = simulate(&inst, &r.paths, &order, &SimConfig::default());
     assert!(lpd.schedule.check(&inst, 1e-6, 1e-6).is_empty());
-    rows.push(describe("LP-Based algorithm", &lpd.metrics.coflow_completion));
+    rows.push(describe(
+        "LP-Based algorithm",
+        &lpd.metrics.coflow_completion,
+    ));
 
     print_table(
         "Figure 1: triangle network, coflows A{A1:2,A2:1}, B{1}, C{2} (paper: 10 / 8 / 7)",

@@ -45,8 +45,12 @@ fn main() {
         let p = run_point(&format!("{w} flows"), &instances, &lp_cfg, args.threads);
         println!(
             "  [{}] LP obj {:.1}, LB {:.1}, paths/flow {:.2}, {} pivots, {:.0} ms/solve",
-            p.label, p.diag.lp_objective, p.diag.lower_bound, p.diag.paths_per_flow,
-            p.diag.iterations, p.diag.solve_ms
+            p.label,
+            p.diag.lp_objective,
+            p.diag.lower_bound,
+            p.diag.paths_per_flow,
+            p.diag.iterations,
+            p.diag.solve_ms
         );
         points.push(p);
     }
@@ -61,8 +65,17 @@ fn main() {
         rows.push(row);
     }
     print_table(
-        &format!("Average completion time ({} servers, 10 coflows)", t.host_count()),
-        &["width", "LP-Based", "Route-only", "Schedule-only", "Baseline"],
+        &format!(
+            "Average completion time ({} servers, 10 coflows)",
+            t.host_count()
+        ),
+        &[
+            "width",
+            "LP-Based",
+            "Route-only",
+            "Schedule-only",
+            "Baseline",
+        ],
         &rows,
     );
 
@@ -77,15 +90,20 @@ fn main() {
     }
     print_table(
         "Ratio with respect to Baseline",
-        &["width", "LP-Based", "Route-only", "Schedule-only", "Baseline"],
+        &[
+            "width",
+            "LP-Based",
+            "Route-only",
+            "Schedule-only",
+            "Baseline",
+        ],
         &rows,
     );
 
     print_improvements(&points);
 
     // §4.3's observation: the decomposition returns ~1 path per flow.
-    let ppf: f64 =
-        points.iter().map(|p| p.diag.paths_per_flow).sum::<f64>() / points.len() as f64;
+    let ppf: f64 = points.iter().map(|p| p.diag.paths_per_flow).sum::<f64>() / points.len() as f64;
     println!("\nPaths per flow after decomposition (paper observes 1.0 on fat-trees): {ppf:.3}");
 
     if let Some(out) = &args.out {
@@ -101,8 +119,18 @@ fn main() {
                 ]);
             }
         }
-        write_csv(out, &["width", "scheme", "avg_completion", "ratio_vs_baseline", "trials"], &rows)
-            .expect("csv write");
+        write_csv(
+            out,
+            &[
+                "width",
+                "scheme",
+                "avg_completion",
+                "ratio_vs_baseline",
+                "trials",
+            ],
+            &rows,
+        )
+        .expect("csv write");
         println!("\nWrote {out}");
     }
 }

@@ -40,8 +40,12 @@ fn main() {
         let p = run_point(&format!("{n} coflows"), &instances, &lp_cfg, args.threads);
         println!(
             "  [{}] LP obj {:.1}, LB {:.1}, paths/flow {:.2}, {} pivots, {:.0} ms/solve",
-            p.label, p.diag.lp_objective, p.diag.lower_bound, p.diag.paths_per_flow,
-            p.diag.iterations, p.diag.solve_ms
+            p.label,
+            p.diag.lp_objective,
+            p.diag.lower_bound,
+            p.diag.paths_per_flow,
+            p.diag.iterations,
+            p.diag.solve_ms
         );
         points.push(p);
     }
@@ -55,8 +59,17 @@ fn main() {
         rows.push(row);
     }
     print_table(
-        &format!("Average completion time ({} servers, width 16)", t.host_count()),
-        &["coflows", "LP-Based", "Route-only", "Schedule-only", "Baseline"],
+        &format!(
+            "Average completion time ({} servers, width 16)",
+            t.host_count()
+        ),
+        &[
+            "coflows",
+            "LP-Based",
+            "Route-only",
+            "Schedule-only",
+            "Baseline",
+        ],
         &rows,
     );
 
@@ -70,7 +83,13 @@ fn main() {
     }
     print_table(
         "Ratio with respect to Baseline",
-        &["coflows", "LP-Based", "Route-only", "Schedule-only", "Baseline"],
+        &[
+            "coflows",
+            "LP-Based",
+            "Route-only",
+            "Schedule-only",
+            "Baseline",
+        ],
         &rows,
     );
 
@@ -91,7 +110,13 @@ fn main() {
         }
         write_csv(
             out,
-            &["coflows", "scheme", "avg_completion", "ratio_vs_baseline", "trials"],
+            &[
+                "coflows",
+                "scheme",
+                "avg_completion",
+                "ratio_vs_baseline",
+                "trials",
+            ],
             &rows,
         )
         .expect("csv write");

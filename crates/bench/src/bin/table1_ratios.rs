@@ -66,7 +66,12 @@ fn main() {
             let lb = bounds::circuit_lower_bound(lp.objective, lp.grid.eps);
             ratios.push(r.metrics.weighted_sum / lb);
         }
-        rows.push(Row { model: "Circuit", paths: "given", theory: "17.6 (O(1))", ratios });
+        rows.push(Row {
+            model: "Circuit",
+            paths: "given",
+            theory: "17.6 (O(1))",
+            ratios,
+        });
     }
 
     // --- Circuit, paths not given (§2.2, bound O(log E / log log E)).
@@ -86,7 +91,10 @@ fn main() {
             let r = round_free_paths(
                 &inst,
                 &lp,
-                &FreeRoundingConfig { seed: trial as u64, ..Default::default() },
+                &FreeRoundingConfig {
+                    seed: trial as u64,
+                    ..Default::default()
+                },
             );
             let routed = inst.with_paths(&r.paths);
             assert!(r.rounded.schedule.check(&routed, 1e-6, 1e-6).is_empty());
@@ -127,7 +135,12 @@ fn main() {
             let lb = bounds::packet_lower_bound(r.lp_objective);
             ratios.push(r.metrics.weighted_sum / lb);
         }
-        rows.push(Row { model: "Packet", paths: "given", theory: "O(1)", ratios });
+        rows.push(Row {
+            model: "Packet",
+            paths: "given",
+            theory: "O(1)",
+            ratios,
+        });
     }
 
     // --- Packet, paths not given (§3.2, O(1)).
@@ -147,7 +160,12 @@ fn main() {
             let lb = bounds::packet_lower_bound(r.lp_objective);
             ratios.push(r.metrics.weighted_sum / lb);
         }
-        rows.push(Row { model: "Packet", paths: "not given", theory: "O(1)", ratios });
+        rows.push(Row {
+            model: "Packet",
+            paths: "not given",
+            theory: "O(1)",
+            ratios,
+        });
     }
 
     let table: Vec<Vec<String>> = rows
@@ -171,8 +189,12 @@ fn main() {
     );
 
     if let Some(out) = &args.out {
-        write_csv(out, &["model", "paths", "theory", "mean_ratio", "max_ratio"], &table)
-            .expect("csv write");
+        write_csv(
+            out,
+            &["model", "paths", "theory", "mean_ratio", "max_ratio"],
+            &table,
+        )
+        .expect("csv write");
         println!("\nWrote {out}");
     }
 }

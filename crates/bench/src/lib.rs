@@ -76,7 +76,11 @@ pub fn run_trial(
     let rounding = round_free_paths(
         instance,
         &lp,
-        &FreeRoundingConfig { seed, selection: PathSelection::LoadAware, ..Default::default() },
+        &FreeRoundingConfig {
+            seed,
+            selection: PathSelection::LoadAware,
+            ..Default::default()
+        },
     );
     let order = lp_order(instance, &lp.base);
     let out = simulate(instance, &rounding.paths, &order, &sim_cfg);
@@ -154,7 +158,9 @@ pub fn run_point(
     threads: usize,
 ) -> PointSummary {
     let results: Vec<(Vec<TrialOutcome>, LpDiagnostics)> =
-        run_parallel(instances, threads, |i, inst| run_trial(inst, lp_cfg, 1000 + i as u64));
+        run_parallel(instances, threads, |i, inst| {
+            run_trial(inst, lp_cfg, 1000 + i as u64)
+        });
 
     let trials = results.len();
     let mut schemes = Vec::new();
@@ -162,7 +168,10 @@ pub fn run_point(
         let mut avg = 0.0;
         let mut wsum = 0.0;
         for (outs, _) in &results {
-            let o = outs.iter().find(|o| o.scheme == name).expect("scheme missing");
+            let o = outs
+                .iter()
+                .find(|o| o.scheme == name)
+                .expect("scheme missing");
             avg += o.avg_completion;
             wsum += o.weighted_sum;
         }
@@ -171,12 +180,16 @@ pub fn run_point(
     let diag = LpDiagnostics {
         lp_objective: results.iter().map(|(_, d)| d.lp_objective).sum::<f64>() / trials as f64,
         lower_bound: results.iter().map(|(_, d)| d.lower_bound).sum::<f64>() / trials as f64,
-        paths_per_flow: results.iter().map(|(_, d)| d.paths_per_flow).sum::<f64>()
-            / trials as f64,
+        paths_per_flow: results.iter().map(|(_, d)| d.paths_per_flow).sum::<f64>() / trials as f64,
         iterations: results.iter().map(|(_, d)| d.iterations).sum::<usize>() / trials,
         solve_ms: results.iter().map(|(_, d)| d.solve_ms).sum::<f64>() / trials as f64,
     };
-    PointSummary { label: label.to_string(), schemes, diag, trials }
+    PointSummary {
+        label: label.to_string(),
+        schemes,
+        diag,
+        trials,
+    }
 }
 
 /// Simple scoped-thread parallel map preserving input order.
@@ -189,8 +202,8 @@ pub fn run_parallel<T: Sync, R: Send>(
     let n = items.len();
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<&mut Option<R>>> =
-        out.iter_mut().map(parking_lot::Mutex::new).collect();
+    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
+        out.iter_mut().map(std::sync::Mutex::new).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n.max(1)) {
             scope.spawn(|| loop {
@@ -199,11 +212,13 @@ pub fn run_parallel<T: Sync, R: Send>(
                     break;
                 }
                 let r = f(i, &items[i]);
-                **slots[i].lock() = Some(r);
+                **slots[i].lock().expect("worker panicked holding slot lock") = Some(r);
             });
         }
     });
-    out.into_iter().map(|o| o.expect("worker died before filling slot")).collect()
+    out.into_iter()
+        .map(|o| o.expect("worker died before filling slot"))
+        .collect()
 }
 
 /// Prints an aligned table.
@@ -224,7 +239,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let header: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", line(&header));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", line(row));
     }
@@ -252,7 +270,10 @@ pub fn print_improvements(points: &[PointSummary]) {
         for p in points {
             impr += (p.avg_of(other) - p.avg_of("LP-Based")) / p.avg_of("LP-Based") * 100.0;
         }
-        rows.push(vec![other.to_string(), format!("{:.0}%", impr / points.len() as f64)]);
+        rows.push(vec![
+            other.to_string(),
+            format!("{:.0}%", impr / points.len() as f64),
+        ]);
     }
     print_table(
         "Average improvement of LP-Based (paper §4.3: Fig3 = 126/96/22%, Fig4 = 110/72/26%)",
@@ -283,7 +304,9 @@ impl CommonArgs {
         let mut a = Self {
             k: 4,
             trials: 5,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             out: Some(default_out.to_string()),
         };
         let argv: Vec<String> = std::env::args().collect();
@@ -325,7 +348,15 @@ mod tests {
 
     fn small_instance(seed: u64) -> Instance {
         let t = topo::fat_tree(4, 1.0);
-        generate(&t, &GenConfig { n_coflows: 3, width: 3, seed, ..Default::default() })
+        generate(
+            &t,
+            &GenConfig {
+                n_coflows: 3,
+                width: 3,
+                seed,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]

@@ -47,7 +47,11 @@ pub struct BaselineConfig {
 
 impl Default for BaselineConfig {
     fn default() -> Self {
-        Self { path_slack: 0, max_paths: 32, seed: 0 }
+        Self {
+            path_slack: 0,
+            max_paths: 32,
+            seed: 0,
+        }
     }
 }
 
@@ -82,7 +86,11 @@ pub fn baseline_random(instance: &Instance, cfg: &BaselineConfig) -> Scheme {
     let paths = random_paths(instance, cfg, &mut rng);
     let mut order: Vec<usize> = (0..instance.flow_count()).collect();
     order.shuffle(&mut rng);
-    Scheme { name: "Baseline", paths, order: Priority { order } }
+    Scheme {
+        name: "Baseline",
+        paths,
+        order: Priority { order },
+    }
 }
 
 /// Random routing; order by standalone completion estimate
@@ -101,7 +109,11 @@ pub fn schedule_only(instance: &Instance, cfg: &BaselineConfig) -> Scheme {
             f64::INFINITY
         }
     });
-    Scheme { name: "Schedule-only", paths, order }
+    Scheme {
+        name: "Schedule-only",
+        paths,
+        order,
+    }
 }
 
 /// Load-balanced routing (greedy least-loaded path, processing flows in
@@ -118,11 +130,7 @@ pub fn route_only(instance: &Instance, cfg: &BaselineConfig) -> Scheme {
 /// Route-only with a choice of ordering: `arrival = true` serves flows
 /// FIFO by release (a strictly stronger variant used in the ordering
 /// ablation), `false` uses the arbitrary (random) ordering.
-pub fn route_only_with_order(
-    instance: &Instance,
-    cfg: &BaselineConfig,
-    arrival: bool,
-) -> Scheme {
+pub fn route_only_with_order(instance: &Instance, cfg: &BaselineConfig, arrival: bool) -> Scheme {
     let g = &instance.graph;
     let mut load = vec![0.0_f64; g.edge_count()];
     let mut paths: Vec<Option<Path>> = vec![None; instance.flow_count()];
@@ -167,7 +175,15 @@ pub fn route_only_with_order(
         order.shuffle(&mut rng);
         Priority { order }
     };
-    Scheme { name: if arrival { "Route-only(FIFO)" } else { "Route-only" }, paths, order }
+    Scheme {
+        name: if arrival {
+            "Route-only(FIFO)"
+        } else {
+            "Route-only"
+        },
+        paths,
+        order,
+    }
 }
 
 /// SEBF (smallest effective bottleneck first, Varys-like): coflows ordered
@@ -196,7 +212,11 @@ pub fn sebf(instance: &Instance, paths: &[Path]) -> Scheme {
         let id = instance.id_of_flat(flat);
         (gamma[id.coflow as usize], id.coflow, id.flow)
     });
-    Scheme { name: "SEBF", paths: paths.to_vec(), order }
+    Scheme {
+        name: "SEBF",
+        paths: paths.to_vec(),
+        order,
+    }
 }
 
 /// Weighted shortest job first at coflow granularity: key is
@@ -217,7 +237,11 @@ pub fn wsjf(instance: &Instance, paths: &[Path]) -> Scheme {
         let id = instance.id_of_flat(flat);
         (key[id.coflow as usize], id.coflow, id.flow)
     });
-    Scheme { name: "WSJF", paths: paths.to_vec(), order }
+    Scheme {
+        name: "WSJF",
+        paths: paths.to_vec(),
+        order,
+    }
 }
 
 #[cfg(test)]
@@ -232,10 +256,13 @@ mod tests {
         Instance::new(
             t.graph.clone(),
             vec![
-                Coflow::new(1.0, vec![
-                    FlowSpec::new(h[0], h[15], 4.0, 0.0),
-                    FlowSpec::new(h[1], h[14], 2.0, 0.0),
-                ]),
+                Coflow::new(
+                    1.0,
+                    vec![
+                        FlowSpec::new(h[0], h[15], 4.0, 0.0),
+                        FlowSpec::new(h[1], h[14], 2.0, 0.0),
+                    ],
+                ),
                 Coflow::new(3.0, vec![FlowSpec::new(h[2], h[13], 1.0, 0.0)]),
             ],
         )
@@ -246,7 +273,9 @@ mod tests {
         let inst = fat_tree_instance();
         let s = baseline_random(&inst, &BaselineConfig::default());
         for (_, flat, spec) in inst.flows() {
-            assert!(inst.graph.is_simple_path(&s.paths[flat], spec.src, spec.dst));
+            assert!(inst
+                .graph
+                .is_simple_path(&s.paths[flat], spec.src, spec.dst));
         }
         assert_eq!(s.order.len(), 3);
     }
@@ -254,8 +283,20 @@ mod tests {
     #[test]
     fn baseline_deterministic_per_seed() {
         let inst = fat_tree_instance();
-        let a = baseline_random(&inst, &BaselineConfig { seed: 9, ..Default::default() });
-        let b = baseline_random(&inst, &BaselineConfig { seed: 9, ..Default::default() });
+        let a = baseline_random(
+            &inst,
+            &BaselineConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        let b = baseline_random(
+            &inst,
+            &BaselineConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.paths, b.paths);
         assert_eq!(a.order, b.order);
     }
@@ -275,12 +316,17 @@ mod tests {
         // balancer must not put them all on one core path.
         let t = topo::fat_tree(4, 1.0);
         let h = &t.hosts;
-        let flows: Vec<FlowSpec> = (0..8).map(|_| FlowSpec::new(h[0], h[15], 1.0, 0.0)).collect();
+        let flows: Vec<FlowSpec> = (0..8)
+            .map(|_| FlowSpec::new(h[0], h[15], 1.0, 0.0))
+            .collect();
         let inst = Instance::new(t.graph.clone(), vec![Coflow::new(1.0, flows)]);
         let s = route_only(&inst, &BaselineConfig::default());
         let distinct: std::collections::HashSet<_> =
             s.paths.iter().map(|p| p.edges.clone()).collect();
-        assert!(distinct.len() >= 2, "expected load balancing across core paths");
+        assert!(
+            distinct.len() >= 2,
+            "expected load balancing across core paths"
+        );
     }
 
     #[test]
@@ -309,7 +355,10 @@ mod tests {
         let p = coflow_net::paths::bfs_shortest_path(&t.graph, x, y).unwrap();
         let inst = Instance::new(
             t.graph,
-            vec![Coflow::new(1.0, vec![FlowSpec::with_path(x, y, 1.0, 0.0, p.clone())])],
+            vec![Coflow::new(
+                1.0,
+                vec![FlowSpec::with_path(x, y, 1.0, 0.0, p.clone())],
+            )],
         );
         let s = baseline_random(&inst, &BaselineConfig::default());
         assert_eq!(s.paths[0], p, "prescribed path must pass through unchanged");

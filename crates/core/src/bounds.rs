@@ -44,7 +44,11 @@ pub fn trivial_lower_bound(instance: &crate::model::Instance) -> f64 {
                         .fold(0.0, f64::max)
                 }
             };
-            let t = if bw > 0.0 && bw.is_finite() { f.release + f.size / bw } else { f.release };
+            let t = if bw > 0.0 && bw.is_finite() {
+                f.release + f.size / bw
+            } else {
+                f.release
+            };
             coflow_c = coflow_c.max(t);
         }
         total += c.weight * coflow_c;
@@ -85,7 +89,10 @@ mod tests {
         let t = topo::triangle();
         let inst = Instance::new(
             t.graph,
-            vec![Coflow::new(1.0, vec![FlowSpec::new(t.hosts[0], t.hosts[1], 3.0, 0.0)])],
+            vec![Coflow::new(
+                1.0,
+                vec![FlowSpec::new(t.hosts[0], t.hosts[1], 3.0, 0.0)],
+            )],
         );
         // Widest out-edge capacity 1 => bound 3.
         assert!((trivial_lower_bound(&inst) - 3.0).abs() < 1e-12);
@@ -101,11 +108,17 @@ mod tests {
         let p = paths::bfs_shortest_path(&t.graph, NodeId(0), NodeId(1)).unwrap();
         let inst = Instance::new(
             t.graph,
-            vec![Coflow::new(1.0, vec![FlowSpec::with_path(NodeId(0), NodeId(1), 4.0, 0.0, p)])],
+            vec![Coflow::new(
+                1.0,
+                vec![FlowSpec::with_path(NodeId(0), NodeId(1), 4.0, 0.0, p)],
+            )],
         );
         let lp = solve_given_paths_lp(
             &inst,
-            &GivenPathsLpConfig { strengthen: true, ..Default::default() },
+            &GivenPathsLpConfig {
+                strengthen: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         let lb = circuit_lower_bound(lp.objective, lp.grid.eps);

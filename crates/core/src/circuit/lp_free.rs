@@ -97,7 +97,14 @@ pub fn solve_free_paths_lp_edges(
         .coflows
         .iter()
         .enumerate()
-        .map(|(i, c)| m.add_var(c.weight, c.earliest_release().max(0.0), f64::INFINITY, format!("C{i}")))
+        .map(|(i, c)| {
+            m.add_var(
+                c.weight,
+                c.earliest_release().max(0.0),
+                f64::INFINITY,
+                format!("C{i}"),
+            )
+        })
         .collect();
 
     let mut c_flow = Vec::with_capacity(nf);
@@ -135,8 +142,9 @@ pub fn solve_free_paths_lp_edges(
         let terms: Vec<_> = (first..nl).map(|l| (x[flat][l].unwrap(), 1.0)).collect();
         m.eq(&terms, 1.0);
         // (16) completion definition.
-        let mut terms: Vec<_> =
-            (first..nl).map(|l| (x[flat][l].unwrap(), grid.lower(l))).collect();
+        let mut terms: Vec<_> = (first..nl)
+            .map(|l| (x[flat][l].unwrap(), grid.lower(l)))
+            .collect();
         terms.push((cf, -1.0));
         m.le(&terms, 0.0);
         // (17) dummy-flow precedence.
@@ -194,7 +202,11 @@ pub fn solve_free_paths_lp_edges(
 
     let xs: Vec<Vec<f64>> = x
         .iter()
-        .map(|row| row.iter().map(|v| v.map(|id| sol.value(id)).unwrap_or(0.0)).collect())
+        .map(|row| {
+            row.iter()
+                .map(|v| v.map(|id| sol.value(id)).unwrap_or(0.0))
+                .collect()
+        })
         .collect();
     let routing: Vec<FlowRouting> = (0..nf)
         .map(|flat| {
@@ -250,7 +262,14 @@ pub fn solve_free_paths_lp_paths(
         .coflows
         .iter()
         .enumerate()
-        .map(|(i, c)| m.add_var(c.weight, c.earliest_release().max(0.0), f64::INFINITY, format!("C{i}")))
+        .map(|(i, c)| {
+            m.add_var(
+                c.weight,
+                c.earliest_release().max(0.0),
+                f64::INFINITY,
+                format!("C{i}"),
+            )
+        })
         .collect();
 
     let mut c_flow = Vec::with_capacity(nf);
@@ -265,7 +284,10 @@ pub fn solve_free_paths_lp_paths(
             Some(p) => vec![p.clone()],
             None => netpaths::candidate_paths(g, spec.src, spec.dst, cfg.path_slack, cfg.max_paths),
         };
-        assert!(!ps.is_empty(), "flow {flat} has no candidate path (disconnected?)");
+        assert!(
+            !ps.is_empty(),
+            "flow {flat} has no candidate path (disconnected?)"
+        );
         let first = grid.first_usable(spec.release);
         let mut rows: Vec<Vec<Option<VarId>>> = Vec::with_capacity(ps.len());
         for (pi, _) in ps.iter().enumerate() {
@@ -285,7 +307,9 @@ pub fn solve_free_paths_lp_paths(
         let mut terms: Vec<_> = rows
             .iter()
             .flat_map(|r| {
-                r.iter().enumerate().filter_map(|(l, v)| v.map(|id| (id, grid.lower(l))))
+                r.iter()
+                    .enumerate()
+                    .filter_map(|(l, v)| v.map(|id| (id, grid.lower(l))))
             })
             .collect();
         terms.push((cf, -1.0));
@@ -332,14 +356,21 @@ pub fn solve_free_paths_lp_paths(
     for flat in 0..nf {
         let w: Vec<Vec<f64>> = xv[flat]
             .iter()
-            .map(|row| row.iter().map(|v| v.map(|id| sol.value(id)).unwrap_or(0.0)).collect())
+            .map(|row| {
+                row.iter()
+                    .map(|v| v.map(|id| sol.value(id)).unwrap_or(0.0))
+                    .collect()
+            })
             .collect();
         for row in &w {
             for (l, &v) in row.iter().enumerate() {
                 xs[flat][l] += v;
             }
         }
-        routing.push(FlowRouting::PathWeights { paths: cand[flat].clone(), w });
+        routing.push(FlowRouting::PathWeights {
+            paths: cand[flat].clone(),
+            w,
+        });
     }
 
     Ok(FreeLpSolution {
@@ -376,7 +407,10 @@ mod tests {
     #[test]
     fn edge_and_path_formulations_agree_on_triangle() {
         let inst = triangle_inst();
-        let cfg = FreePathsLpConfig { path_slack: 1, ..Default::default() };
+        let cfg = FreePathsLpConfig {
+            path_slack: 1,
+            ..Default::default()
+        };
         let a = solve_free_paths_lp_edges(&inst, &cfg).unwrap();
         let b = solve_free_paths_lp_paths(&inst, &cfg).unwrap();
         // With slack 1 the path set spans everything the edge LP can do on
@@ -417,12 +451,14 @@ mod tests {
         // splitting both can finish around time 1, so the LP objective
         // (sum of interval lower bounds) must be strictly below the serial
         // bound.
-        assert!(lp.base.objective < 3.0 - 1e-6, "objective {}", lp.base.objective);
+        assert!(
+            lp.base.objective < 3.0 - 1e-6,
+            "objective {}",
+            lp.base.objective
+        );
         // At least one flow routes mass over a 2-edge path in some interval.
         let used_detour = lp.routing.iter().any(|r| match r {
-            FlowRouting::EdgeFlows(per_l) => {
-                per_l.iter().any(|edges| edges.len() >= 2)
-            }
+            FlowRouting::EdgeFlows(per_l) => per_l.iter().any(|edges| edges.len() >= 2),
             _ => false,
         });
         assert!(used_detour, "expected the LP to spread over multiple edges");
@@ -452,7 +488,10 @@ mod tests {
         let p = coflow_net::paths::bfs_shortest_path(&t.graph, x, y).unwrap();
         let inst = Instance::new(
             t.graph,
-            vec![Coflow::new(1.0, vec![FlowSpec::with_path(x, y, 1.0, 0.0, p.clone())])],
+            vec![Coflow::new(
+                1.0,
+                vec![FlowSpec::with_path(x, y, 1.0, 0.0, p.clone())],
+            )],
         );
         let lp = solve_free_paths_lp_paths(&inst, &FreePathsLpConfig::default()).unwrap();
         match &lp.routing[0] {

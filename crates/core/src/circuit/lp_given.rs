@@ -17,7 +17,7 @@
 //!   `ℓ = 0` and looser than the interval length for `ε < 1`; dividing by
 //!   the interval length keeps Lemma 4 valid (any schedule still maps into
 //!   the LP: the volume a flow can move within an interval is at most
-//!   `rate × Δ_ℓ`) and tightens the relaxation. See DESIGN.md §3.
+//!   `rate × Δ_ℓ`) and tightens the relaxation.
 //! * (9) release: no `x_{fℓ}` variable exists for intervals ending before
 //!   `r_f`; additionally `c_f >= r_f` (valid: completions follow releases).
 //! * (10) nonnegativity via variable bounds.
@@ -40,7 +40,11 @@ pub struct GivenPathsLpConfig {
 
 impl Default for GivenPathsLpConfig {
     fn default() -> Self {
-        Self { eps: crate::PAPER_EPS, strengthen: false, solver: SolverOptions::default() }
+        Self {
+            eps: crate::PAPER_EPS,
+            strengthen: false,
+            solver: SolverOptions::default(),
+        }
     }
 }
 
@@ -90,7 +94,10 @@ pub fn solve_given_paths_lp(
     instance: &Instance,
     cfg: &GivenPathsLpConfig,
 ) -> Result<CircuitLpSolution, LpError> {
-    assert!(instance.has_all_paths(), "given-paths LP requires a path on every flow");
+    assert!(
+        instance.has_all_paths(),
+        "given-paths LP requires a path on every flow"
+    );
     let grid = IntervalGrid::cover(cfg.eps, instance.horizon());
     let nl = grid.count();
     let nf = instance.flow_count();
@@ -103,7 +110,12 @@ pub fn solve_given_paths_lp(
         .enumerate()
         .map(|(i, c)| {
             let lb = c.earliest_release();
-            m.add_var(c.weight, if lb.is_finite() { lb } else { 0.0 }, f64::INFINITY, format!("C{i}"))
+            m.add_var(
+                c.weight,
+                if lb.is_finite() { lb } else { 0.0 },
+                f64::INFINITY,
+                format!("C{i}"),
+            )
         })
         .collect();
     let mut c_flow: Vec<VarId> = Vec::with_capacity(nf);
@@ -127,8 +139,9 @@ pub fn solve_given_paths_lp(
         let terms: Vec<_> = (first..nl).map(|l| (x[flat][l].unwrap(), 1.0)).collect();
         m.eq(&terms, 1.0);
         // (5) completion definition.
-        let mut terms: Vec<_> =
-            (first..nl).map(|l| (x[flat][l].unwrap(), grid.lower(l))).collect();
+        let mut terms: Vec<_> = (first..nl)
+            .map(|l| (x[flat][l].unwrap(), grid.lower(l)))
+            .collect();
         terms.push((cf, -1.0));
         m.le(&terms, 0.0);
         // (6) dummy-flow precedence.
@@ -170,7 +183,11 @@ pub fn solve_given_paths_lp(
 
     let xs: Vec<Vec<f64>> = x
         .iter()
-        .map(|row| row.iter().map(|v| v.map(|id| sol.value(id)).unwrap_or(0.0)).collect())
+        .map(|row| {
+            row.iter()
+                .map(|v| v.map(|id| sol.value(id)).unwrap_or(0.0))
+                .collect()
+        })
         .collect();
     Ok(CircuitLpSolution {
         grid,
@@ -196,7 +213,10 @@ mod tests {
         let p = paths::bfs_shortest_path(&t.graph, NodeId(0), NodeId(1)).unwrap();
         let inst = Instance::new(
             t.graph,
-            vec![Coflow::new(1.0, vec![FlowSpec::with_path(NodeId(0), NodeId(1), 1.0, 0.0, p)])],
+            vec![Coflow::new(
+                1.0,
+                vec![FlowSpec::with_path(NodeId(0), NodeId(1), 1.0, 0.0, p)],
+            )],
         );
         let lp = solve_given_paths_lp(&inst, &GivenPathsLpConfig::default()).unwrap();
         // x mass should sit entirely in interval 0; c >= 0 only is implied,
@@ -270,7 +290,11 @@ mod tests {
         // schedule. The LP prices completions at interval *lower*
         // boundaries, so its bound is weaker; with ε ≈ 0.5436 the geometry
         // gives ≈ 1.527 here.
-        assert!(lp.coflow_completion[0] >= 1.5, "got {}", lp.coflow_completion[0]);
+        assert!(
+            lp.coflow_completion[0] >= 1.5,
+            "got {}",
+            lp.coflow_completion[0]
+        );
     }
 
     /// Weights steer the LP: heavy coflow should finish earlier.
@@ -279,7 +303,16 @@ mod tests {
         let t = topo::line(2, 1.0);
         let p = paths::bfs_shortest_path(&t.graph, NodeId(0), NodeId(1)).unwrap();
         let mk = |w: f64| {
-            Coflow::new(w, vec![FlowSpec::with_path(NodeId(0), NodeId(1), 2.0, 0.0, p.clone())])
+            Coflow::new(
+                w,
+                vec![FlowSpec::with_path(
+                    NodeId(0),
+                    NodeId(1),
+                    2.0,
+                    0.0,
+                    p.clone(),
+                )],
+            )
         };
         let inst = Instance::new(t.graph, vec![mk(10.0), mk(0.1)]);
         let lp = solve_given_paths_lp(&inst, &GivenPathsLpConfig::default()).unwrap();
@@ -298,12 +331,18 @@ mod tests {
         let p = paths::bfs_shortest_path(&t.graph, NodeId(0), NodeId(1)).unwrap();
         let inst = Instance::new(
             t.graph,
-            vec![Coflow::new(1.0, vec![FlowSpec::with_path(NodeId(0), NodeId(1), 4.0, 0.0, p)])],
+            vec![Coflow::new(
+                1.0,
+                vec![FlowSpec::with_path(NodeId(0), NodeId(1), 4.0, 0.0, p)],
+            )],
         );
         let base = solve_given_paths_lp(&inst, &GivenPathsLpConfig::default()).unwrap();
         let strong = solve_given_paths_lp(
             &inst,
-            &GivenPathsLpConfig { strengthen: true, ..Default::default() },
+            &GivenPathsLpConfig {
+                strengthen: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(strong.objective >= base.objective - 1e-9);
@@ -333,7 +372,10 @@ mod tests {
         let t = topo::line(2, 1.0);
         let inst = Instance::new(
             t.graph,
-            vec![Coflow::new(1.0, vec![FlowSpec::new(NodeId(0), NodeId(1), 1.0, 0.0)])],
+            vec![Coflow::new(
+                1.0,
+                vec![FlowSpec::new(NodeId(0), NodeId(1), 1.0, 0.0)],
+            )],
         );
         let _ = solve_given_paths_lp(&inst, &GivenPathsLpConfig::default());
     }

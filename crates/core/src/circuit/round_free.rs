@@ -34,7 +34,7 @@ pub enum PathSelection {
     /// and, among paths carrying at least 20% of the heaviest path's mass,
     /// pick the one minimizing incremental congestion. Marries the LP's
     /// routing guidance with explicit load balancing; used by the
-    /// experiment harness (recorded in DESIGN.md/EXPERIMENTS.md).
+    /// experiment harness.
     LoadAware,
 }
 
@@ -53,7 +53,12 @@ pub struct FreeRoundingConfig {
 
 impl Default for FreeRoundingConfig {
     fn default() -> Self {
-        Self { alpha: 0.5, displacement: 3, seed: 0, selection: PathSelection::Sample }
+        Self {
+            alpha: 0.5,
+            displacement: 3,
+            seed: 0,
+            selection: PathSelection::Sample,
+        }
     }
 }
 
@@ -114,8 +119,11 @@ pub fn round_free_paths(
                     }
                 }
                 let dec = decompose_flow(g, spec.src, spec.dst, &agg);
-                let c: Vec<(Path, f64)> =
-                    dec.paths.into_iter().map(|wp| (wp.path, wp.amount)).collect();
+                let c: Vec<(Path, f64)> = dec
+                    .paths
+                    .into_iter()
+                    .map(|wp| (wp.path, wp.amount))
+                    .collect();
                 let n = c.len();
                 (c, n)
             }
@@ -124,8 +132,12 @@ pub fn round_free_paths(
                     .iter()
                     .zip(w)
                     .map(|(p, row)| {
-                        let weight: f64 =
-                            row.iter().take(h + 1).enumerate().map(|(l, &v)| v * scale(l)).sum();
+                        let weight: f64 = row
+                            .iter()
+                            .take(h + 1)
+                            .enumerate()
+                            .map(|(l, &v)| v * scale(l))
+                            .sum();
                         (p.clone(), weight)
                     })
                     .filter(|&(_, wgt)| wgt > 1e-12)
@@ -171,8 +183,7 @@ pub fn round_free_paths(
         let chosen = picked.unwrap_or_else(|| {
             // Degenerate LP mass (e.g. zero-size flow): fall back to a
             // shortest path.
-            netpaths::bfs_shortest_path(g, spec.src, spec.dst)
-                .expect("flow endpoints disconnected")
+            netpaths::bfs_shortest_path(g, spec.src, spec.dst).expect("flow endpoints disconnected")
         });
         for &e in chosen.edges.iter() {
             edge_load[e.index()] += spec.size;
@@ -186,11 +197,19 @@ pub fn round_free_paths(
     let rounded = round_given_paths(
         &routed,
         &lp.base,
-        &RoundingConfig { alpha: cfg.alpha, displacement: cfg.displacement },
+        &RoundingConfig {
+            alpha: cfg.alpha,
+            displacement: cfg.displacement,
+        },
     );
     let order = lp_order(instance, &lp.base);
 
-    FreeRounding { paths, order, paths_per_flow, rounded }
+    FreeRounding {
+        paths,
+        order,
+        paths_per_flow,
+        rounded,
+    }
 }
 
 /// Raghavan–Thompson sampling: pick path `p` with probability proportional
@@ -225,7 +244,10 @@ mod tests {
         Instance::new(
             t.graph,
             vec![
-                Coflow::new(1.0, vec![FlowSpec::new(x, y, 1.0, 0.0), FlowSpec::new(x, z, 1.0, 0.0)]),
+                Coflow::new(
+                    1.0,
+                    vec![FlowSpec::new(x, y, 1.0, 0.0), FlowSpec::new(x, z, 1.0, 0.0)],
+                ),
                 Coflow::new(2.0, vec![FlowSpec::new(y, z, 1.0, 0.0)]),
                 Coflow::new(1.0, vec![FlowSpec::new(z, y, 2.0, 0.5)]),
             ],
@@ -235,7 +257,10 @@ mod tests {
     #[test]
     fn end_to_end_edge_formulation_feasible() {
         let inst = contention_instance();
-        let cfg = FreePathsLpConfig { path_slack: 1, ..Default::default() };
+        let cfg = FreePathsLpConfig {
+            path_slack: 1,
+            ..Default::default()
+        };
         let lp = solve_free_paths_lp_edges(&inst, &cfg).unwrap();
         let r = round_free_paths(&inst, &lp, &FreeRoundingConfig::default());
         let routed = inst.with_paths(&r.paths);
@@ -248,24 +273,46 @@ mod tests {
     #[test]
     fn end_to_end_path_formulation_feasible() {
         let inst = contention_instance();
-        let cfg = FreePathsLpConfig { path_slack: 1, ..Default::default() };
+        let cfg = FreePathsLpConfig {
+            path_slack: 1,
+            ..Default::default()
+        };
         let lp = solve_free_paths_lp_paths(&inst, &cfg).unwrap();
         let r = round_free_paths(&inst, &lp, &FreeRoundingConfig::default());
         let routed = inst.with_paths(&r.paths);
         assert!(r.rounded.schedule.check(&routed, 1e-6, 1e-6).is_empty());
         // Every selected path connects its endpoints.
         for (_, flat, spec) in inst.flows() {
-            assert!(routed.graph.is_simple_path(&r.paths[flat], spec.src, spec.dst));
+            assert!(routed
+                .graph
+                .is_simple_path(&r.paths[flat], spec.src, spec.dst));
         }
     }
 
     #[test]
     fn selection_is_deterministic_given_seed() {
         let inst = contention_instance();
-        let cfg = FreePathsLpConfig { path_slack: 1, ..Default::default() };
+        let cfg = FreePathsLpConfig {
+            path_slack: 1,
+            ..Default::default()
+        };
         let lp = solve_free_paths_lp_paths(&inst, &cfg).unwrap();
-        let a = round_free_paths(&inst, &lp, &FreeRoundingConfig { seed: 7, ..Default::default() });
-        let b = round_free_paths(&inst, &lp, &FreeRoundingConfig { seed: 7, ..Default::default() });
+        let a = round_free_paths(
+            &inst,
+            &lp,
+            &FreeRoundingConfig {
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        let b = round_free_paths(
+            &inst,
+            &lp,
+            &FreeRoundingConfig {
+                seed: 7,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.paths, b.paths);
     }
 
@@ -306,12 +353,18 @@ mod tests {
         let inst = Instance::new(
             t.graph,
             vec![
-                Coflow::new(1.0, vec![FlowSpec::new(x, y, 8.0, 0.0), FlowSpec::new(x, z, 8.0, 0.0)]),
+                Coflow::new(
+                    1.0,
+                    vec![FlowSpec::new(x, y, 8.0, 0.0), FlowSpec::new(x, z, 8.0, 0.0)],
+                ),
                 Coflow::new(2.0, vec![FlowSpec::new(y, z, 8.0, 0.0)]),
                 Coflow::new(1.0, vec![FlowSpec::new(z, y, 16.0, 0.5)]),
             ],
         );
-        let cfg = FreePathsLpConfig { path_slack: 1, ..Default::default() };
+        let cfg = FreePathsLpConfig {
+            path_slack: 1,
+            ..Default::default()
+        };
         let lp = solve_free_paths_lp_paths(&inst, &cfg).unwrap();
         let r = round_free_paths(&inst, &lp, &FreeRoundingConfig::default());
         let lb = crate::bounds::circuit_lower_bound(lp.base.objective, lp.base.grid.eps);
@@ -323,7 +376,10 @@ mod tests {
     #[test]
     fn paths_per_flow_reported() {
         let inst = contention_instance();
-        let cfg = FreePathsLpConfig { path_slack: 1, ..Default::default() };
+        let cfg = FreePathsLpConfig {
+            path_slack: 1,
+            ..Default::default()
+        };
         let lp = solve_free_paths_lp_paths(&inst, &cfg).unwrap();
         let r = round_free_paths(&inst, &lp, &FreeRoundingConfig::default());
         assert_eq!(r.paths_per_flow.len(), inst.flow_count());

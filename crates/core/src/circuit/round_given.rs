@@ -27,7 +27,10 @@ pub struct RoundingConfig {
 
 impl Default for RoundingConfig {
     fn default() -> Self {
-        Self { alpha: crate::PAPER_ALPHA, displacement: crate::PAPER_DISPLACEMENT }
+        Self {
+            alpha: crate::PAPER_ALPHA,
+            displacement: crate::PAPER_DISPLACEMENT,
+        }
     }
 }
 
@@ -140,14 +143,22 @@ pub fn round_given_paths(
                 start >= spec.release - 1e-9,
                 "window starts before release: D >= 1 should prevent this"
             );
-            schedule.flows[flat].segments.push(Segment { start, end, rate });
+            schedule.flows[flat]
+                .segments
+                .push(Segment { start, end, rate });
         }
         cursor = end;
     }
 
     let completions = schedule.completion_times(instance);
     let metrics = metrics(instance, &completions);
-    RoundedSchedule { schedule, alpha_interval, target_interval, max_stretch, metrics }
+    RoundedSchedule {
+        schedule,
+        alpha_interval,
+        target_interval,
+        max_stretch,
+        metrics,
+    }
 }
 
 #[cfg(test)]
@@ -168,7 +179,10 @@ mod tests {
         let coflows = sizes_releases
             .iter()
             .map(|&(s, r)| {
-                Coflow::new(1.0, vec![FlowSpec::with_path(NodeId(0), NodeId(1), s, r, p.clone())])
+                Coflow::new(
+                    1.0,
+                    vec![FlowSpec::with_path(NodeId(0), NodeId(1), s, r, p.clone())],
+                )
             })
             .collect();
         Instance::new(t.graph, coflows)
@@ -191,7 +205,11 @@ mod tests {
         assert!(r.schedule.check(&inst, 1e-6, 1e-6).is_empty());
         // Optimal is 1.0; theory bound ~17.54 of LP LB; our construction
         // lands the flow in interval h+3 so completion <= tau(4+1) ~ 5.7.
-        assert!(r.metrics.weighted_sum <= 17.54, "got {}", r.metrics.weighted_sum);
+        assert!(
+            r.metrics.weighted_sum <= 17.54,
+            "got {}",
+            r.metrics.weighted_sum
+        );
         assert!(r.metrics.weighted_sum >= 1.0 - 1e-9);
     }
 
@@ -242,7 +260,10 @@ mod tests {
         let r1 = round_given_paths(
             &inst,
             &lp,
-            &RoundingConfig { alpha: 1.0, displacement: 1 },
+            &RoundingConfig {
+                alpha: 1.0,
+                displacement: 1,
+            },
         );
         assert!(r1.schedule.check(&inst, 1e-6, 1e-6).is_empty());
         for flat in 0..2 {
@@ -255,7 +276,14 @@ mod tests {
     fn zero_displacement_rejected() {
         let inst = line_inst(&[(1.0, 0.0)]);
         let lp = solve_given_paths_lp(&inst, &GivenPathsLpConfig::default()).unwrap();
-        let _ = round_given_paths(&inst, &lp, &RoundingConfig { alpha: 0.5, displacement: 0 });
+        let _ = round_given_paths(
+            &inst,
+            &lp,
+            &RoundingConfig {
+                alpha: 0.5,
+                displacement: 0,
+            },
+        );
     }
 
     /// End-to-end approximation sanity on a batch of mixed instances:

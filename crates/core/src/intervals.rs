@@ -4,10 +4,8 @@
 //! with boundaries `τ_0 = 0` and `τ_ℓ = (1+ε)^{ℓ-1}` for `ℓ >= 1`.
 //! Interval `ℓ` is `(τ_ℓ, τ_{ℓ+1}]` for `ℓ ∈ {0, 1, ..., L}`.
 
-use serde::{Deserialize, Serialize};
-
 /// A geometric time grid.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct IntervalGrid {
     /// The `ε` of the geometric growth (interval `ℓ+1` is `(1+ε)` times
     /// longer than interval `ℓ`, for `ℓ >= 1`).
@@ -24,7 +22,10 @@ impl IntervalGrid {
     /// If `eps <= 0` or `horizon` is not positive/finite.
     pub fn cover(eps: f64, horizon: f64) -> Self {
         assert!(eps > 0.0 && eps.is_finite(), "need eps > 0, got {eps}");
-        assert!(horizon > 0.0 && horizon.is_finite(), "need positive finite horizon");
+        assert!(
+            horizon > 0.0 && horizon.is_finite(),
+            "need positive finite horizon"
+        );
         let mut boundaries = vec![0.0, 1.0];
         let growth = 1.0 + eps;
         while *boundaries.last().unwrap() < horizon {

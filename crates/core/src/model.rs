@@ -8,10 +8,9 @@
 //! crate.
 
 use coflow_net::{Graph, NodeId, Path};
-use serde::{Deserialize, Serialize};
 
 /// Identifies a flow as (coflow index, flow index within the coflow).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FlowId {
     /// Coflow index in [`Instance::coflows`].
     pub coflow: u32,
@@ -21,7 +20,7 @@ pub struct FlowId {
 
 /// A single flow (connection request in the circuit model, packet in the
 /// packet model — for packets, `size` is 1 by convention).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FlowSpec {
     /// Source node `s`.
     pub src: NodeId,
@@ -38,17 +37,29 @@ pub struct FlowSpec {
 impl FlowSpec {
     /// A flow without a prescribed path.
     pub fn new(src: NodeId, dst: NodeId, size: f64, release: f64) -> Self {
-        Self { src, dst, size, release, path: None }
+        Self {
+            src,
+            dst,
+            size,
+            release,
+            path: None,
+        }
     }
 
     /// A flow with a prescribed path.
     pub fn with_path(src: NodeId, dst: NodeId, size: f64, release: f64, path: Path) -> Self {
-        Self { src, dst, size, release, path: Some(path) }
+        Self {
+            src,
+            dst,
+            size,
+            release,
+            path: Some(path),
+        }
     }
 }
 
 /// A coflow: a weighted set of flows sharing a completion-time goal.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Coflow {
     /// Weight `ω >= 0` in the objective `Σ ω_k C_k`.
     pub weight: f64,
@@ -64,7 +75,10 @@ impl Coflow {
 
     /// Earliest release among member flows (`inf` when empty).
     pub fn earliest_release(&self) -> f64 {
-        self.flows.iter().map(|f| f.release).fold(f64::INFINITY, f64::min)
+        self.flows
+            .iter()
+            .map(|f| f.release)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Total demand of member flows.
@@ -74,7 +88,7 @@ impl Coflow {
 }
 
 /// A complete problem instance: network plus coflows.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Instance {
     /// The capacitated network `G`.
     pub graph: Graph,
@@ -94,7 +108,11 @@ impl Instance {
             acc += c.flows.len();
         }
         offsets.push(acc);
-        Self { graph, coflows, offsets }
+        Self {
+            graph,
+            coflows,
+            offsets,
+        }
     }
 
     /// Total number of flows across all coflows.
@@ -127,7 +145,10 @@ impl Instance {
             }
             Err(i) => i - 1,
         };
-        FlowId { coflow: coflow as u32, flow: (flat - self.offsets[coflow]) as u32 }
+        FlowId {
+            coflow: coflow as u32,
+            flow: (flat - self.offsets[coflow]) as u32,
+        }
     }
 
     /// The spec of flow `id`.
@@ -140,7 +161,10 @@ impl Instance {
     pub fn flows(&self) -> impl Iterator<Item = (FlowId, usize, &FlowSpec)> + '_ {
         self.coflows.iter().enumerate().flat_map(move |(i, c)| {
             c.flows.iter().enumerate().map(move |(j, f)| {
-                let id = FlowId { coflow: i as u32, flow: j as u32 };
+                let id = FlowId {
+                    coflow: i as u32,
+                    flow: j as u32,
+                };
                 (id, self.flat_index(id), f)
             })
         })
@@ -196,7 +220,9 @@ impl Instance {
             }
             if let Some(p) = &f.path {
                 if !self.graph.is_simple_path(p, f.src, f.dst) {
-                    errs.push(format!("{id:?}: prescribed path is not a simple src->dst path"));
+                    errs.push(format!(
+                        "{id:?}: prescribed path is not a simple src->dst path"
+                    ));
                 }
             } else if coflow_net::paths::bfs_shortest_path(&self.graph, f.src, f.dst).is_none() {
                 errs.push(format!("{id:?}: destination unreachable"));
@@ -219,7 +245,10 @@ impl Instance {
         let mut out = self.clone();
         for i in 0..out.coflows.len() {
             for j in 0..out.coflows[i].flows.len() {
-                let id = FlowId { coflow: i as u32, flow: j as u32 };
+                let id = FlowId {
+                    coflow: i as u32,
+                    flow: j as u32,
+                };
                 let flat = self.flat_index(id);
                 out.coflows[i].flows[j].path = Some(paths[flat].clone());
             }
@@ -239,7 +268,10 @@ mod tests {
         Instance::new(
             t.graph,
             vec![
-                Coflow::new(1.0, vec![FlowSpec::new(x, y, 2.0, 0.0), FlowSpec::new(z, y, 1.0, 0.0)]),
+                Coflow::new(
+                    1.0,
+                    vec![FlowSpec::new(x, y, 2.0, 0.0), FlowSpec::new(z, y, 1.0, 0.0)],
+                ),
                 Coflow::new(2.0, vec![FlowSpec::new(x, z, 1.0, 0.5)]),
             ],
         )
@@ -305,7 +337,10 @@ mod tests {
         let p = coflow_net::paths::bfs_shortest_path(&t.graph, x, y).unwrap();
         let inst = Instance::new(
             t.graph,
-            vec![Coflow::new(1.0, vec![FlowSpec::with_path(z, y, 1.0, 0.0, p)])],
+            vec![Coflow::new(
+                1.0,
+                vec![FlowSpec::with_path(z, y, 1.0, 0.0, p)],
+            )],
         );
         assert!(!inst.validate().is_empty());
     }

@@ -83,7 +83,10 @@ mod tests {
         Instance::new(
             t.graph,
             vec![
-                Coflow::new(1.0, vec![FlowSpec::new(x, y, 2.0, 0.0), FlowSpec::new(z, y, 1.0, 0.0)]),
+                Coflow::new(
+                    1.0,
+                    vec![FlowSpec::new(x, y, 2.0, 0.0), FlowSpec::new(z, y, 1.0, 0.0)],
+                ),
                 Coflow::new(2.0, vec![FlowSpec::new(x, z, 1.0, 0.0)]),
             ],
         )
@@ -107,7 +110,10 @@ mod tests {
         let inst = Instance::new(
             t.graph,
             vec![
-                Coflow::new(1.0, vec![FlowSpec::new(x, y, 2.0, 0.0), FlowSpec::new(y, z, 1.0, 0.0)]),
+                Coflow::new(
+                    1.0,
+                    vec![FlowSpec::new(x, y, 2.0, 0.0), FlowSpec::new(y, z, 1.0, 0.0)],
+                ),
                 Coflow::new(1.0, vec![FlowSpec::new(z, x, 1.0, 0.0)]),
                 Coflow::new(1.0, vec![FlowSpec::new(y, x, 2.0, 0.0)]),
             ],

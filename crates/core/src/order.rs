@@ -16,7 +16,9 @@ pub struct Priority {
 impl Priority {
     /// Identity order (flat index = priority).
     pub fn identity(n: usize) -> Self {
-        Self { order: (0..n).collect() }
+        Self {
+            order: (0..n).collect(),
+        }
     }
 
     /// Builds an order by sorting flat indices by a key (ascending:
@@ -25,7 +27,10 @@ impl Priority {
     pub fn by_key<K: PartialOrd, F: Fn(usize) -> K>(n: usize, key: F) -> Self {
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
-            key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            key(a)
+                .partial_cmp(&key(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
         });
         Self { order }
     }
@@ -93,10 +98,13 @@ mod tests {
         let inst = Instance::new(
             t.graph,
             vec![
-                Coflow::new(1.0, vec![
-                    FlowSpec::new(NodeId(0), NodeId(1), 1.0, 0.0),
-                    FlowSpec::new(NodeId(0), NodeId(1), 1.0, 0.0),
-                ]),
+                Coflow::new(
+                    1.0,
+                    vec![
+                        FlowSpec::new(NodeId(0), NodeId(1), 1.0, 0.0),
+                        FlowSpec::new(NodeId(0), NodeId(1), 1.0, 0.0),
+                    ],
+                ),
                 Coflow::new(1.0, vec![FlowSpec::new(NodeId(0), NodeId(1), 1.0, 0.0)]),
             ],
         );

@@ -8,8 +8,8 @@
 //! on the collapsed graph (constraints (33)–(36)), achieving `O(τ_{ℓ+2})`
 //! per block.
 //!
-//! Our implementation keeps exactly that structure with two substitutions,
-//! both recorded in DESIGN.md:
+//! Our implementation keeps exactly that structure with two
+//! substitutions:
 //!
 //! * the per-interval LP is expressed over enumerated candidate paths
 //!   (length-bounded, so dilation (29) is enforced structurally) instead of
@@ -92,7 +92,14 @@ pub fn route_and_schedule(
         .coflows
         .iter()
         .enumerate()
-        .map(|(i, c)| m.add_var(c.weight, c.earliest_release().max(0.0), f64::INFINITY, format!("C{i}")))
+        .map(|(i, c)| {
+            m.add_var(
+                c.weight,
+                c.earliest_release().max(0.0),
+                f64::INFINITY,
+                format!("C{i}"),
+            )
+        })
         .collect();
 
     let mut c_flow = Vec::with_capacity(nf);
@@ -108,7 +115,12 @@ pub fn route_and_schedule(
         assert!(!ps.is_empty(), "packet {flat}: endpoints disconnected");
         let shortest = ps.iter().map(Path::len).min().unwrap() as f64;
         let earliest_done = spec.release.ceil() + shortest;
-        let cf = m.add_var(0.0, earliest_done.max(0.0), f64::INFINITY, format!("c{flat}"));
+        let cf = m.add_var(
+            0.0,
+            earliest_done.max(0.0),
+            f64::INFINITY,
+            format!("c{flat}"),
+        );
         c_flow.push(cf);
 
         let mut rows = Vec::with_capacity(ps.len());
@@ -129,7 +141,11 @@ pub fn route_and_schedule(
         m.eq(&terms, 1.0);
         let mut terms: Vec<_> = rows
             .iter()
-            .flat_map(|r| r.iter().enumerate().filter_map(|(l, v)| v.map(|id| (id, grid.lower(l)))))
+            .flat_map(|r| {
+                r.iter()
+                    .enumerate()
+                    .filter_map(|(l, v)| v.map(|id| (id, grid.lower(l))))
+            })
             .collect();
         terms.push((cf, -1.0));
         m.le(&terms, 0.0);
@@ -241,7 +257,10 @@ mod tests {
                 if s == d {
                     d = t.hosts[(i * 7 + 4) % 9];
                 }
-                Coflow::new(1.0 + (i % 3) as f64, vec![FlowSpec::new(s, d, 1.0, (i % 2) as f64)])
+                Coflow::new(
+                    1.0 + (i % 3) as f64,
+                    vec![FlowSpec::new(s, d, 1.0, (i % 2) as f64)],
+                )
             })
             .collect();
         Instance::new(t.graph.clone(), coflows)
@@ -254,7 +273,9 @@ mod tests {
         let v = r.schedule.check(&inst);
         assert!(v.is_empty(), "{v:?}");
         for (_, flat, spec) in inst.flows() {
-            assert!(inst.graph.is_simple_path(&r.paths[flat], spec.src, spec.dst));
+            assert!(inst
+                .graph
+                .is_simple_path(&r.paths[flat], spec.src, spec.dst));
         }
     }
 
@@ -296,7 +317,10 @@ mod tests {
         let t = topo::grid(2, 2, 1.0);
         let inst = Instance::new(
             t.graph.clone(),
-            vec![Coflow::new(1.0, vec![FlowSpec::new(t.hosts[0], t.hosts[3], 1.0, 6.0)])],
+            vec![Coflow::new(
+                1.0,
+                vec![FlowSpec::new(t.hosts[0], t.hosts[3], 1.0, 6.0)],
+            )],
         );
         let r = route_and_schedule(&inst, &PacketFreeConfig::default()).unwrap();
         let c = r.schedule.completion_times(&inst);

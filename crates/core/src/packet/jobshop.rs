@@ -35,7 +35,11 @@ pub struct PacketConfig {
 
 impl Default for PacketConfig {
     fn default() -> Self {
-        Self { eps: 1.0, alpha: 0.5, solver: SolverOptions::default() }
+        Self {
+            eps: 1.0,
+            alpha: 0.5,
+            solver: SolverOptions::default(),
+        }
     }
 }
 
@@ -72,7 +76,10 @@ pub fn schedule_given_paths(
     instance: &Instance,
     cfg: &PacketConfig,
 ) -> Result<PacketResult, LpError> {
-    assert!(instance.has_all_paths(), "§3.1 requires paths on every packet");
+    assert!(
+        instance.has_all_paths(),
+        "§3.1 requires paths on every packet"
+    );
     let grid = IntervalGrid::cover(cfg.eps, horizon_steps(instance));
     let nl = grid.count();
     let nf = instance.flow_count();
@@ -83,7 +90,14 @@ pub fn schedule_given_paths(
         .coflows
         .iter()
         .enumerate()
-        .map(|(i, c)| m.add_var(c.weight, c.earliest_release().max(0.0), f64::INFINITY, format!("C{i}")))
+        .map(|(i, c)| {
+            m.add_var(
+                c.weight,
+                c.earliest_release().max(0.0),
+                f64::INFINITY,
+                format!("C{i}"),
+            )
+        })
         .collect();
 
     let mut c_flow = Vec::with_capacity(nf);
@@ -93,7 +107,12 @@ pub fn schedule_given_paths(
         // Dilation: completion >= release + path length (each edge takes a
         // step). The earliest usable interval must end at or after that.
         let earliest_done = spec.release.ceil() + plen;
-        let cf = m.add_var(0.0, earliest_done.max(0.0), f64::INFINITY, format!("c{flat}"));
+        let cf = m.add_var(
+            0.0,
+            earliest_done.max(0.0),
+            f64::INFINITY,
+            format!("c{flat}"),
+        );
         c_flow.push(cf);
         let first = grid.first_usable(earliest_done);
         for l in first..nl {
@@ -101,8 +120,9 @@ pub fn schedule_given_paths(
         }
         let terms: Vec<_> = (first..nl).map(|l| (x[flat][l].unwrap(), 1.0)).collect();
         m.eq(&terms, 1.0);
-        let mut terms: Vec<_> =
-            (first..nl).map(|l| (x[flat][l].unwrap(), grid.lower(l))).collect();
+        let mut terms: Vec<_> = (first..nl)
+            .map(|l| (x[flat][l].unwrap(), grid.lower(l)))
+            .collect();
         terms.push((cf, -1.0));
         m.le(&terms, 0.0);
         m.le(&[(cf, 1.0), (c_cof[id.coflow as usize], -1.0)], 0.0);
@@ -158,11 +178,20 @@ pub fn schedule_given_paths(
     }
 
     let (schedule, blocks) = schedule_blocks(instance, &half, |flat| {
-        instance.flow(instance.id_of_flat(flat)).path.clone().unwrap()
+        instance
+            .flow(instance.id_of_flat(flat))
+            .path
+            .clone()
+            .unwrap()
     });
     let completions = schedule.completion_times(instance);
     let mets = metrics(instance, &completions);
-    Ok(PacketResult { schedule, lp_objective: sol.objective, metrics: mets, blocks })
+    Ok(PacketResult {
+        schedule,
+        lp_objective: sol.objective,
+        metrics: mets,
+        blocks,
+    })
 }
 
 /// A safe step horizon for packet instances: all packets one-at-a-time.
@@ -190,7 +219,9 @@ pub(crate) fn schedule_blocks<F: Fn(usize) -> coflow_net::Path>(
     for flat in 0..nf {
         by_block[assigned_interval[flat]].push(flat);
     }
-    let mut schedule = PacketSchedule { packets: vec![Vec::new(); nf] };
+    let mut schedule = PacketSchedule {
+        packets: vec![Vec::new(); nf],
+    };
     let mut blocks = Vec::new();
     let mut cursor: u64 = 0;
     for (h, members) in by_block.iter().enumerate() {
@@ -201,7 +232,10 @@ pub(crate) fn schedule_blocks<F: Fn(usize) -> coflow_net::Path>(
             .iter()
             .map(|&flat| {
                 let spec = instance.flow(instance.id_of_flat(flat));
-                PacketTask { path: path_of(flat), release: spec.release.ceil() as u64 }
+                PacketTask {
+                    path: path_of(flat),
+                    release: spec.release.ceil() as u64,
+                }
             })
             .collect();
         let ranks: Vec<usize> = (0..tasks.len()).collect();
@@ -213,7 +247,12 @@ pub(crate) fn schedule_blocks<F: Fn(usize) -> coflow_net::Path>(
             }
             schedule.packets[flat] = moves[mi].clone();
         }
-        blocks.push(BlockStats { interval: h, packets: members.len(), start: cursor, end });
+        blocks.push(BlockStats {
+            interval: h,
+            packets: members.len(),
+            start: cursor,
+            end,
+        });
         cursor = end;
     }
     (schedule, blocks)
@@ -280,7 +319,16 @@ mod tests {
         let p = paths::bfs_shortest_path(&t.graph, NodeId(0), NodeId(2)).unwrap();
         let coflows: Vec<Coflow> = (0..10)
             .map(|_| {
-                Coflow::new(1.0, vec![FlowSpec::with_path(NodeId(0), NodeId(2), 1.0, 0.0, p.clone())])
+                Coflow::new(
+                    1.0,
+                    vec![FlowSpec::with_path(
+                        NodeId(0),
+                        NodeId(2),
+                        1.0,
+                        0.0,
+                        p.clone(),
+                    )],
+                )
             })
             .collect();
         let inst = Instance::new(t.graph.clone(), coflows);

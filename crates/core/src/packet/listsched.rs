@@ -73,8 +73,7 @@ pub fn list_schedule(
                     let rem_j = packets[j].path.len() - pos[j];
                     // Farthest-to-go first, then rank, then index.
                     rem_i > rem_j
-                        || (rem_i == rem_j
-                            && (rank[i] < rank[j] || (rank[i] == rank[j] && i < j)))
+                        || (rem_i == rem_j && (rank[i] < rank[j] || (rank[i] == rank[j] && i < j)))
                 }
             };
             if better {
@@ -82,7 +81,10 @@ pub fn list_schedule(
             }
         }
         for (&e, &i) in winner.iter() {
-            moves[i].push(PacketMove { depart: t, edge: coflow_net::EdgeId(e) });
+            moves[i].push(PacketMove {
+                depart: t,
+                edge: coflow_net::EdgeId(e),
+            });
             pos[i] += 1;
             ready_at[i] = t + 1;
             if pos[i] == packets[i].path.len() {
@@ -109,7 +111,10 @@ mod tests {
     #[test]
     fn single_packet_pipelines() {
         let (g, p) = line_paths(4);
-        let tasks = vec![PacketTask { path: p, release: 0 }];
+        let tasks = vec![PacketTask {
+            path: p,
+            release: 0,
+        }];
         let m = list_schedule(&g, &tasks, 0, &[0]);
         assert_eq!(m[0].len(), 3);
         assert_eq!(m[0][0].depart, 0);
@@ -121,8 +126,14 @@ mod tests {
     fn two_packets_same_path_serialize_on_edges() {
         let (g, p) = line_paths(3);
         let tasks = vec![
-            PacketTask { path: p.clone(), release: 0 },
-            PacketTask { path: p, release: 0 },
+            PacketTask {
+                path: p.clone(),
+                release: 0,
+            },
+            PacketTask {
+                path: p,
+                release: 0,
+            },
         ];
         let m = list_schedule(&g, &tasks, 0, &[0, 1]);
         // First edge used at steps 0 and 1 by the two packets.
@@ -130,14 +141,21 @@ mod tests {
         assert_eq!(e0_steps.iter().min(), Some(&0));
         assert!(e0_steps[0] != e0_steps[1]);
         // Pipeline: both done by step 3 (makespan C + D - 1 = 2 + 2).
-        let done = m.iter().map(|mv| mv.last().unwrap().depart + 1).max().unwrap();
+        let done = m
+            .iter()
+            .map(|mv| mv.last().unwrap().depart + 1)
+            .max()
+            .unwrap();
         assert!(done <= 4);
     }
 
     #[test]
     fn releases_respected() {
         let (g, p) = line_paths(3);
-        let tasks = vec![PacketTask { path: p, release: 5 }];
+        let tasks = vec![PacketTask {
+            path: p,
+            release: 5,
+        }];
         let m = list_schedule(&g, &tasks, 0, &[0]);
         assert!(m[0][0].depart >= 5);
     }
@@ -145,7 +163,10 @@ mod tests {
     #[test]
     fn start_step_respected() {
         let (g, p) = line_paths(3);
-        let tasks = vec![PacketTask { path: p, release: 0 }];
+        let tasks = vec![PacketTask {
+            path: p,
+            release: 0,
+        }];
         let m = list_schedule(&g, &tasks, 10, &[0]);
         assert_eq!(m[0][0].depart, 10);
     }
@@ -153,7 +174,10 @@ mod tests {
     #[test]
     fn empty_paths_no_moves() {
         let g = coflow_net::Graph::with_nodes(1);
-        let tasks = vec![PacketTask { path: Path::empty(), release: 0 }];
+        let tasks = vec![PacketTask {
+            path: Path::empty(),
+            release: 0,
+        }];
         let m = list_schedule(&g, &tasks, 0, &[0]);
         assert!(m[0].is_empty());
     }
@@ -167,8 +191,14 @@ mod tests {
         let pa = paths::bfs_shortest_path(&g, NodeId(0), NodeId(3)).unwrap();
         let pb = paths::bfs_shortest_path(&g, NodeId(0), NodeId(1)).unwrap();
         let tasks = vec![
-            PacketTask { path: pb, release: 0 },
-            PacketTask { path: pa, release: 0 },
+            PacketTask {
+                path: pb,
+                release: 0,
+            },
+            PacketTask {
+                path: pa,
+                release: 0,
+            },
         ];
         let m = list_schedule(&g, &tasks, 0, &[0, 1]);
         assert_eq!(m[1][0].depart, 0, "long packet should go first");
@@ -189,14 +219,20 @@ mod tests {
                 continue;
             }
             let p = paths::bfs_shortest_path(&g, s, d).unwrap();
-            tasks.push(PacketTask { path: p, release: (i % 3) as u64 });
+            tasks.push(PacketTask {
+                path: p,
+                release: (i % 3) as u64,
+            });
         }
         let ranks: Vec<usize> = (0..tasks.len()).collect();
         let m = list_schedule(&g, &tasks, 0, &ranks);
         let mut used = std::collections::HashSet::new();
         for mv in &m {
             for pm in mv {
-                assert!(used.insert((pm.edge.0, pm.depart)), "edge conflict at {pm:?}");
+                assert!(
+                    used.insert((pm.edge.0, pm.depart)),
+                    "edge conflict at {pm:?}"
+                );
             }
         }
         // Every packet fully routed.

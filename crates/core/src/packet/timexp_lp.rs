@@ -36,7 +36,14 @@ pub fn packet_lp_lower_bound(
         .coflows
         .iter()
         .enumerate()
-        .map(|(i, c)| m.add_var(c.weight, c.earliest_release().max(0.0), f64::INFINITY, format!("C{i}")))
+        .map(|(i, c)| {
+            m.add_var(
+                c.weight,
+                c.earliest_release().max(0.0),
+                f64::INFINITY,
+                format!("C{i}"),
+            )
+        })
         .collect();
 
     // Per flow: z variables on expanded edges (skip edges out of the
@@ -98,7 +105,12 @@ pub fn packet_lp_lower_bound(
             }
         }
         // Completion: c_f >= Σ_t t * arrival_t (26).
-        let cf = m.add_var(0.0, (rel as f64).max(0.0), f64::INFINITY, format!("c{flat}"));
+        let cf = m.add_var(
+            0.0,
+            (rel as f64).max(0.0),
+            f64::INFINITY,
+            format!("c{flat}"),
+        );
         let mut terms: Vec<(VarId, f64)> = Vec::new();
         for t in rel + 1..=horizon {
             let dv = tx.node_at(spec.dst, t);
@@ -152,7 +164,10 @@ mod tests {
         let t = topo::line(4, 1.0);
         let inst = Instance::new(
             t.graph.clone(),
-            vec![Coflow::new(1.0, vec![FlowSpec::new(NodeId(0), NodeId(3), 1.0, 0.0)])],
+            vec![Coflow::new(
+                1.0,
+                vec![FlowSpec::new(NodeId(0), NodeId(3), 1.0, 0.0)],
+            )],
         );
         let lb = packet_lp_lower_bound(&inst, 8, &SolverOptions::default()).unwrap();
         assert!((lb - 3.0).abs() < 1e-6, "bound {lb}");
@@ -174,7 +189,10 @@ mod tests {
         let t = topo::line(3, 1.0);
         let inst = Instance::new(
             t.graph.clone(),
-            vec![Coflow::new(1.0, vec![FlowSpec::new(NodeId(0), NodeId(2), 1.0, 4.0)])],
+            vec![Coflow::new(
+                1.0,
+                vec![FlowSpec::new(NodeId(0), NodeId(2), 1.0, 4.0)],
+            )],
         );
         let lb = packet_lp_lower_bound(&inst, 12, &SolverOptions::default()).unwrap();
         assert!((lb - 6.0).abs() < 1e-6, "release 4 + 2 hops, bound {lb}");
@@ -227,6 +245,11 @@ mod tests {
             r.metrics.weighted_sum
         );
         // And the packet's own LP (interval-indexed) is also a bound.
-        assert!(paths::bfs_shortest_path(&inst.graph, inst.flow(crate::FlowId{coflow:0,flow:0}).src, inst.flow(crate::FlowId{coflow:0,flow:0}).dst).is_some());
+        assert!(paths::bfs_shortest_path(
+            &inst.graph,
+            inst.flow(crate::FlowId { coflow: 0, flow: 0 }).src,
+            inst.flow(crate::FlowId { coflow: 0, flow: 0 }).dst
+        )
+        .is_some());
     }
 }

@@ -82,11 +82,24 @@ pub enum Violation {
     /// Segments overlap or are unordered for a flow.
     BadSegments { flat: usize },
     /// A segment starts before the flow's release time.
-    ReleaseViolated { flat: usize, start: f64, release: f64 },
+    ReleaseViolated {
+        flat: usize,
+        start: f64,
+        release: f64,
+    },
     /// Delivered volume differs from the demand by more than tolerance.
-    WrongVolume { flat: usize, delivered: f64, size: f64 },
+    WrongVolume {
+        flat: usize,
+        delivered: f64,
+        size: f64,
+    },
     /// An edge is over capacity at some time.
-    OverCapacity { edge: EdgeId, time: f64, load: f64, cap: f64 },
+    OverCapacity {
+        edge: EdgeId,
+        time: f64,
+        load: f64,
+        cap: f64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -94,13 +107,26 @@ impl fmt::Display for Violation {
         match self {
             Violation::BadPath { flat } => write!(f, "flow {flat}: bad path"),
             Violation::BadSegments { flat } => write!(f, "flow {flat}: bad segments"),
-            Violation::ReleaseViolated { flat, start, release } => {
+            Violation::ReleaseViolated {
+                flat,
+                start,
+                release,
+            } => {
                 write!(f, "flow {flat}: starts {start} before release {release}")
             }
-            Violation::WrongVolume { flat, delivered, size } => {
+            Violation::WrongVolume {
+                flat,
+                delivered,
+                size,
+            } => {
                 write!(f, "flow {flat}: delivered {delivered} of {size}")
             }
-            Violation::OverCapacity { edge, time, load, cap } => {
+            Violation::OverCapacity {
+                edge,
+                time,
+                load,
+                cap,
+            } => {
                 write!(f, "edge {edge:?} at t={time}: load {load} > cap {cap}")
             }
         }
@@ -113,7 +139,9 @@ impl CircuitSchedule {
     pub fn completion_times(&self, instance: &Instance) -> Vec<f64> {
         let mut out = vec![0.0; instance.flow_count()];
         for (_, flat, spec) in instance.flows() {
-            out[flat] = self.flows[flat].completion(spec.size).unwrap_or(f64::INFINITY);
+            out[flat] = self.flows[flat]
+                .completion(spec.size)
+                .unwrap_or(f64::INFINITY);
         }
         out
     }
@@ -157,7 +185,11 @@ impl CircuitSchedule {
             let delivered = fs.delivered();
             let scale = 1.0 + spec.size;
             if (delivered - spec.size).abs() / scale > vol_tol {
-                v.push(Violation::WrongVolume { flat, delivered, size: spec.size });
+                v.push(Violation::WrongVolume {
+                    flat,
+                    delivered,
+                    size: spec.size,
+                });
             }
         }
 
@@ -191,7 +223,12 @@ impl CircuitSchedule {
                     i += 1;
                 }
                 if load > cap * (1.0 + cap_tol) + 1e-9 {
-                    v.push(Violation::OverCapacity { edge: e, time: t, load, cap });
+                    v.push(Violation::OverCapacity {
+                        edge: e,
+                        time: t,
+                        load,
+                        cap,
+                    });
                     break; // one report per edge is enough
                 }
             }
@@ -295,7 +332,10 @@ impl PacketSchedule {
         let mut conflicts: Vec<_> = usage
             .into_iter()
             .filter(|&(_, count)| count > 1)
-            .map(|((e, s), _)| PacketViolation::EdgeConflict { edge: EdgeId(e), step: s })
+            .map(|((e, s), _)| PacketViolation::EdgeConflict {
+                edge: EdgeId(e),
+                step: s,
+            })
             .collect();
         conflicts.sort_by_key(|c| match c {
             PacketViolation::EdgeConflict { edge, step } => (*step, edge.0),
@@ -338,11 +378,19 @@ mod tests {
             flows: vec![
                 FlowSchedule {
                     path: p.clone(),
-                    segments: vec![Segment { start: 0.0, end: 2.0, rate: 1.0 }],
+                    segments: vec![Segment {
+                        start: 0.0,
+                        end: 2.0,
+                        rate: 1.0,
+                    }],
                 },
                 FlowSchedule {
                     path: p,
-                    segments: vec![Segment { start: 2.0, end: 3.0, rate: 1.0 }],
+                    segments: vec![Segment {
+                        start: 2.0,
+                        end: 3.0,
+                        rate: 1.0,
+                    }],
                 },
             ],
         };
@@ -360,16 +408,28 @@ mod tests {
             flows: vec![
                 FlowSchedule {
                     path: p.clone(),
-                    segments: vec![Segment { start: 0.0, end: 2.0, rate: 1.0 }],
+                    segments: vec![Segment {
+                        start: 0.0,
+                        end: 2.0,
+                        rate: 1.0,
+                    }],
                 },
                 FlowSchedule {
                     path: p,
-                    segments: vec![Segment { start: 1.0, end: 2.0, rate: 1.0 }],
+                    segments: vec![Segment {
+                        start: 1.0,
+                        end: 2.0,
+                        rate: 1.0,
+                    }],
                 },
             ],
         };
         let v = sched.check(&inst, 1e-6, 1e-6);
-        assert!(v.iter().any(|x| matches!(x, Violation::OverCapacity { .. })), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::OverCapacity { .. })),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -380,11 +440,19 @@ mod tests {
             flows: vec![
                 FlowSchedule {
                     path: p.clone(),
-                    segments: vec![Segment { start: 1.0, end: 5.0, rate: 0.5 }],
+                    segments: vec![Segment {
+                        start: 1.0,
+                        end: 5.0,
+                        rate: 0.5,
+                    }],
                 },
                 FlowSchedule {
                     path: p,
-                    segments: vec![Segment { start: 1.0, end: 3.0, rate: 0.5 }],
+                    segments: vec![Segment {
+                        start: 1.0,
+                        end: 3.0,
+                        rate: 0.5,
+                    }],
                 },
             ],
         };
@@ -401,18 +469,28 @@ mod tests {
             flows: vec![
                 FlowSchedule {
                     path: p.clone(),
-                    segments: vec![Segment { start: 0.0, end: 2.0, rate: 1.0 }],
+                    segments: vec![Segment {
+                        start: 0.0,
+                        end: 2.0,
+                        rate: 1.0,
+                    }],
                 },
                 FlowSchedule {
                     path: p,
                     // released at 1.0 but starts at 0.5 — violation even if
                     // capacity is free... capacity also violated; check both.
-                    segments: vec![Segment { start: 0.5, end: 1.5, rate: 1.0 }],
+                    segments: vec![Segment {
+                        start: 0.5,
+                        end: 1.5,
+                        rate: 1.0,
+                    }],
                 },
             ],
         };
         let v = sched.check(&inst, 1e-6, 1e-6);
-        assert!(v.iter().any(|x| matches!(x, Violation::ReleaseViolated { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::ReleaseViolated { .. })));
     }
 
     #[test]
@@ -423,16 +501,26 @@ mod tests {
             flows: vec![
                 FlowSchedule {
                     path: p.clone(),
-                    segments: vec![Segment { start: 0.0, end: 1.0, rate: 1.0 }], // only 1 of 2
+                    segments: vec![Segment {
+                        start: 0.0,
+                        end: 1.0,
+                        rate: 1.0,
+                    }], // only 1 of 2
                 },
                 FlowSchedule {
                     path: p,
-                    segments: vec![Segment { start: 1.0, end: 2.0, rate: 1.0 }],
+                    segments: vec![Segment {
+                        start: 1.0,
+                        end: 2.0,
+                        rate: 1.0,
+                    }],
                 },
             ],
         };
         let v = sched.check(&inst, 1e-6, 1e-6);
-        assert!(v.iter().any(|x| matches!(x, Violation::WrongVolume { flat: 0, .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::WrongVolume { flat: 0, .. })));
     }
 
     #[test]
@@ -444,18 +532,32 @@ mod tests {
                 FlowSchedule {
                     path: p.clone(),
                     segments: vec![
-                        Segment { start: 1.0, end: 2.0, rate: 1.0 },
-                        Segment { start: 0.0, end: 1.5, rate: 1.0 }, // overlap + unordered
+                        Segment {
+                            start: 1.0,
+                            end: 2.0,
+                            rate: 1.0,
+                        },
+                        Segment {
+                            start: 0.0,
+                            end: 1.5,
+                            rate: 1.0,
+                        }, // overlap + unordered
                     ],
                 },
                 FlowSchedule {
                     path: p,
-                    segments: vec![Segment { start: 2.0, end: 3.0, rate: 1.0 }],
+                    segments: vec![Segment {
+                        start: 2.0,
+                        end: 3.0,
+                        rate: 1.0,
+                    }],
                 },
             ],
         };
         let v = sched.check(&inst, 1e-6, 1e-6);
-        assert!(v.iter().any(|x| matches!(x, Violation::BadSegments { flat: 0 })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::BadSegments { flat: 0 })));
     }
 
     #[test]
@@ -465,23 +567,37 @@ mod tests {
             flows: vec![
                 FlowSchedule {
                     path: Path::empty(), // not a src->dst path
-                    segments: vec![Segment { start: 0.0, end: 2.0, rate: 1.0 }],
+                    segments: vec![Segment {
+                        start: 0.0,
+                        end: 2.0,
+                        rate: 1.0,
+                    }],
                 },
                 FlowSchedule {
                     path: path02(&inst),
-                    segments: vec![Segment { start: 2.0, end: 3.0, rate: 1.0 }],
+                    segments: vec![Segment {
+                        start: 2.0,
+                        end: 3.0,
+                        rate: 1.0,
+                    }],
                 },
             ],
         };
         let v = sched.check(&inst, 1e-6, 1e-6);
-        assert!(v.iter().any(|x| matches!(x, Violation::BadPath { flat: 0 })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::BadPath { flat: 0 })));
     }
 
     #[test]
     fn completion_interpolates_within_segment() {
         let fs = FlowSchedule {
             path: Path::empty(),
-            segments: vec![Segment { start: 1.0, end: 5.0, rate: 0.5 }],
+            segments: vec![Segment {
+                start: 1.0,
+                end: 5.0,
+                rate: 0.5,
+            }],
         };
         // size 1 delivered after 2 time units at rate 0.5 => t = 3.
         assert!((fs.completion(1.0).unwrap() - 3.0).abs() < 1e-9);
@@ -512,8 +628,20 @@ mod tests {
         let e12 = inst.graph.find_edge(NodeId(1), NodeId(2)).unwrap();
         let sched = PacketSchedule {
             packets: vec![
-                vec![PacketMove { depart: 0, edge: e01 }, PacketMove { depart: 2, edge: e12 }],
-                vec![PacketMove { depart: 0, edge: e12 }],
+                vec![
+                    PacketMove {
+                        depart: 0,
+                        edge: e01,
+                    },
+                    PacketMove {
+                        depart: 2,
+                        edge: e12,
+                    },
+                ],
+                vec![PacketMove {
+                    depart: 0,
+                    edge: e12,
+                }],
             ],
         };
         assert!(sched.check(&inst).is_empty());
@@ -528,12 +656,26 @@ mod tests {
         let e12 = inst.graph.find_edge(NodeId(1), NodeId(2)).unwrap();
         let sched = PacketSchedule {
             packets: vec![
-                vec![PacketMove { depart: 0, edge: e01 }, PacketMove { depart: 1, edge: e12 }],
-                vec![PacketMove { depart: 1, edge: e12 }], // same edge, same step
+                vec![
+                    PacketMove {
+                        depart: 0,
+                        edge: e01,
+                    },
+                    PacketMove {
+                        depart: 1,
+                        edge: e12,
+                    },
+                ],
+                vec![PacketMove {
+                    depart: 1,
+                    edge: e12,
+                }], // same edge, same step
             ],
         };
         let v = sched.check(&inst);
-        assert!(v.iter().any(|x| matches!(x, PacketViolation::EdgeConflict { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, PacketViolation::EdgeConflict { .. })));
     }
 
     #[test]
@@ -542,12 +684,20 @@ mod tests {
         let e12 = inst.graph.find_edge(NodeId(1), NodeId(2)).unwrap();
         let sched = PacketSchedule {
             packets: vec![
-                vec![PacketMove { depart: 0, edge: e12 }], // starts at node 1, packet is at 0
-                vec![PacketMove { depart: 1, edge: e12 }],
+                vec![PacketMove {
+                    depart: 0,
+                    edge: e12,
+                }], // starts at node 1, packet is at 0
+                vec![PacketMove {
+                    depart: 1,
+                    edge: e12,
+                }],
             ],
         };
         let v = sched.check(&inst);
-        assert!(v.iter().any(|x| matches!(x, PacketViolation::BadRoute { flat: 0 })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, PacketViolation::BadRoute { flat: 0 })));
     }
 
     #[test]
@@ -559,12 +709,26 @@ mod tests {
             packets: vec![
                 // second move departs at the same step it arrives: illegal
                 // (store-and-forward: one edge per step, arrival at depart+1)
-                vec![PacketMove { depart: 0, edge: e01 }, PacketMove { depart: 0, edge: e12 }],
-                vec![PacketMove { depart: 3, edge: e12 }],
+                vec![
+                    PacketMove {
+                        depart: 0,
+                        edge: e01,
+                    },
+                    PacketMove {
+                        depart: 0,
+                        edge: e12,
+                    },
+                ],
+                vec![PacketMove {
+                    depart: 3,
+                    edge: e12,
+                }],
             ],
         };
         let v = sched.check(&inst);
-        assert!(v.iter().any(|x| matches!(x, PacketViolation::BadRoute { flat: 0 })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, PacketViolation::BadRoute { flat: 0 })));
     }
 
     #[test]
@@ -572,13 +736,28 @@ mod tests {
         let t = topo::line(2, 1.0);
         let inst = Instance::new(
             t.graph,
-            vec![Coflow::new(1.0, vec![FlowSpec::new(NodeId(0), NodeId(1), 1.0, 2.5)])],
+            vec![Coflow::new(
+                1.0,
+                vec![FlowSpec::new(NodeId(0), NodeId(1), 1.0, 2.5)],
+            )],
         );
         let e01 = inst.graph.find_edge(NodeId(0), NodeId(1)).unwrap();
-        let sched = PacketSchedule { packets: vec![vec![PacketMove { depart: 2, edge: e01 }]] };
+        let sched = PacketSchedule {
+            packets: vec![vec![PacketMove {
+                depart: 2,
+                edge: e01,
+            }]],
+        };
         let v = sched.check(&inst);
-        assert!(v.iter().any(|x| matches!(x, PacketViolation::ReleaseViolated { flat: 0 })));
-        let ok = PacketSchedule { packets: vec![vec![PacketMove { depart: 3, edge: e01 }]] };
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, PacketViolation::ReleaseViolated { flat: 0 })));
+        let ok = PacketSchedule {
+            packets: vec![vec![PacketMove {
+                depart: 3,
+                edge: e01,
+            }]],
+        };
         assert!(ok.check(&inst).is_empty());
     }
 }

@@ -35,15 +35,14 @@ pub fn switch_instance(
             let flows = demands
                 .iter()
                 .map(|&(s, d, size, rel)| {
-                    assert!(s < ports && d < ports && s != d, "bad port demand ({s},{d})");
+                    assert!(
+                        s < ports && d < ports && s != d,
+                        "bad port demand ({s},{d})"
+                    );
                     let src = t.hosts[s];
                     let dst = t.hosts[d];
                     let up = g.find_edge(src, g.edge_dst(g.out_edges(src)[0])).unwrap();
-                    let down = g
-                        .in_edges(dst)
-                        .first()
-                        .copied()
-                        .expect("egress edge");
+                    let down = g.in_edges(dst).first().copied().expect("egress edge");
                     let path = Path::new(vec![up, down]);
                     debug_assert!(g.is_simple_path(&path, src, dst));
                     FlowSpec::with_path(src, dst, size, rel, path)
@@ -98,9 +97,12 @@ mod tests {
                 (3.0, vec![(2, 0, 1.0, 0.0)]),
             ],
         );
-        let (lp, rounded) =
-            schedule_switch(&inst, &GivenPathsLpConfig::default(), &RoundingConfig::default())
-                .unwrap();
+        let (lp, rounded) = schedule_switch(
+            &inst,
+            &GivenPathsLpConfig::default(),
+            &RoundingConfig::default(),
+        )
+        .unwrap();
         assert!(rounded.schedule.check(&inst, 1e-6, 1e-6).is_empty());
         let lb = crate::bounds::circuit_lower_bound(lp.objective, lp.grid.eps);
         assert!(rounded.metrics.weighted_sum >= lb - 1e-6);
@@ -113,14 +115,13 @@ mod tests {
     fn port_load_lower_bound_respected() {
         // Port 0 egress receives 4 units total => makespan >= 4 for the
         // union; single coflow so its completion >= 4.
-        let inst = switch_instance(
-            3,
-            1.0,
-            &[(1.0, vec![(1, 0, 2.0, 0.0), (2, 0, 2.0, 0.0)])],
-        );
-        let (lp, _) =
-            schedule_switch(&inst, &GivenPathsLpConfig::default(), &RoundingConfig::default())
-                .unwrap();
+        let inst = switch_instance(3, 1.0, &[(1.0, vec![(1, 0, 2.0, 0.0), (2, 0, 2.0, 0.0)])]);
+        let (lp, _) = schedule_switch(
+            &inst,
+            &GivenPathsLpConfig::default(),
+            &RoundingConfig::default(),
+        )
+        .unwrap();
         // Interval LP bound: the 4 units must spill into later intervals;
         // the boundary-priced bound comes out ≈ 1.5 with the paper's ε.
         assert!(lp.objective >= 1.4, "objective {}", lp.objective);

@@ -33,14 +33,22 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
     }
     for (i, row) in model.rows.iter().enumerate() {
         let shift: f64 = dense_rows[i].iter().zip(&lbs).map(|(a, l)| a * l).sum();
-        rows.push(DRow { coef: dense_rows[i].clone(), cmp: row.cmp, rhs: row.rhs - shift });
+        rows.push(DRow {
+            coef: dense_rows[i].clone(),
+            cmp: row.cmp,
+            rhs: row.rhs - shift,
+        });
     }
     // Upper-bound rows.
     for (j, col) in model.cols.iter().enumerate() {
         if col.ub.is_finite() {
             let mut coef = vec![0.0; n];
             coef[j] = 1.0;
-            rows.push(DRow { coef, cmp: Cmp::Le, rhs: col.ub - col.lb });
+            rows.push(DRow {
+                coef,
+                cmp: Cmp::Le,
+                rhs: col.ub - col.lb,
+            });
         }
     }
     // Normalize rhs >= 0.
@@ -106,29 +114,30 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
     // Objective row, kept separately: length ncols + 1.
     let mut obj = vec![0.0; w];
 
-    let pivot = |t: &mut Vec<f64>, obj: &mut Vec<f64>, basis: &mut Vec<usize>, pr: usize, pc: usize| {
-        let piv = t[pr * w + pc];
-        for j in 0..w {
-            t[pr * w + j] /= piv;
-        }
-        for i in 0..m {
-            if i != pr {
-                let f = t[i * w + pc];
-                if f != 0.0 {
-                    for j in 0..w {
-                        t[i * w + j] -= f * t[pr * w + j];
+    let pivot =
+        |t: &mut Vec<f64>, obj: &mut Vec<f64>, basis: &mut Vec<usize>, pr: usize, pc: usize| {
+            let piv = t[pr * w + pc];
+            for j in 0..w {
+                t[pr * w + j] /= piv;
+            }
+            for i in 0..m {
+                if i != pr {
+                    let f = t[i * w + pc];
+                    if f != 0.0 {
+                        for j in 0..w {
+                            t[i * w + j] -= f * t[pr * w + j];
+                        }
                     }
                 }
             }
-        }
-        let f = obj[pc];
-        if f != 0.0 {
-            for j in 0..w {
-                obj[j] -= f * t[pr * w + j];
+            let f = obj[pc];
+            if f != 0.0 {
+                for j in 0..w {
+                    obj[j] -= f * t[pr * w + j];
+                }
             }
-        }
-        basis[pr] = pc;
-    };
+            basis[pr] = pc;
+        };
 
     // Runs Bland's-rule simplex on the current objective row.
     // `allowed` filters candidate entering columns.
@@ -156,9 +165,7 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
                     match best {
                         None => best = Some((ratio, i)),
                         Some((br, bi)) => {
-                            if ratio < br - TOL
-                                || (ratio < br + TOL && basis[i] < basis[bi])
-                            {
+                            if ratio < br - TOL || (ratio < br + TOL && basis[i] < basis[bi]) {
                                 best = Some((ratio.min(br), i));
                             }
                         }

@@ -123,7 +123,11 @@ impl Default for SolverOptions {
 impl SolverOptions {
     /// Options tuned for the large, degenerate experiment LPs.
     pub fn for_experiments() -> Self {
-        Self { perturb: 1e-7, verify: false, ..Default::default() }
+        Self {
+            perturb: 1e-7,
+            verify: false,
+            ..Default::default()
+        }
     }
 }
 
@@ -172,7 +176,12 @@ impl Model {
         assert!(!ub.is_nan() && ub >= lb, "need lb <= ub, got [{lb}, {ub}]");
         assert!(cost.is_finite(), "cost must be finite");
         let id = VarId(self.cols.len() as u32);
-        self.cols.push(Column { cost, lb, ub, name: name.into() });
+        self.cols.push(Column {
+            cost,
+            lb,
+            ub,
+            name: name.into(),
+        });
         id
     }
 

@@ -75,7 +75,14 @@ pub fn presolve(m: &Model) -> Result<Presolved, LpError> {
         }
     }
 
-    Ok(Presolved { var_map, kept_vars, fixed_values, rhs_adjust, keep_row, obj_offset })
+    Ok(Presolved {
+        var_map,
+        kept_vars,
+        fixed_values,
+        rhs_adjust,
+        keep_row,
+        obj_offset,
+    })
 }
 
 #[cfg(test)]

@@ -345,7 +345,11 @@ fn run_phase(
 
         // Direction: +1 when increasing from lower bound, -1 when
         // decreasing from upper bound.
-        let s: f64 = if st.vstat[j_in] == VStat::AtLower { 1.0 } else { -1.0 };
+        let s: f64 = if st.vstat[j_in] == VStat::AtLower {
+            1.0
+        } else {
+            -1.0
+        };
 
         st.ftran(j_in, &mut w);
 
@@ -450,7 +454,11 @@ fn run_phase(
                     st.x[bj] -= s * t * wr;
                 }
             }
-            st.vstat[j_in] = if s > 0.0 { VStat::AtUpper } else { VStat::AtLower };
+            st.vstat[j_in] = if s > 0.0 {
+                VStat::AtUpper
+            } else {
+                VStat::AtLower
+            };
             st.x[j_in] = if s > 0.0 { st.ub[j_in] } else { st.lb[j_in] };
             st.iterations += 1;
             continue;
@@ -506,8 +514,16 @@ fn run_phase(
         };
         // Snap the leaving variable to the bound it hit.
         let swr = s * w[r_lv];
-        st.vstat[j_out] = if swr > 0.0 { VStat::AtLower } else { VStat::AtUpper };
-        st.x[j_out] = if swr > 0.0 { st.lb[j_out] } else { st.ub[j_out] };
+        st.vstat[j_out] = if swr > 0.0 {
+            VStat::AtLower
+        } else {
+            VStat::AtUpper
+        };
+        st.x[j_out] = if swr > 0.0 {
+            st.lb[j_out]
+        } else {
+            st.ub[j_out]
+        };
 
         st.vstat[j_in] = VStat::Basic;
         st.basis[r_lv] = j_in;
@@ -603,10 +619,7 @@ pub fn solve_presolved(
     {
         let mut fill = col_ptr.clone();
         for &(r, c, a) in &model.triplets {
-            let (Some(nr), Some(nc)) = (
-                row_map[r as usize],
-                pre.var_map[c as usize],
-            ) else {
+            let (Some(nr), Some(nc)) = (row_map[r as usize], pre.var_map[c as usize]) else {
                 continue;
             };
             let p = fill[nc as usize];
@@ -631,7 +644,12 @@ pub fn solve_presolved(
     }
     // Merge duplicate (row) entries within each column (builder allows
     // repeated terms).
-    let csc = merge_duplicates(Csc { m, col_ptr, row_idx, values });
+    let csc = merge_duplicates(Csc {
+        m,
+        col_ptr,
+        row_idx,
+        values,
+    });
 
     // Bounds and working arrays.
     let nvars = n_expl + m;
@@ -643,7 +661,10 @@ pub fn solve_presolved(
     }
     // Slacks: [0, inf). Artificials: [0, inf) during phase 1.
 
-    let b: Vec<f64> = kept_rows.iter().map(|&r| pre.rhs_adjust[r as usize]).collect();
+    let b: Vec<f64> = kept_rows
+        .iter()
+        .map(|&r| pre.rhs_adjust[r as usize])
+        .collect();
 
     let mut st = State {
         m,
@@ -847,7 +868,12 @@ fn merge_duplicates(c: Csc) -> Csc {
         }
         col_ptr[j + 1] = row_idx.len();
     }
-    Csc { m: c.m, col_ptr, row_idx, values }
+    Csc {
+        m: c.m,
+        col_ptr,
+        row_idx,
+        values,
+    }
 }
 
 #[cfg(test)]
@@ -1033,7 +1059,10 @@ mod tests {
         let x = m.add_nonneg(-1.0, "x");
         let y = m.add_nonneg(-1.0, "y");
         m.le(&[(x, 1.0), (y, 1.0)], 1.0);
-        let opts = SolverOptions { max_iters: 0, ..Default::default() };
+        let opts = SolverOptions {
+            max_iters: 0,
+            ..Default::default()
+        };
         assert_eq!(m.solve_with(&opts).unwrap_err(), LpError::IterationLimit);
     }
 

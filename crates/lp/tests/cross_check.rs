@@ -36,7 +36,12 @@ fn arb_lp(max_vars: usize, max_rows: usize, bounded: bool) -> impl Strategy<Valu
             ),
             1..=max_rows,
         );
-        (Just(n), costs, ubs, rows).prop_map(|(n, costs, ubs, rows)| RandomLp { n, costs, ubs, rows })
+        (Just(n), costs, ubs, rows).prop_map(|(n, costs, ubs, rows)| RandomLp {
+            n,
+            costs,
+            ubs,
+            rows,
+        })
     })
 }
 
@@ -182,13 +187,19 @@ fn regression_battery() {
 
     // Equality chain forcing long pivoting sequences.
     let mut m = Model::new();
-    let vars: Vec<_> = (0..12).map(|i| m.add_var(1.0, 0.0, 10.0, format!("v{i}"))).collect();
+    let vars: Vec<_> = (0..12)
+        .map(|i| m.add_var(1.0, 0.0, 10.0, format!("v{i}")))
+        .collect();
     for pair in vars.windows(2) {
         m.eq(&[(pair[0], 1.0), (pair[1], -1.0)], 0.0);
     }
     m.ge(&[(vars[0], 1.0)], 3.0);
     let s = m.solve().unwrap();
-    assert!((s.objective - 36.0).abs() < 1e-5, "all twelve equal 3, obj {}", s.objective);
+    assert!(
+        (s.objective - 36.0).abs() < 1e-5,
+        "all twelve equal 3, obj {}",
+        s.objective
+    );
 }
 
 /// A medium LP with the structure of the paper's path-based formulation:
@@ -200,7 +211,15 @@ fn pathlike_lp_medium() {
     let paths = 3usize;
     let intervals = 8usize;
     let edges = 20usize;
-    let tau: Vec<f64> = (0..=intervals).map(|l| if l == 0 { 0.0 } else { 2.0f64.powi(l as i32 - 1) }).collect();
+    let tau: Vec<f64> = (0..=intervals)
+        .map(|l| {
+            if l == 0 {
+                0.0
+            } else {
+                2.0f64.powi(l as i32 - 1)
+            }
+        })
+        .collect();
     let mut m = Model::new();
     // x[f][p][l], completion c[f]
     let mut xv = vec![vec![vec![None; intervals]; paths]; flows];
@@ -255,6 +274,9 @@ fn pathlike_lp_medium() {
     assert!(sol.objective > 0.0);
     // Every completion must be >= earliest interval end where work fits.
     for f in 0..flows {
-        assert!(sol.value(cv[f]) >= tau[1] - 1e-6, "flow {f} finishes impossibly early");
+        assert!(
+            sol.value(cv[f]) >= tau[1] - 1e-6,
+            "flow {f} finishes impossibly early"
+        );
     }
 }

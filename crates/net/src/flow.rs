@@ -20,7 +20,9 @@ pub struct EdgeFlow {
 impl EdgeFlow {
     /// Zero flow on a graph with `edge_count` edges.
     pub fn zeros(edge_count: usize) -> Self {
-        Self { values: vec![0.0; edge_count] }
+        Self {
+            values: vec![0.0; edge_count],
+        }
     }
 
     /// Builds from a dense vector (length must equal the graph's edge count
@@ -246,7 +248,10 @@ pub fn decompose_flow(g: &Graph, src: NodeId, dst: NodeId, f: &EdgeFlow) -> Flow
         delivered += amount;
         paths.push(WeightedPath { path, amount });
     }
-    FlowDecomposition { paths, residual: (target - delivered).max(0.0) }
+    FlowDecomposition {
+        paths,
+        residual: (target - delivered).max(0.0),
+    }
 }
 
 #[cfg(test)]
@@ -300,7 +305,11 @@ mod tests {
     fn maxflow_bottleneck_respected() {
         let t = topo::dumbbell(3, 10.0, 1.5);
         let mf = max_flow(&t.graph, t.hosts[0], t.hosts[3]);
-        assert!((mf.value - 1.5).abs() < 1e-9, "bottleneck is 1.5, got {}", mf.value);
+        assert!(
+            (mf.value - 1.5).abs() < 1e-9,
+            "bottleneck is 1.5, got {}",
+            mf.value
+        );
     }
 
     #[test]
@@ -407,8 +416,11 @@ mod proptests {
 
     /// Random small DAG-ish graphs: nodes 0..n, random forward edges.
     fn arb_graph() -> impl Strategy<Value = Graph> {
-        (3usize..8, proptest::collection::vec((0usize..7, 0usize..7, 0.1f64..4.0), 4..20)).prop_map(
-            |(n, edges)| {
+        (
+            3usize..8,
+            proptest::collection::vec((0usize..7, 0usize..7, 0.1f64..4.0), 4..20),
+        )
+            .prop_map(|(n, edges)| {
                 let mut g = Graph::with_nodes(n);
                 for (a, b, c) in edges {
                     let (a, b) = (a % n, b % n);
@@ -419,8 +431,7 @@ mod proptests {
                     }
                 }
                 g
-            },
-        )
+            })
     }
 
     proptest! {

@@ -5,16 +5,15 @@
 //! endpoints and capacities by dense id, and cheap cloning of paths (a path
 //! is a boxed slice of edge ids).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Dense node identifier. Nodes are created sequentially by
 /// [`Graph::add_node`]; ids index internal arrays directly.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 /// Dense edge identifier (see [`Graph::add_edge`]).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId(pub u32);
 
 impl NodeId {
@@ -45,7 +44,7 @@ impl fmt::Debug for EdgeId {
     }
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 struct EdgeRec {
     src: NodeId,
     dst: NodeId,
@@ -68,7 +67,7 @@ struct EdgeRec {
 /// assert_eq!(g.capacity(e), 2.5);
 /// assert_eq!(g.out_edges(a), &[e]);
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Graph {
     edges: Vec<EdgeRec>,
     out_adj: Vec<Vec<EdgeId>>,
@@ -120,7 +119,10 @@ impl Graph {
     /// Panics if `cap` is negative or NaN, or if either endpoint is out of
     /// range.
     pub fn add_edge(&mut self, src: NodeId, dst: NodeId, cap: f64) -> EdgeId {
-        assert!(cap >= 0.0 && cap.is_finite(), "capacity must be finite and >= 0, got {cap}");
+        assert!(
+            cap >= 0.0 && cap.is_finite(),
+            "capacity must be finite and >= 0, got {cap}"
+        );
         assert!(src.index() < self.node_count(), "src node out of range");
         assert!(dst.index() < self.node_count(), "dst node out of range");
         let id = EdgeId(self.edges.len() as u32);
@@ -194,7 +196,10 @@ impl Graph {
 
     /// Minimum edge capacity over the whole graph (`inf` if no edges).
     pub fn min_capacity(&self) -> f64 {
-        self.edges.iter().map(|e| e.cap).fold(f64::INFINITY, f64::min)
+        self.edges
+            .iter()
+            .map(|e| e.cap)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Edges leaving `v`.
@@ -268,7 +273,7 @@ impl Graph {
 /// A directed path, stored as the sequence of edge ids traversed.
 ///
 /// The empty path (used when source equals destination) is permitted.
-#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct Path {
     /// Edges in traversal order.
     pub edges: Box<[EdgeId]>,
@@ -277,7 +282,9 @@ pub struct Path {
 impl Path {
     /// Builds a path from a vector of edge ids.
     pub fn new(edges: Vec<EdgeId>) -> Self {
-        Self { edges: edges.into_boxed_slice() }
+        Self {
+            edges: edges.into_boxed_slice(),
+        }
     }
 
     /// The empty path.

@@ -111,7 +111,10 @@ pub fn dijkstra<F: Fn(EdgeId) -> f64>(
     dist[src.index()] = 0.0;
     // BinaryHeap is a max-heap; negate for min semantics.
     let mut heap = BinaryHeap::new();
-    heap.push(HeapItem { key: 0.0, node: src });
+    heap.push(HeapItem {
+        key: 0.0,
+        node: src,
+    });
     while let Some(HeapItem { key, node: u }) = heap.pop() {
         if done[u.index()] {
             continue;
@@ -158,7 +161,10 @@ pub fn widest_path<F: Fn(EdgeId) -> f64>(
     let mut done = vec![false; g.node_count()];
     best[src.index()] = f64::INFINITY;
     let mut heap = BinaryHeap::new();
-    heap.push(HeapItem { key: f64::INFINITY, node: src });
+    heap.push(HeapItem {
+        key: f64::INFINITY,
+        node: src,
+    });
     while let Some(HeapItem { key, node: u }) = heap.pop() {
         if done[u.index()] {
             continue;
@@ -274,7 +280,17 @@ fn dfs_paths(
         }
         on_path[v.index()] = true;
         stack.push(e);
-        dfs_paths(g, v, dst, budget - 1, max_paths, dist_to_dst, on_path, stack, out);
+        dfs_paths(
+            g,
+            v,
+            dst,
+            budget - 1,
+            max_paths,
+            dist_to_dst,
+            on_path,
+            stack,
+            out,
+        );
         stack.pop();
         on_path[v.index()] = false;
         if out.len() >= max_paths {
@@ -307,7 +323,9 @@ pub fn candidate_paths(
             ps.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.edges.cmp(&b.edges)));
             if ps.len() > max_paths {
                 let n = ps.len();
-                ps = (0..max_paths).map(|i| ps[i * n / max_paths].clone()).collect();
+                ps = (0..max_paths)
+                    .map(|i| ps[i * n / max_paths].clone())
+                    .collect();
             }
             ps
         }

@@ -56,7 +56,12 @@ impl TimeExpandedGraph {
                 base_edge.push(None);
             }
         }
-        Self { graph: g, horizon, base_nodes: n, base_edge }
+        Self {
+            graph: g,
+            horizon,
+            base_nodes: n,
+            base_edge,
+        }
     }
 
     #[inline]

@@ -47,7 +47,11 @@ pub fn triangle() -> Topology {
     g.add_bidi_edge(x, y, 1.0);
     g.add_bidi_edge(y, z, 1.0);
     g.add_bidi_edge(z, x, 1.0);
-    Topology { graph: g, hosts: vec![x, y, z], name: "triangle".into() }
+    Topology {
+        graph: g,
+        hosts: vec![x, y, z],
+        name: "triangle".into(),
+    }
 }
 
 /// A directed line `0 -> 1 -> ... -> n-1` with capacity `cap` per edge.
@@ -97,7 +101,11 @@ pub fn star(n: usize, cap: f64) -> Topology {
         g.add_bidi_edge(h, center, cap);
         hosts.push(h);
     }
-    Topology { graph: g, hosts, name: format!("star(n={n})") }
+    Topology {
+        graph: g,
+        hosts,
+        name: format!("star(n={n})"),
+    }
 }
 
 /// A non-blocking `n x n` switch: each host `i` has an *ingress* link
@@ -128,7 +136,10 @@ pub fn big_switch(n: usize, cap: f64) -> Topology {
 ///   (the paper's 1 Gb/s becomes `link_cap = 1.0`, i.e. capacities are
 ///   expressed in Gb/s).
 pub fn fat_tree(k: usize, link_cap: f64) -> Topology {
-    assert!(k >= 2 && k % 2 == 0, "fat-tree requires even k >= 2, got {k}");
+    assert!(
+        k >= 2 && k % 2 == 0,
+        "fat-tree requires even k >= 2, got {k}"
+    );
     let half = k / 2;
     let mut g = Graph::new();
 
@@ -143,10 +154,12 @@ pub fn fat_tree(k: usize, link_cap: f64) -> Topology {
     let mut hosts = Vec::with_capacity(k * half * half);
     for pod in 0..k {
         // Aggregation and edge switches for this pod.
-        let agg: Vec<NodeId> =
-            (0..half).map(|a| g.add_labeled_node(format!("agg-{pod}-{a}"))).collect();
-        let edge: Vec<NodeId> =
-            (0..half).map(|e| g.add_labeled_node(format!("edge-{pod}-{e}"))).collect();
+        let agg: Vec<NodeId> = (0..half)
+            .map(|a| g.add_labeled_node(format!("agg-{pod}-{a}")))
+            .collect();
+        let edge: Vec<NodeId> = (0..half)
+            .map(|e| g.add_labeled_node(format!("edge-{pod}-{e}")))
+            .collect();
 
         // Edge <-> agg full bipartite within the pod.
         for &e in &edge {
@@ -170,7 +183,11 @@ pub fn fat_tree(k: usize, link_cap: f64) -> Topology {
         }
     }
 
-    Topology { graph: g, hosts, name: format!("fat-tree(k={k})") }
+    Topology {
+        graph: g,
+        hosts,
+        name: format!("fat-tree(k={k})"),
+    }
 }
 
 /// A `w x h` bidirectional grid (mesh) with per-direction capacity `cap`.
@@ -248,7 +265,11 @@ pub fn dumbbell(n: usize, host_cap: f64, bottleneck: f64) -> Topology {
         g.add_bidi_edge(h, right, host_cap);
         hosts.push(h);
     }
-    Topology { graph: g, hosts, name: format!("dumbbell(n={n})") }
+    Topology {
+        graph: g,
+        hosts,
+        name: format!("dumbbell(n={n})"),
+    }
 }
 
 /// Random host pair (src != dst) drawn uniformly from a topology's hosts.

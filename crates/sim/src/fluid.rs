@@ -35,7 +35,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        Self { policy: AllocPolicy::GreedyRate, vol_eps: 1e-9 }
+        Self {
+            policy: AllocPolicy::GreedyRate,
+            vol_eps: 1e-9,
+        }
     }
 }
 
@@ -86,7 +89,10 @@ pub fn simulate(
     let mut schedule = CircuitSchedule {
         flows: paths
             .iter()
-            .map(|p| FlowSchedule { path: p.clone(), segments: Vec::new() })
+            .map(|p| FlowSchedule {
+                path: p.clone(),
+                segments: Vec::new(),
+            })
             .collect(),
     };
 
@@ -101,7 +107,10 @@ pub fn simulate(
             break;
         }
         events += 1;
-        assert!(events <= event_budget, "fluid simulator exceeded event budget (bug)");
+        assert!(
+            events <= event_budget,
+            "fluid simulator exceeded event budget (bug)"
+        );
 
         // --- Allocate rates for active flows. ---
         for (e, r) in residual.iter_mut().enumerate() {
@@ -225,7 +234,12 @@ pub fn simulate(
     }
 
     let m = metrics(instance, &completion);
-    SimOutcome { schedule, flow_completion: completion, metrics: m, events }
+    SimOutcome {
+        schedule,
+        flow_completion: completion,
+        metrics: m,
+        events,
+    }
 }
 
 /// Appends a segment, merging with the previous one when contiguous with an
@@ -254,7 +268,10 @@ mod tests {
         let inst = Instance::new(
             t.graph.clone(),
             vec![
-                Coflow::new(1.0, vec![FlowSpec::new(x, y, 2.0, 0.0), FlowSpec::new(y, z, 1.0, 0.0)]),
+                Coflow::new(
+                    1.0,
+                    vec![FlowSpec::new(x, y, 2.0, 0.0), FlowSpec::new(y, z, 1.0, 0.0)],
+                ),
                 Coflow::new(1.0, vec![FlowSpec::new(y, z, 1.0, 0.0)]),
                 Coflow::new(1.0, vec![FlowSpec::new(x, y, 2.0, 0.0)]),
             ],
@@ -273,11 +290,17 @@ mod tests {
             &inst,
             &route,
             &Priority::identity(4),
-            &SimConfig { policy: AllocPolicy::MaxMinFair, ..Default::default() },
+            &SimConfig {
+                policy: AllocPolicy::MaxMinFair,
+                ..Default::default()
+            },
         );
         assert!(out.schedule.check(&inst, 1e-6, 1e-6).is_empty());
         let total: f64 = out.metrics.coflow_completion.iter().sum();
-        assert!((total - 10.0).abs() < 1e-6, "fair sharing should cost 10, got {total}");
+        assert!(
+            (total - 10.0).abs() < 1e-6,
+            "fair sharing should cost 10, got {total}"
+        );
     }
 
     #[test]
@@ -287,7 +310,10 @@ mod tests {
         let out = simulate(&inst, &route, &Priority::identity(4), &SimConfig::default());
         assert!(out.schedule.check(&inst, 1e-6, 1e-6).is_empty());
         let total: f64 = out.metrics.coflow_completion.iter().sum();
-        assert!((total - 8.0).abs() < 1e-6, "priority A,B,C should cost 8, got {total}");
+        assert!(
+            (total - 8.0).abs() < 1e-6,
+            "priority A,B,C should cost 8, got {total}"
+        );
         assert_eq!(out.metrics.coflow_completion, vec![2.0, 2.0, 4.0]);
     }
 
@@ -299,7 +325,9 @@ mod tests {
         let out = simulate(
             &inst,
             &route,
-            &Priority { order: vec![2, 3, 0, 1] },
+            &Priority {
+                order: vec![2, 3, 0, 1],
+            },
             &SimConfig::default(),
         );
         assert!(out.schedule.check(&inst, 1e-6, 1e-6).is_empty());
@@ -314,7 +342,10 @@ mod tests {
         let p = paths::bfs_shortest_path(&t.graph, NodeId(0), NodeId(2)).unwrap();
         let inst = Instance::new(
             t.graph.clone(),
-            vec![Coflow::new(1.0, vec![FlowSpec::new(NodeId(0), NodeId(2), 2.0, 1.0)])],
+            vec![Coflow::new(
+                1.0,
+                vec![FlowSpec::new(NodeId(0), NodeId(2), 2.0, 1.0)],
+            )],
         );
         let out = simulate(&inst, &[p], &Priority::identity(1), &SimConfig::default());
         // Released at 1, rate 0.5 => done at 1 + 4 = 5.
@@ -353,7 +384,12 @@ mod tests {
                 ],
             )],
         );
-        let out = simulate(&inst, &[p.clone(), p], &Priority::identity(2), &SimConfig::default());
+        let out = simulate(
+            &inst,
+            &[p.clone(), p],
+            &Priority::identity(2),
+            &SimConfig::default(),
+        );
         assert_eq!(out.flow_completion, vec![3.0, 4.0]);
         // Flow 1's only segment must start at t = 3.
         assert_eq!(out.schedule.flows[1].segments[0].start, 3.0);
@@ -394,7 +430,10 @@ mod tests {
             &inst,
             &[p.clone(), p],
             &Priority::identity(2),
-            &SimConfig { policy: AllocPolicy::MaxMinFair, ..Default::default() },
+            &SimConfig {
+                policy: AllocPolicy::MaxMinFair,
+                ..Default::default()
+            },
         );
         assert_eq!(out.flow_completion, vec![2.0, 2.0]);
     }
@@ -420,7 +459,10 @@ mod tests {
             &inst,
             &route,
             &Priority::identity(3),
-            &SimConfig { policy: AllocPolicy::MaxMinFair, ..Default::default() },
+            &SimConfig {
+                policy: AllocPolicy::MaxMinFair,
+                ..Default::default()
+            },
         );
         assert_eq!(out.flow_completion[2], 1.0, "uncontended flow at full rate");
         assert_eq!(out.flow_completion[0], 2.0);
@@ -433,7 +475,10 @@ mod tests {
         let p = paths::bfs_shortest_path(&t.graph, NodeId(0), NodeId(1)).unwrap();
         let inst = Instance::new(
             t.graph.clone(),
-            vec![Coflow::new(1.0, vec![FlowSpec::new(NodeId(0), NodeId(1), 0.0, 3.5)])],
+            vec![Coflow::new(
+                1.0,
+                vec![FlowSpec::new(NodeId(0), NodeId(1), 0.0, 3.5)],
+            )],
         );
         let out = simulate(&inst, &[p], &Priority::identity(1), &SimConfig::default());
         assert_eq!(out.flow_completion[0], 3.5);
@@ -445,11 +490,21 @@ mod tests {
         let t = topo::line(2, 1.0);
         let p = paths::bfs_shortest_path(&t.graph, NodeId(0), NodeId(1)).unwrap();
         let coflows: Vec<Coflow> = (0..20)
-            .map(|i| Coflow::new(1.0, vec![FlowSpec::new(NodeId(0), NodeId(1), 1.0, i as f64 * 0.1)]))
+            .map(|i| {
+                Coflow::new(
+                    1.0,
+                    vec![FlowSpec::new(NodeId(0), NodeId(1), 1.0, i as f64 * 0.1)],
+                )
+            })
             .collect();
         let inst = Instance::new(t.graph.clone(), coflows);
         let route = vec![p; 20];
-        let out = simulate(&inst, &route, &Priority::identity(20), &SimConfig::default());
+        let out = simulate(
+            &inst,
+            &route,
+            &Priority::identity(20),
+            &SimConfig::default(),
+        );
         assert!(out.events <= 3 * 20 + 16);
         assert!(out.schedule.check(&inst, 1e-6, 1e-6).is_empty());
     }

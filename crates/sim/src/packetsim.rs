@@ -40,7 +40,11 @@ pub fn simulate_packets(instance: &Instance, paths: &[Path], order: &Priority) -
     let schedule = PacketSchedule { packets: moves };
     let completion = schedule.completion_times(instance);
     let m = metrics(instance, &completion);
-    PacketSimOutcome { schedule, flow_completion: completion, metrics: m }
+    PacketSimOutcome {
+        schedule,
+        flow_completion: completion,
+        metrics: m,
+    }
 }
 
 #[cfg(test)]
@@ -77,7 +81,11 @@ mod tests {
         let mk = || Coflow::new(1.0, vec![FlowSpec::new(NodeId(0), NodeId(2), 1.0, 0.0)]);
         let inst = Instance::new(t.graph.clone(), vec![mk(), mk()]);
         // Same path, same remaining distance => rank decides.
-        let a = simulate_packets(&inst, &[p.clone(), p.clone()], &Priority { order: vec![0, 1] });
+        let a = simulate_packets(
+            &inst,
+            &[p.clone(), p.clone()],
+            &Priority { order: vec![0, 1] },
+        );
         assert_eq!(a.flow_completion, vec![2.0, 3.0]);
         let b = simulate_packets(&inst, &[p.clone(), p], &Priority { order: vec![1, 0] });
         assert_eq!(b.flow_completion, vec![3.0, 2.0]);

@@ -97,7 +97,12 @@ mod tests {
     #[test]
     fn shape_matches_config() {
         let t = topo::fat_tree(4, 1.0);
-        let cfg = GenConfig { n_coflows: 7, width: 5, seed: 3, ..Default::default() };
+        let cfg = GenConfig {
+            n_coflows: 7,
+            width: 5,
+            seed: 3,
+            ..Default::default()
+        };
         let inst = generate(&t, &cfg);
         assert_eq!(inst.coflow_count(), 7);
         assert_eq!(inst.flow_count(), 35);
@@ -107,7 +112,14 @@ mod tests {
     #[test]
     fn sizes_weights_at_least_one() {
         let t = topo::fat_tree(4, 1.0);
-        let inst = generate(&t, &GenConfig { n_coflows: 20, width: 8, ..Default::default() });
+        let inst = generate(
+            &t,
+            &GenConfig {
+                n_coflows: 20,
+                width: 8,
+                ..Default::default()
+            },
+        );
         for c in &inst.coflows {
             assert!(c.weight >= 1.0);
             for f in &c.flows {
@@ -131,9 +143,27 @@ mod tests {
     #[test]
     fn deterministic_per_seed_distinct_across_seeds() {
         let t = topo::star(6, 1.0);
-        let a = generate(&t, &GenConfig { seed: 1, ..Default::default() });
-        let b = generate(&t, &GenConfig { seed: 1, ..Default::default() });
-        let c = generate(&t, &GenConfig { seed: 2, ..Default::default() });
+        let a = generate(
+            &t,
+            &GenConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let b = generate(
+            &t,
+            &GenConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let c = generate(
+            &t,
+            &GenConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        );
         let key = |i: &Instance| {
             i.flows()
                 .map(|(_, _, f)| (f.src.0, f.dst.0, f.size as u64, (f.release * 1e6) as u64))
@@ -148,7 +178,13 @@ mod tests {
         let t = topo::star(4, 1.0);
         let inst = generate(
             &t,
-            &GenConfig { n_coflows: 30, width: 2, arrival_rate: 1.0, jitter_rate: 0.0, ..Default::default() },
+            &GenConfig {
+                n_coflows: 30,
+                width: 2,
+                arrival_rate: 1.0,
+                jitter_rate: 0.0,
+                ..Default::default()
+            },
         );
         let arrivals: Vec<f64> = inst.coflows.iter().map(|c| c.earliest_release()).collect();
         let mut sorted = arrivals.clone();
@@ -162,7 +198,11 @@ mod tests {
         let t = topo::star(4, 1.0);
         let inst = generate(
             &t,
-            &GenConfig { arrival_rate: 0.0, jitter_rate: 0.0, ..Default::default() },
+            &GenConfig {
+                arrival_rate: 0.0,
+                jitter_rate: 0.0,
+                ..Default::default()
+            },
         );
         for (_, _, f) in inst.flows() {
             assert_eq!(f.release, 0.0);
@@ -172,7 +212,14 @@ mod tests {
     #[test]
     fn packet_variant_unit_sizes() {
         let t = topo::grid(3, 3, 1.0);
-        let inst = generate_packets(&t, &GenConfig { n_coflows: 4, width: 3, ..Default::default() });
+        let inst = generate_packets(
+            &t,
+            &GenConfig {
+                n_coflows: 4,
+                width: 3,
+                ..Default::default()
+            },
+        );
         for (_, _, f) in inst.flows() {
             assert_eq!(f.size, 1.0);
         }

@@ -13,7 +13,10 @@ use rand::RngExt;
 /// # Panics
 /// If `lambda` is negative or non-finite.
 pub fn poisson<R: RngExt + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
-    assert!(lambda >= 0.0 && lambda.is_finite(), "need lambda >= 0, got {lambda}");
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "need lambda >= 0, got {lambda}"
+    );
     if lambda == 0.0 {
         return 0;
     }
@@ -64,12 +67,14 @@ mod tests {
             let n = 20_000;
             let samples: Vec<f64> = (0..n).map(|_| poisson(&mut rng, lambda) as f64).collect();
             let mean = samples.iter().sum::<f64>() / n as f64;
-            let var =
-                samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+            let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
             let tol = 5.0 * (lambda / n as f64).sqrt() + 0.05;
             assert!((mean - lambda).abs() < tol, "lambda={lambda}: mean {mean}");
             // Poisson variance = lambda.
-            assert!((var - lambda).abs() < 6.0 * tol * lambda.max(1.0).sqrt(), "lambda={lambda}: var {var}");
+            assert!(
+                (var - lambda).abs() < 6.0 * tol * lambda.max(1.0).sqrt(),
+                "lambda={lambda}: var {var}"
+            );
         }
     }
 

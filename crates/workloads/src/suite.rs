@@ -54,7 +54,11 @@ pub fn mapreduce_shuffle(
     let reducers = &topo.hosts[m..m + r];
     let flows: Vec<FlowSpec> = mappers
         .iter()
-        .flat_map(|&s| reducers.iter().map(move |&d| FlowSpec::new(s, d, size, release)))
+        .flat_map(|&s| {
+            reducers
+                .iter()
+                .map(move |&d| FlowSpec::new(s, d, size, release))
+        })
         .collect();
     Instance::new(topo.graph.clone(), vec![Coflow::new(weight, flows)])
 }
@@ -71,7 +75,13 @@ pub fn shuffle_mix(topo: &Topology, stages: &[(usize, usize, f64, f64, f64)]) ->
 
 /// A broadcast: `src_idx`-th host replicates `size` units to `fanout`
 /// other hosts, as one coflow.
-pub fn broadcast(topo: &Topology, src_idx: usize, fanout: usize, size: f64, weight: f64) -> Instance {
+pub fn broadcast(
+    topo: &Topology,
+    src_idx: usize,
+    fanout: usize,
+    size: f64,
+    weight: f64,
+) -> Instance {
     let src = topo.hosts[src_idx];
     let flows: Vec<FlowSpec> = topo
         .hosts
@@ -93,7 +103,10 @@ pub fn figure1_instance() -> Instance {
     Instance::new(
         t.graph,
         vec![
-            Coflow::new(1.0, vec![FlowSpec::new(x, y, 2.0, 0.0), FlowSpec::new(y, z, 1.0, 0.0)]),
+            Coflow::new(
+                1.0,
+                vec![FlowSpec::new(x, y, 2.0, 0.0), FlowSpec::new(y, z, 1.0, 0.0)],
+            ),
             Coflow::new(1.0, vec![FlowSpec::new(y, z, 1.0, 0.0)]),
             Coflow::new(1.0, vec![FlowSpec::new(x, y, 2.0, 0.0)]),
         ],

@@ -21,9 +21,9 @@ fn main() {
     let instance = shuffle_mix(
         &topo,
         &[
-            (4, 4, 2.0, 1.0, 0.0),  // big batch shuffle
-            (2, 2, 1.0, 4.0, 3.0),  // small high-priority query
-            (3, 2, 3.0, 1.0, 6.0),  // medium stage arriving later
+            (4, 4, 2.0, 1.0, 0.0), // big batch shuffle
+            (2, 2, 1.0, 4.0, 3.0), // small high-priority query
+            (3, 2, 3.0, 1.0, 6.0), // medium stage arriving later
         ],
     );
     assert!(instance.validate().is_empty());
@@ -40,7 +40,10 @@ fn main() {
     let rounding = round_free_paths(
         &instance,
         &lp,
-        &FreeRoundingConfig { selection: PathSelection::LoadAware, ..Default::default() },
+        &FreeRoundingConfig {
+            selection: PathSelection::LoadAware,
+            ..Default::default()
+        },
     );
     let lp_out = simulate(
         &instance,
@@ -70,7 +73,10 @@ fn main() {
             name,
             m.weighted_sum,
             m.avg_coflow_completion,
-            m.coflow_completion.iter().map(|c| (c * 100.0).round() / 100.0).collect::<Vec<_>>()
+            m.coflow_completion
+                .iter()
+                .map(|c| (c * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
         );
     };
     show("LP-Based", &lp_out.metrics);

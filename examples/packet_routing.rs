@@ -51,14 +51,24 @@ fn main() {
         .collect();
     let routed = instance.with_paths(&shortest);
     let given = schedule_given_paths(&routed, &PacketConfig::default()).unwrap();
-    assert!(given.schedule.check(&routed).is_empty(), "§3.1 schedule must be feasible");
+    assert!(
+        given.schedule.check(&routed).is_empty(),
+        "§3.1 schedule must be feasible"
+    );
 
     // §3.2: LP routes + schedules.
     let free = route_and_schedule(&instance, &PacketFreeConfig::default()).unwrap();
-    assert!(free.schedule.check(&instance).is_empty(), "§3.2 schedule must be feasible");
+    assert!(
+        free.schedule.check(&instance).is_empty(),
+        "§3.2 schedule must be feasible"
+    );
 
     // A naive strawman: shortest paths + arrival-order forwarding.
-    let naive = simulate_packets(&routed, &shortest, &Priority::identity(instance.flow_count()));
+    let naive = simulate_packets(
+        &routed,
+        &shortest,
+        &Priority::identity(instance.flow_count()),
+    );
 
     // §4.2-style practical execution: take §3.2's routes and completion
     // ordering but forward packets ASAP instead of in geometric blocks
@@ -68,7 +78,10 @@ fn main() {
     let asap = simulate_packets(&instance, &free.paths, &asap_order);
     assert!(asap.schedule.check(&instance).is_empty());
 
-    println!("{:<28} {:>9} {:>9} {:>10}", "pipeline", "weighted", "avg", "makespan");
+    println!(
+        "{:<28} {:>9} {:>9} {:>10}",
+        "pipeline", "weighted", "avg", "makespan"
+    );
     for (name, m) in [
         ("naive shortest+FIFO", &naive.metrics),
         ("§3.1 given paths (job shop)", &given.metrics),

@@ -20,7 +20,10 @@ fn main() {
     let instance = Instance::new(
         topo.graph.clone(),
         vec![
-            Coflow::new(1.0, vec![FlowSpec::new(x, y, 2.0, 0.0), FlowSpec::new(y, z, 1.0, 0.0)]),
+            Coflow::new(
+                1.0,
+                vec![FlowSpec::new(x, y, 2.0, 0.0), FlowSpec::new(y, z, 1.0, 0.0)],
+            ),
             Coflow::new(1.0, vec![FlowSpec::new(y, z, 1.0, 0.0)]),
             Coflow::new(1.0, vec![FlowSpec::new(x, y, 2.0, 0.0)]),
         ],
@@ -41,11 +44,19 @@ fn main() {
         &instance,
         &shortest,
         &Priority::identity(n),
-        &SimConfig { policy: AllocPolicy::MaxMinFair, ..Default::default() },
+        &SimConfig {
+            policy: AllocPolicy::MaxMinFair,
+            ..Default::default()
+        },
     );
 
     // (s2) Strict coflow priority A > B > C with greedy rates.
-    let priority = simulate(&instance, &shortest, &Priority::identity(n), &SimConfig::default());
+    let priority = simulate(
+        &instance,
+        &shortest,
+        &Priority::identity(n),
+        &SimConfig::default(),
+    );
 
     // The paper's algorithm: interval-indexed LP, randomized rounding,
     // LP-completion-time ordering (§2.2 + §4.2).
@@ -66,11 +77,17 @@ fn main() {
     ] {
         println!(
             "  {name}: coflow completions {:?}  total {}",
-            m.coflow_completion.iter().map(|c| (c * 10.0).round() / 10.0).collect::<Vec<_>>(),
+            m.coflow_completion
+                .iter()
+                .map(|c| (c * 10.0).round() / 10.0)
+                .collect::<Vec<_>>(),
             m.coflow_completion.iter().sum::<f64>()
         );
     }
     let total: f64 = lp_run.metrics.coflow_completion.iter().sum();
-    assert!(total <= 8.0, "LP-based should do at least as well as the priority schedule");
+    assert!(
+        total <= 8.0,
+        "LP-based should do at least as well as the priority schedule"
+    );
     println!("\nLP lower bound: {:.3}", lp.base.objective / 2.0);
 }

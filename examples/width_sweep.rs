@@ -12,7 +12,10 @@ use coflow::workloads::gen::{generate, GenConfig};
 
 fn main() {
     let topo = coflow::net::topo::fat_tree(4, 1.0);
-    println!("mini Figure 3: {} | 5 coflows | widths 2/4/8 | 2 trials\n", topo.name);
+    println!(
+        "mini Figure 3: {} | 5 coflows | widths 2/4/8 | 2 trials\n",
+        topo.name
+    );
     println!(
         "{:>6} {:>10} {:>12} {:>15} {:>10}",
         "width", "LP-Based", "Route-only", "Schedule-only", "Baseline"
@@ -42,10 +45,18 @@ fn main() {
                     ..Default::default()
                 },
             );
-            let out = simulate(&inst, &r.paths, &lp_order(&inst, &lp.base), &SimConfig::default());
+            let out = simulate(
+                &inst,
+                &r.paths,
+                &lp_order(&inst, &lp.base),
+                &SimConfig::default(),
+            );
             sums[0] += out.metrics.avg_coflow_completion;
             // Heuristics.
-            let bcfg = BaselineConfig { seed: trial, ..Default::default() };
+            let bcfg = BaselineConfig {
+                seed: trial,
+                ..Default::default()
+            };
             for (i, s) in [
                 baselines::route_only(&inst, &bcfg),
                 baselines::schedule_only(&inst, &bcfg),

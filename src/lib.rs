@@ -12,8 +12,8 @@
 //! | [`sim`] | `coflow-sim` | fluid and packet simulators (§4.1) |
 //! | [`workloads`] | `coflow-workloads` | seeded random instance generators |
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
-//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//! See `README.md` for a tour of the workspace, how to run the
+//! experiment binaries, and the vendored dependency policy.
 
 pub use coflow_core as algo;
 pub use coflow_lp as lp;
@@ -49,11 +49,19 @@ mod tests {
         let t = crate::net::topo::star(3, 1.0);
         let inst = Instance::new(
             t.graph.clone(),
-            vec![Coflow::new(1.0, vec![FlowSpec::new(t.hosts[0], t.hosts[1], 1.0, 0.0)])],
+            vec![Coflow::new(
+                1.0,
+                vec![FlowSpec::new(t.hosts[0], t.hosts[1], 1.0, 0.0)],
+            )],
         );
         let lp = solve_free_paths_lp_paths(&inst, &FreePathsLpConfig::default()).unwrap();
         let r = round_free_paths(&inst, &lp, &FreeRoundingConfig::default());
-        let out = simulate(&inst, &r.paths, &lp_order(&inst, &lp.base), &SimConfig::default());
+        let out = simulate(
+            &inst,
+            &r.paths,
+            &lp_order(&inst, &lp.base),
+            &SimConfig::default(),
+        );
         // One unit at bottleneck rate 1 completes at t = 1 (fluid model).
         assert!((out.metrics.weighted_sum - 1.0).abs() < 1e-6);
     }

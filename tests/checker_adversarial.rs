@@ -12,7 +12,13 @@ fn good_run() -> (Instance, coflow::sim::fluid::SimOutcome) {
     let topo = coflow::net::topo::fat_tree(4, 1.0);
     let inst = generate(
         &topo,
-        &GenConfig { n_coflows: 3, width: 3, size_mean: 3.0, seed: 99, ..Default::default() },
+        &GenConfig {
+            n_coflows: 3,
+            width: 3,
+            size_mean: 3.0,
+            seed: 99,
+            ..Default::default()
+        },
     );
     let bcfg = BaselineConfig::default();
     let s = baselines::route_only(&inst, &bcfg);
@@ -32,9 +38,10 @@ fn rate_inflation_caught_as_overcapacity_or_volume() {
     }
     let v = bad.check(&inst, 1e-6, 1e-6);
     assert!(!v.is_empty());
-    assert!(v
-        .iter()
-        .any(|x| matches!(x, Violation::WrongVolume { flat: 0, .. } | Violation::OverCapacity { .. })));
+    assert!(v.iter().any(|x| matches!(
+        x,
+        Violation::WrongVolume { flat: 0, .. } | Violation::OverCapacity { .. }
+    )));
 }
 
 #[test]
@@ -73,7 +80,9 @@ fn path_swap_caught() {
     let spec1 = inst.flow(inst.id_of_flat(1));
     if spec0.src != spec1.src || spec0.dst != spec1.dst {
         let v = bad.check(&inst, 1e-6, 1e-6);
-        assert!(v.iter().any(|x| matches!(x, Violation::BadPath { flat: 0 })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::BadPath { flat: 0 })));
     }
 }
 
@@ -81,11 +90,24 @@ fn path_swap_caught() {
 fn overlapping_segments_caught() {
     let (inst, out) = good_run();
     let mut bad = out.schedule.clone();
-    let seg = Segment { start: 0.0, end: 1.0, rate: 0.1 };
+    let seg = Segment {
+        start: 0.0,
+        end: 1.0,
+        rate: 0.1,
+    };
     bad.flows[2].segments.insert(0, seg);
-    bad.flows[2].segments.insert(0, Segment { start: 0.5, end: 0.7, rate: 0.1 });
+    bad.flows[2].segments.insert(
+        0,
+        Segment {
+            start: 0.5,
+            end: 0.7,
+            rate: 0.1,
+        },
+    );
     let v = bad.check(&inst, 1e-1, 1e-6); // generous volume tol: isolate ordering
-    assert!(v.iter().any(|x| matches!(x, Violation::BadSegments { flat: 2 })));
+    assert!(v
+        .iter()
+        .any(|x| matches!(x, Violation::BadSegments { flat: 2 })));
 }
 
 proptest! {

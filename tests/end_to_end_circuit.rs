@@ -6,7 +6,13 @@ use coflow::prelude::*;
 use coflow::workloads::gen::{generate, GenConfig};
 
 fn small_cfg(seed: u64) -> GenConfig {
-    GenConfig { n_coflows: 3, width: 3, size_mean: 3.0, seed, ..Default::default() }
+    GenConfig {
+        n_coflows: 3,
+        width: 3,
+        size_mean: 3.0,
+        seed,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -20,13 +26,31 @@ fn full_pipeline_on_fat_tree_all_schemes_feasible() {
         let lb = lp.base.objective / 2.0;
 
         // LP-based.
-        let r = round_free_paths(&inst, &lp, &FreeRoundingConfig { seed, ..Default::default() });
-        let lp_out = simulate(&inst, &r.paths, &lp_order(&inst, &lp.base), &SimConfig::default());
+        let r = round_free_paths(
+            &inst,
+            &lp,
+            &FreeRoundingConfig {
+                seed,
+                ..Default::default()
+            },
+        );
+        let lp_out = simulate(
+            &inst,
+            &r.paths,
+            &lp_order(&inst, &lp.base),
+            &SimConfig::default(),
+        );
         assert!(lp_out.schedule.check(&inst, 1e-6, 1e-6).is_empty());
-        assert!(lb <= lp_out.metrics.weighted_sum + 1e-6, "LB must hold for LP-based");
+        assert!(
+            lb <= lp_out.metrics.weighted_sum + 1e-6,
+            "LB must hold for LP-based"
+        );
 
         // Heuristics: all feasible, all above the LP lower bound.
-        let bcfg = BaselineConfig { seed, ..Default::default() };
+        let bcfg = BaselineConfig {
+            seed,
+            ..Default::default()
+        };
         for s in [
             baselines::baseline_random(&inst, &bcfg),
             baselines::schedule_only(&inst, &bcfg),
@@ -76,7 +100,12 @@ fn given_paths_pipeline_on_star() {
 
     // The practical execution (§4.2): LP order + greedy simulation beats
     // or matches the displaced-interval schedule.
-    let out = simulate(&routed, &routes, &lp_order(&routed, &lp), &SimConfig::default());
+    let out = simulate(
+        &routed,
+        &routes,
+        &lp_order(&routed, &lp),
+        &SimConfig::default(),
+    );
     assert!(out.schedule.check(&routed, 1e-6, 1e-6).is_empty());
     assert!(out.metrics.weighted_sum <= rounded.metrics.weighted_sum + 1e-6);
 }
@@ -86,8 +115,19 @@ fn edge_and_path_lp_agree_when_paths_exhaustive() {
     // On the triangle with slack 1 the candidate path set is exhaustive,
     // so the two §2.2 formulations must have equal optima.
     let topo = coflow::net::topo::triangle();
-    let inst = generate(&topo, &GenConfig { n_coflows: 2, width: 2, seed: 4, ..Default::default() });
-    let cfg = FreePathsLpConfig { path_slack: 1, ..Default::default() };
+    let inst = generate(
+        &topo,
+        &GenConfig {
+            n_coflows: 2,
+            width: 2,
+            seed: 4,
+            ..Default::default()
+        },
+    );
+    let cfg = FreePathsLpConfig {
+        path_slack: 1,
+        ..Default::default()
+    };
     let edge = solve_free_paths_lp_edges(&inst, &cfg).unwrap();
     let path = solve_free_paths_lp_paths(&inst, &cfg).unwrap();
     let scale = 1.0 + edge.base.objective.abs();
@@ -117,7 +157,10 @@ fn instance_snapshot_roundtrip_through_pipeline() {
     };
     let a = run(&inst);
     let b = run(&back);
-    assert!((a - b).abs() < 1e-6, "pipeline not reproducible across serialization: {a} vs {b}");
+    assert!(
+        (a - b).abs() < 1e-6,
+        "pipeline not reproducible across serialization: {a} vs {b}"
+    );
 }
 
 #[test]
@@ -161,8 +204,10 @@ fn switch_model_composes_with_simulator() {
     )
     .unwrap();
     assert!(rounded.schedule.check(&inst, 1e-6, 1e-6).is_empty());
-    let paths: Vec<_> =
-        inst.flows().map(|(_, _, f)| f.path.clone().unwrap()).collect();
+    let paths: Vec<_> = inst
+        .flows()
+        .map(|(_, _, f)| f.path.clone().unwrap())
+        .collect();
     let out = simulate(&inst, &paths, &lp_order(&inst, &lp), &SimConfig::default());
     assert!(out.schedule.check(&inst, 1e-6, 1e-6).is_empty());
     // The heavy singleton coflow should finish first.

@@ -5,7 +5,13 @@ use coflow::prelude::*;
 use coflow::workloads::gen::{generate_packets, GenConfig};
 
 fn packet_cfg(seed: u64) -> GenConfig {
-    GenConfig { n_coflows: 3, width: 2, seed, arrival_rate: 1.0, ..Default::default() }
+    GenConfig {
+        n_coflows: 3,
+        width: 2,
+        seed,
+        arrival_rate: 1.0,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -37,7 +43,14 @@ fn exact_time_expanded_lp_lower_bounds_everything() {
     let topo = coflow::net::topo::grid(2, 3, 1.0);
     let inst = generate_packets(
         &topo,
-        &GenConfig { n_coflows: 2, width: 2, seed: 9, arrival_rate: 0.0, jitter_rate: 0.0, ..Default::default() },
+        &GenConfig {
+            n_coflows: 2,
+            width: 2,
+            seed: 9,
+            arrival_rate: 0.0,
+            jitter_rate: 0.0,
+            ..Default::default()
+        },
     );
     let horizon = 24;
     let exact = coflow::algo::packet::timexp_lp::packet_lp_lower_bound(
@@ -75,7 +88,12 @@ fn packet_interval_lp_vs_exact_lp() {
     for i in 0..3 {
         coflows.push(Coflow::new(
             1.0,
-            vec![FlowSpec::new(coflow::net::NodeId(0), coflow::net::NodeId(3), 1.0, i as f64)],
+            vec![FlowSpec::new(
+                coflow::net::NodeId(0),
+                coflow::net::NodeId(3),
+                1.0,
+                i as f64,
+            )],
         ));
     }
     let inst = Instance::new(topo.graph.clone(), coflows);
@@ -107,7 +125,12 @@ fn congestion_spreading_beats_hotspot_routing_under_load() {
     // pushes all through one.
     let topo = coflow::net::topo::grid(2, 2, 1.0);
     let coflows: Vec<Coflow> = (0..8)
-        .map(|_| Coflow::new(1.0, vec![FlowSpec::new(topo.hosts[0], topo.hosts[3], 1.0, 0.0)]))
+        .map(|_| {
+            Coflow::new(
+                1.0,
+                vec![FlowSpec::new(topo.hosts[0], topo.hosts[3], 1.0, 0.0)],
+            )
+        })
         .collect();
     let inst = Instance::new(topo.graph.clone(), coflows);
     let free = route_and_schedule(&inst, &PacketFreeConfig::default()).unwrap();
@@ -117,8 +140,8 @@ fn congestion_spreading_beats_hotspot_routing_under_load() {
     assert!(distinct.len() >= 2, "LP routing failed to spread packets");
 
     // Fixed single shortest path for everyone.
-    let one = coflow::net::paths::bfs_shortest_path(&inst.graph, topo.hosts[0], topo.hosts[3])
-        .unwrap();
+    let one =
+        coflow::net::paths::bfs_shortest_path(&inst.graph, topo.hosts[0], topo.hosts[3]).unwrap();
     let fixed: Vec<_> = (0..8).map(|_| one.clone()).collect();
     let naive = simulate_packets(&inst, &fixed, &Priority::identity(8));
     // ASAP execution of the spread routing:

@@ -22,7 +22,10 @@ fn s1_fair_sharing_is_10() {
         &inst,
         &routes,
         &Priority::identity(4),
-        &SimConfig { policy: AllocPolicy::MaxMinFair, ..Default::default() },
+        &SimConfig {
+            policy: AllocPolicy::MaxMinFair,
+            ..Default::default()
+        },
     );
     assert!(out.schedule.check(&inst, 1e-6, 1e-6).is_empty());
     assert!((out.metrics.coflow_completion.iter().sum::<f64>() - 10.0).abs() < 1e-6);
@@ -32,7 +35,12 @@ fn s1_fair_sharing_is_10() {
 fn s2_priority_is_8() {
     let inst = figure1_instance();
     let routes = shortest_routes(&inst);
-    let out = simulate(&inst, &routes, &Priority::identity(4), &SimConfig::default());
+    let out = simulate(
+        &inst,
+        &routes,
+        &Priority::identity(4),
+        &SimConfig::default(),
+    );
     assert!(out.schedule.check(&inst, 1e-6, 1e-6).is_empty());
     assert!((out.metrics.coflow_completion.iter().sum::<f64>() - 8.0).abs() < 1e-6);
 }
@@ -41,8 +49,14 @@ fn s2_priority_is_8() {
 fn s3_optimal_is_7() {
     let inst = figure1_instance();
     let routes = shortest_routes(&inst);
-    let out =
-        simulate(&inst, &routes, &Priority { order: vec![2, 3, 0, 1] }, &SimConfig::default());
+    let out = simulate(
+        &inst,
+        &routes,
+        &Priority {
+            order: vec![2, 3, 0, 1],
+        },
+        &SimConfig::default(),
+    );
     assert!(out.schedule.check(&inst, 1e-6, 1e-6).is_empty());
     assert!((out.metrics.coflow_completion.iter().sum::<f64>() - 7.0).abs() < 1e-6);
 }
@@ -52,7 +66,12 @@ fn lp_pipeline_reaches_optimum() {
     let inst = figure1_instance();
     let lp = solve_free_paths_lp_paths(&inst, &FreePathsLpConfig::default()).unwrap();
     let r = round_free_paths(&inst, &lp, &FreeRoundingConfig::default());
-    let out = simulate(&inst, &r.paths, &lp_order(&inst, &lp.base), &SimConfig::default());
+    let out = simulate(
+        &inst,
+        &r.paths,
+        &lp_order(&inst, &lp.base),
+        &SimConfig::default(),
+    );
     assert!(out.schedule.check(&inst, 1e-6, 1e-6).is_empty());
     let total: f64 = out.metrics.coflow_completion.iter().sum();
     assert!(
@@ -85,13 +104,20 @@ fn no_order_beats_7() {
         }
     }
     let mut visit = |p: &[usize]| {
-        let out =
-            simulate(&inst, &routes, &Priority { order: p.to_vec() }, &SimConfig::default());
+        let out = simulate(
+            &inst,
+            &routes,
+            &Priority { order: p.to_vec() },
+            &SimConfig::default(),
+        );
         let total: f64 = out.metrics.coflow_completion.iter().sum();
         if total < best {
             best = total;
         }
     };
     heaps(4, &mut perm, &mut visit);
-    assert!((best - 7.0).abs() < 1e-6, "exhaustive best is {best}, paper says 7");
+    assert!(
+        (best - 7.0).abs() < 1e-6,
+        "exhaustive best is {best}, paper says 7"
+    );
 }

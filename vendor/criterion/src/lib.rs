@@ -1,0 +1,239 @@
+//! Minimal in-tree stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the subset of the criterion API the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_with_input`] / [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`BenchmarkId`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Statistics are deliberately simple: each
+//! sample times one batch of iterations and the report prints min / median /
+//! mean per-iteration wall time.
+//!
+//! Running a bench binary with `--quick` (or setting
+//! `COFLOW_BENCH_QUICK=1`) caps every benchmark at one sample of one
+//! iteration, so `cargo bench` can double as a smoke test in CI.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to every benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var_os("COFLOW_BENCH_QUICK").is_some_and(|v| v != "0");
+        Criterion {
+            sample_size: 10,
+            quick,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            quick: self.quick,
+            _parent: self,
+        }
+    }
+
+    /// Default number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1);
+        self.sample_size = n;
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    quick: bool,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1);
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = self.new_bencher();
+        f(&mut b, input);
+        self.report(&id.0, &b);
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = self.new_bencher();
+        f(&mut b);
+        self.report(&id.0, &b);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; drop would do).
+    pub fn finish(self) {}
+
+    fn new_bencher(&self) -> Bencher {
+        Bencher {
+            samples: if self.quick { 1 } else { self.sample_size },
+            quick: self.quick,
+            per_iter: Vec::new(),
+        }
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let mut v = b.per_iter.clone();
+        if v.is_empty() {
+            println!("{}/{}: no samples collected", self.name, id);
+            return;
+        }
+        v.sort_unstable();
+        let min = v[0];
+        let median = v[v.len() / 2];
+        let mean = v.iter().sum::<Duration>() / v.len() as u32;
+        println!(
+            "{}/{}: min {:?}  median {:?}  mean {:?}  ({} samples)",
+            self.name,
+            id,
+            min,
+            median,
+            mean,
+            v.len()
+        );
+    }
+}
+
+/// Times closures; handed to benchmark bodies.
+pub struct Bencher {
+    samples: usize,
+    quick: bool,
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: aim for >= ~1ms per sample so
+        // Instant resolution doesn't dominate, without exceeding one warm-up
+        // call for slow benchmarks.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = if self.quick {
+            1
+        } else {
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32
+        };
+        self.per_iter.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.per_iter.push(t.elapsed() / batch);
+        }
+    }
+}
+
+/// Identifies one benchmark within a group, e.g. `name/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Re-export so bench files can `use criterion::black_box` if they choose.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        let mut runs = 0u64;
+        g.bench_with_input(BenchmarkId::new("noop", 1), &41u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x + 1
+            })
+        });
+        g.finish();
+        assert!(runs >= 2, "bencher must execute the closure");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).0, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").0, "p");
+    }
+}
