@@ -1,22 +1,91 @@
 //! Criterion microbenchmarks for the simplex solver (substrate #2):
-//! scaling of the §2.2 path LP with coflow width, plus a pure-LP
-//! transportation-style stress case.
+//! scaling of the §2.2 path LP with coflow width (fat-tree k=4 and the
+//! paper-scale k=8), a pure-LP transportation stress series, the
+//! dense-inverse baseline, and a warm-vs-cold grid-sequence comparison.
+//!
+//! Besides the console report, the run writes a machine-readable snapshot
+//! to `results/BENCH_lp.json` (wall times + per-solve [`SolveStats`]), so
+//! factorization behavior and the warm-start win are *measured* artifacts,
+//! not claims. `--quick` / `COFLOW_BENCH_QUICK=1` drops to one sample per
+//! point for CI smoke runs.
 
-use coflow_core::circuit::lp_free::{solve_free_paths_lp_paths, FreePathsLpConfig};
-use coflow_lp::{Cmp, Model};
+use coflow_core::circuit::lp_free::{
+    solve_free_paths_lp_paths, solve_free_paths_lp_paths_on_grid, FreePathsLpConfig,
+};
+use coflow_core::intervals::IntervalGrid;
+use coflow_core::model::Instance;
+use coflow_lp::{Backend, Cmp, Model, Pricing, SolveStats, SolverOptions, WarmChain};
 use coflow_net::topo;
 use coflow_workloads::gen::generate;
 use coflow_workloads::suite::fig3_config;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
+
+/// Transportation-style stress LP: `n` supplies, `n` demands, `n²`
+/// variables, dense-ish costs — the classic degenerate phase-1 workload.
+fn transport(n: usize) -> Model {
+    let mut m = Model::new();
+    let mut vars = vec![vec![]; n];
+    for (i, row) in vars.iter_mut().enumerate() {
+        for j in 0..n {
+            let cost = ((i * 7 + j * 13) % 10) as f64 + 1.0;
+            row.push(m.add_nonneg(cost, format!("x{i}_{j}")));
+        }
+    }
+    for (i, row) in vars.iter().enumerate() {
+        let terms: Vec<_> = row.iter().map(|&v| (v, 1.0)).collect();
+        m.add_row(Cmp::Eq, 1.0 + (i % 3) as f64, &terms);
+    }
+    for j in 0..n {
+        let terms: Vec<_> = (0..n).map(|i| (vars[i][j], 1.0)).collect();
+        let total: f64 = (0..n).map(|i| 1.0 + (i % 3) as f64).sum();
+        m.add_row(Cmp::Le, total / n as f64 + 1.0, &terms);
+    }
+    m
+}
+
+/// Production solver options for benchmarking (no debug verification).
+fn production_opts() -> SolverOptions {
+    SolverOptions {
+        verify: false,
+        ..Default::default()
+    }
+}
+
+/// The historical solver configuration: explicit dense `B⁻¹`, full devex
+/// pricing, exact phase-1 costs — the baseline the sparse rewrite is
+/// measured against.
+fn dense_baseline_opts() -> SolverOptions {
+    SolverOptions {
+        backend: Backend::DenseInverse,
+        pricing: Pricing::Full,
+        phase1_jitter: 0.0,
+        verify: false,
+        ..Default::default()
+    }
+}
 
 fn bench_free_paths_lp(c: &mut Criterion) {
     let mut g = c.benchmark_group("free_paths_lp");
     g.sample_size(10);
-    let topo = topo::fat_tree(4, 1.0);
+    let t4 = topo::fat_tree(4, 1.0);
     for width in [2usize, 4, 8] {
-        let inst = generate(&topo, &fig3_config(width, 0));
+        let inst = generate(&t4, &fig3_config(width, 0));
         g.bench_with_input(BenchmarkId::new("fat_tree_k4", width), &inst, |b, inst| {
+            b.iter(|| {
+                let lp = solve_free_paths_lp_paths(black_box(inst), &FreePathsLpConfig::default())
+                    .unwrap();
+                black_box(lp.base.objective)
+            })
+        });
+    }
+    // The paper-scale topology (k=8, 128 hosts): the point the ROADMAP
+    // calls LP-solve dominated.
+    let t8 = topo::fat_tree(8, 1.0);
+    for width in [2usize, 8] {
+        let inst = generate(&t8, &fig3_config(width, 0));
+        g.bench_with_input(BenchmarkId::new("fat_tree_k8", width), &inst, |b, inst| {
             b.iter(|| {
                 let lp = solve_free_paths_lp_paths(black_box(inst), &FreePathsLpConfig::default())
                     .unwrap();
@@ -30,33 +99,218 @@ fn bench_free_paths_lp(c: &mut Criterion) {
 fn bench_raw_simplex(c: &mut Criterion) {
     let mut g = c.benchmark_group("raw_simplex");
     g.sample_size(10);
-    for n in [20usize, 50, 100] {
-        // Transportation problem: n supplies, n demands, dense-ish costs.
+    for n in [20usize, 50, 100, 250, 500] {
+        if n >= 250 {
+            g.sample_size(3);
+        }
         g.bench_with_input(BenchmarkId::new("transport", n), &n, |b, &n| {
             b.iter(|| {
-                let mut m = Model::new();
-                let mut vars = vec![vec![]; n];
-                for (i, row) in vars.iter_mut().enumerate() {
-                    for j in 0..n {
-                        let cost = ((i * 7 + j * 13) % 10) as f64 + 1.0;
-                        row.push(m.add_nonneg(cost, format!("x{i}_{j}")));
-                    }
-                }
-                for (i, row) in vars.iter().enumerate() {
-                    let terms: Vec<_> = row.iter().map(|&v| (v, 1.0)).collect();
-                    m.add_row(Cmp::Eq, 1.0 + (i % 3) as f64, &terms);
-                }
-                for j in 0..n {
-                    let terms: Vec<_> = (0..n).map(|i| (vars[i][j], 1.0)).collect();
-                    let total: f64 = (0..n).map(|i| 1.0 + (i % 3) as f64).sum();
-                    m.add_row(Cmp::Le, total / n as f64 + 1.0, &terms);
-                }
-                black_box(m.solve().map(|s| s.objective).unwrap_or(f64::NAN))
+                let m = transport(n);
+                black_box(
+                    m.solve_with(&production_opts())
+                        .map(|s| s.objective)
+                        .unwrap_or(f64::NAN),
+                )
             })
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_free_paths_lp, bench_raw_simplex);
+// ---------------------------------------------------------------------------
+// Machine-readable snapshot: results/BENCH_lp.json
+// ---------------------------------------------------------------------------
+
+struct Point {
+    name: String,
+    backend: &'static str,
+    wall_ms_median: f64,
+    samples: usize,
+    stats: SolveStats,
+}
+
+fn fmt_stats(s: &SolveStats) -> String {
+    format!(
+        concat!(
+            "{{\"iterations\":{},\"phase1_iterations\":{},\"refactorizations\":{},",
+            "\"factor_nnz\":{},\"basis_nnz\":{},\"fill_ratio\":{:.4},",
+            "\"rows\":{},\"cols\":{},\"warm_attempted\":{},\"warm_used\":{}}}"
+        ),
+        s.iterations,
+        s.phase1_iterations,
+        s.refactorizations,
+        s.factor_nnz,
+        s.basis_nnz,
+        s.fill_ratio(),
+        s.rows,
+        s.cols,
+        s.warm_attempted,
+        s.warm_used,
+    )
+}
+
+/// Times `solve` (which must return the stats of one solve) over `samples`
+/// runs; returns the median wall time in ms and the last run's stats.
+fn measure(samples: usize, mut solve: impl FnMut() -> SolveStats) -> (f64, SolveStats) {
+    let mut times = Vec::with_capacity(samples);
+    let mut stats = SolveStats::default();
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        stats = solve();
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times[times.len() / 2], stats)
+}
+
+fn k8_instance() -> Instance {
+    generate(&topo::fat_tree(8, 1.0), &fig3_config(8, 0))
+}
+
+fn bench_snapshot(_c: &mut Criterion) {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var_os("COFLOW_BENCH_QUICK").is_some_and(|v| v != "0");
+    let samples = if quick { 1 } else { 5 };
+    let mut points: Vec<Point> = Vec::new();
+
+    // Transportation series, production configuration.
+    for n in [100usize, 250, 500] {
+        let m = transport(n);
+        let (ms, stats) = measure(samples, || m.solve_with(&production_opts()).unwrap().stats);
+        points.push(Point {
+            name: format!("raw_simplex/transport/{n}"),
+            backend: "sparse-lu",
+            wall_ms_median: ms,
+            samples,
+            stats,
+        });
+    }
+    // The dense-inverse baseline at the ROADMAP's reference point.
+    {
+        let m = transport(100);
+        let (ms, stats) = measure(samples, || {
+            m.solve_with(&dense_baseline_opts()).unwrap().stats
+        });
+        points.push(Point {
+            name: "raw_simplex/transport/100".into(),
+            backend: "dense-inverse-baseline",
+            wall_ms_median: ms,
+            samples,
+            stats,
+        });
+    }
+    // Paper-scale interval LP (fat-tree k=8, width 8).
+    {
+        let inst = k8_instance();
+        let cfg = FreePathsLpConfig {
+            solver: production_opts(),
+            ..Default::default()
+        };
+        let (ms, stats) = measure(samples, || {
+            solve_free_paths_lp_paths(&inst, &cfg).unwrap().base.stats
+        });
+        points.push(Point {
+            name: "free_paths_lp/fat_tree_k8/8".into(),
+            backend: "sparse-lu",
+            wall_ms_median: ms,
+            samples,
+            stats,
+        });
+    }
+
+    // Warm vs cold on a growing grid sequence of the path LP.
+    let inst = generate(&topo::fat_tree(4, 1.0), &fig3_config(4, 0));
+    let cfg = FreePathsLpConfig {
+        solver: production_opts(),
+        ..Default::default()
+    };
+    let h = inst.horizon();
+    let scales = [1.0, 2.0, 4.0];
+    let t0 = Instant::now();
+    let mut chain = WarmChain::new();
+    for s in scales {
+        let grid = IntervalGrid::cover(cfg.eps, h * s);
+        solve_free_paths_lp_paths_on_grid(&inst, &cfg, grid, &mut chain).unwrap();
+    }
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let warm_stats = chain.stats();
+    let t0 = Instant::now();
+    let mut cold_iters = 0usize;
+    for s in scales {
+        let grid = IntervalGrid::cover(cfg.eps, h * s);
+        let sol =
+            solve_free_paths_lp_paths_on_grid(&inst, &cfg, grid, &mut WarmChain::new()).unwrap();
+        cold_iters += sol.base.iterations;
+    }
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Derived headline numbers.
+    let sparse100 = points
+        .iter()
+        .find(|p| p.name.ends_with("transport/100") && p.backend == "sparse-lu")
+        .unwrap()
+        .wall_ms_median;
+    let dense100 = points
+        .iter()
+        .find(|p| p.backend == "dense-inverse-baseline")
+        .unwrap()
+        .wall_ms_median;
+
+    let mut json = String::from("{\n  \"schema\": \"coflow-lp-bench/v1\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n  \"points\": [\n"));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\":\"{}\",\"backend\":\"{}\",\"wall_ms_median\":{:.3},\"samples\":{},\"stats\":{}}}{}\n",
+            p.name,
+            p.backend,
+            p.wall_ms_median,
+            p.samples,
+            fmt_stats(&p.stats),
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        concat!(
+            "  \"warm_vs_cold\": {{\"sequence\":\"free_paths_lp/fat_tree_k4/4 grids x{}\",",
+            "\"warm_total_iterations\":{},\"cold_total_iterations\":{},",
+            "\"warm_total_phase1\":{},\"warm_used\":{},\"warm_wall_ms\":{:.3},\"cold_wall_ms\":{:.3}}},\n"
+        ),
+        scales.len(),
+        warm_stats.total_iterations,
+        cold_iters,
+        warm_stats.total_phase1,
+        warm_stats.warm_used,
+        warm_ms,
+        cold_ms,
+    ));
+    json.push_str(&format!(
+        "  \"derived\": {{\"transport100_speedup_vs_dense_baseline\":{:.2}}}\n}}\n",
+        dense100 / sparse100
+    ));
+
+    // Cargo runs benches with the package dir as CWD; anchor the artifact
+    // at the workspace-level results/ directory.
+    let results = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&results).ok();
+    std::fs::write(results.join("BENCH_lp.json"), &json).expect("write results/BENCH_lp.json");
+    println!(
+        "lp_snapshot: transport/100 sparse {sparse100:.1}ms vs dense baseline {dense100:.1}ms \
+         ({:.1}x); warm chain {} iters vs cold {} — results/BENCH_lp.json",
+        dense100 / sparse100,
+        warm_stats.total_iterations,
+        cold_iters
+    );
+    assert!(
+        warm_stats.total_iterations < cold_iters,
+        "warm-started sequence must need fewer total iterations"
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_free_paths_lp,
+    bench_raw_simplex,
+    bench_snapshot
+);
 criterion_main!(benches);

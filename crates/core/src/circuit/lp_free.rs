@@ -23,7 +23,7 @@
 use crate::circuit::lp_given::CircuitLpSolution;
 use crate::intervals::IntervalGrid;
 use crate::model::Instance;
-use coflow_lp::{LpError, Model, SolverOptions, VarId};
+use coflow_lp::{Cmp, LpError, Model, SolverOptions, VarId, WarmChain};
 use coflow_net::{paths as netpaths, EdgeId, Path};
 
 /// Configuration for the §2.2 LP.
@@ -87,6 +87,18 @@ pub fn solve_free_paths_lp_edges(
     cfg: &FreePathsLpConfig,
 ) -> Result<FreeLpSolution, LpError> {
     let grid = IntervalGrid::cover(cfg.eps, instance.horizon());
+    solve_free_paths_lp_edges_on_grid(instance, cfg, grid, &mut WarmChain::new())
+}
+
+/// [`solve_free_paths_lp_edges`] on an explicit grid, warm-started through
+/// `chain` (see [`solve_free_paths_lp_paths_on_grid`] for the sequence
+/// pattern).
+pub fn solve_free_paths_lp_edges_on_grid(
+    instance: &Instance,
+    cfg: &FreePathsLpConfig,
+    grid: IntervalGrid,
+    chain: &mut WarmChain,
+) -> Result<FreeLpSolution, LpError> {
     let nl = grid.count();
     let nf = instance.flow_count();
     let g = &instance.graph;
@@ -140,15 +152,20 @@ pub fn solve_free_paths_lp_edges(
 
         // (15) fractions sum to one.
         let terms: Vec<_> = (first..nl).map(|l| (x[flat][l].unwrap(), 1.0)).collect();
-        m.eq(&terms, 1.0);
+        m.add_row_named(Cmp::Eq, 1.0, &terms, format!("sum{flat}"));
         // (16) completion definition.
         let mut terms: Vec<_> = (first..nl)
             .map(|l| (x[flat][l].unwrap(), grid.lower(l)))
             .collect();
         terms.push((cf, -1.0));
-        m.le(&terms, 0.0);
+        m.add_row_named(Cmp::Le, 0.0, &terms, format!("cmp{flat}"));
         // (17) dummy-flow precedence.
-        m.le(&[(cf, 1.0), (c_cof[id.coflow as usize], -1.0)], 0.0);
+        m.add_row_named(
+            Cmp::Le,
+            0.0,
+            &[(cf, 1.0), (c_cof[id.coflow as usize], -1.0)],
+            format!("prec{flat}"),
+        );
 
         // (18)-(20) conservation per usable interval.
         for l in first..nl {
@@ -167,13 +184,12 @@ pub fn solve_free_paths_lp_edges(
                 let mut terms = std::mem::take(&mut per_node[v.index()]);
                 if v == spec.src {
                     terms.push((x[flat][l].unwrap(), -demand_coeff));
-                    m.eq(&terms, 0.0);
                 } else if v == spec.dst {
                     terms.push((x[flat][l].unwrap(), demand_coeff));
-                    m.eq(&terms, 0.0);
-                } else if !terms.is_empty() {
-                    m.eq(&terms, 0.0);
+                } else if terms.is_empty() {
+                    continue;
                 }
+                m.add_row_named(Cmp::Eq, 0.0, &terms, format!("con{flat}:{l}:{}", v.index()));
             }
         }
         y.push(yrow);
@@ -193,12 +209,17 @@ pub fn solve_free_paths_lp_edges(
         }
         for (ei, terms) in per_edge.iter().enumerate() {
             if !terms.is_empty() {
-                m.le(terms, g.capacity(EdgeId(ei as u32)));
+                m.add_row_named(
+                    Cmp::Le,
+                    g.capacity(EdgeId(ei as u32)),
+                    terms,
+                    format!("cap{ei}:{l}"),
+                );
             }
         }
     }
 
-    let sol = m.solve_with(&cfg.solver)?;
+    let sol = chain.solve(&m, &cfg.solver)?;
 
     let xs: Vec<Vec<f64>> = x
         .iter()
@@ -238,6 +259,7 @@ pub fn solve_free_paths_lp_edges(
             coflow_completion: c_cof.iter().map(|&v| sol.value(v)).collect(),
             objective: sol.objective,
             iterations: sol.iterations,
+            stats: sol.stats,
         },
         routing,
     })
@@ -253,6 +275,22 @@ pub fn solve_free_paths_lp_paths(
     cfg: &FreePathsLpConfig,
 ) -> Result<FreeLpSolution, LpError> {
     let grid = IntervalGrid::cover(cfg.eps, instance.horizon());
+    solve_free_paths_lp_paths_on_grid(instance, cfg, grid, &mut WarmChain::new())
+}
+
+/// [`solve_free_paths_lp_paths`] on an explicit grid, warm-started through
+/// `chain`.
+///
+/// Variable and row names are stable when the grid grows (a grid covering a
+/// larger horizon keeps the smaller grid's boundaries as a prefix), so
+/// threading one [`WarmChain`] through a growing sequence reuses each
+/// optimal basis instead of cold-starting every solve.
+pub fn solve_free_paths_lp_paths_on_grid(
+    instance: &Instance,
+    cfg: &FreePathsLpConfig,
+    grid: IntervalGrid,
+    chain: &mut WarmChain,
+) -> Result<FreeLpSolution, LpError> {
     let nl = grid.count();
     let nf = instance.flow_count();
     let g = &instance.graph;
@@ -302,7 +340,7 @@ pub fn solve_free_paths_lp_paths(
             .iter()
             .flat_map(|r| r.iter().flatten().map(|&v| (v, 1.0)))
             .collect();
-        m.eq(&terms, 1.0);
+        m.add_row_named(Cmp::Eq, 1.0, &terms, format!("sum{flat}"));
         // (16) completion definition.
         let mut terms: Vec<_> = rows
             .iter()
@@ -313,9 +351,14 @@ pub fn solve_free_paths_lp_paths(
             })
             .collect();
         terms.push((cf, -1.0));
-        m.le(&terms, 0.0);
+        m.add_row_named(Cmp::Le, 0.0, &terms, format!("cmp{flat}"));
         // (17) precedence.
-        m.le(&[(cf, 1.0), (c_cof[id.coflow as usize], -1.0)], 0.0);
+        m.add_row_named(
+            Cmp::Le,
+            0.0,
+            &[(cf, 1.0), (c_cof[id.coflow as usize], -1.0)],
+            format!("prec{flat}"),
+        );
 
         cand.push(ps);
         xv.push(rows);
@@ -344,12 +387,12 @@ pub fn solve_free_paths_lp_paths(
             // Redundant-row pruning: x ∈ [0,1].
             let max_lhs: f64 = terms.iter().map(|&(_, c)| c).sum();
             if !terms.is_empty() && max_lhs > cap {
-                m.le(terms, cap);
+                m.add_row_named(Cmp::Le, cap, terms, format!("cap{ei}:{l}"));
             }
         }
     }
 
-    let sol = m.solve_with(&cfg.solver)?;
+    let sol = chain.solve(&m, &cfg.solver)?;
 
     let mut xs = vec![vec![0.0; nl]; nf];
     let mut routing = Vec::with_capacity(nf);
@@ -381,6 +424,7 @@ pub fn solve_free_paths_lp_paths(
             coflow_completion: c_cof.iter().map(|&v| sol.value(v)).collect(),
             objective: sol.objective,
             iterations: sol.iterations,
+            stats: sol.stats,
         },
         routing,
     })
@@ -501,6 +545,47 @@ mod tests {
             }
             _ => panic!("expected path weights"),
         }
+    }
+
+    /// The path LP on a growing grid, warm-started through one chain:
+    /// identical objectives, strictly fewer total iterations than cold.
+    #[test]
+    fn warm_chain_on_growing_grids_matches_cold() {
+        let inst = triangle_inst();
+        let cfg = FreePathsLpConfig {
+            path_slack: 1,
+            ..Default::default()
+        };
+        let h = inst.horizon();
+        let scales = [1.0, 2.0, 4.0];
+
+        let mut chain = WarmChain::new();
+        let mut warm_objs = Vec::new();
+        for s in scales {
+            let grid = IntervalGrid::cover(cfg.eps, h * s);
+            let sol = solve_free_paths_lp_paths_on_grid(&inst, &cfg, grid, &mut chain).unwrap();
+            warm_objs.push(sol.base.objective);
+        }
+        assert_eq!(chain.stats().warm_used, scales.len() - 1);
+
+        let mut cold_total = 0usize;
+        for (s, warm_obj) in scales.iter().zip(&warm_objs) {
+            let grid = IntervalGrid::cover(cfg.eps, h * s);
+            let cold = solve_free_paths_lp_paths_on_grid(&inst, &cfg, grid, &mut WarmChain::new())
+                .unwrap();
+            assert!(
+                (warm_obj - cold.base.objective).abs() < 1e-6,
+                "scale {s}: warm {warm_obj} vs cold {}",
+                cold.base.objective
+            );
+            cold_total += cold.base.iterations;
+        }
+        assert!(
+            chain.stats().total_iterations < cold_total,
+            "warm chain {} iters vs cold {}",
+            chain.stats().total_iterations,
+            cold_total
+        );
     }
 
     #[test]

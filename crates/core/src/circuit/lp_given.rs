@@ -24,7 +24,7 @@
 
 use crate::intervals::IntervalGrid;
 use crate::model::Instance;
-use coflow_lp::{LpError, Model, SolverOptions, VarId};
+use coflow_lp::{LpError, Model, SolveStats, SolverOptions, VarId, WarmChain};
 
 /// Configuration for the §2.1 LP.
 #[derive(Clone, Debug)]
@@ -63,6 +63,9 @@ pub struct CircuitLpSolution {
     pub objective: f64,
     /// Simplex pivots.
     pub iterations: usize,
+    /// Detailed solver statistics (factorization fill-in, refactorization
+    /// count, warm-start outcome, ...).
+    pub stats: SolveStats,
 }
 
 impl CircuitLpSolution {
@@ -82,7 +85,7 @@ impl CircuitLpSolution {
 }
 
 /// Builds and solves the §2.1 LP for an instance whose flows all carry
-/// prescribed paths.
+/// prescribed paths, on the canonical grid covering the instance horizon.
 ///
 /// # Errors
 /// [`LpError`] from the solver (the LP is feasible by construction for any
@@ -94,11 +97,31 @@ pub fn solve_given_paths_lp(
     instance: &Instance,
     cfg: &GivenPathsLpConfig,
 ) -> Result<CircuitLpSolution, LpError> {
+    let grid = IntervalGrid::cover(cfg.eps, instance.horizon());
+    solve_given_paths_lp_on_grid(instance, cfg, grid, &mut WarmChain::new())
+}
+
+/// [`solve_given_paths_lp`] on an explicit interval grid, warm-started
+/// through `chain`.
+///
+/// All variables and rows carry names that are stable when the grid *grows*
+/// (boundaries are a prefix of the grown grid's boundaries), so threading
+/// one [`WarmChain`] through a sequence of growing grids reuses each
+/// optimal basis instead of cold-starting — the LP-sequence pattern of the
+/// paper's algorithms.
+///
+/// # Panics
+/// If some flow lacks a path.
+pub fn solve_given_paths_lp_on_grid(
+    instance: &Instance,
+    cfg: &GivenPathsLpConfig,
+    grid: IntervalGrid,
+    chain: &mut WarmChain,
+) -> Result<CircuitLpSolution, LpError> {
     assert!(
         instance.has_all_paths(),
         "given-paths LP requires a path on every flow"
     );
-    let grid = IntervalGrid::cover(cfg.eps, instance.horizon());
     let nl = grid.count();
     let nf = instance.flow_count();
     let mut m = Model::new();
@@ -137,15 +160,20 @@ pub fn solve_given_paths_lp(
         }
         // (4) completion fractions sum to one.
         let terms: Vec<_> = (first..nl).map(|l| (x[flat][l].unwrap(), 1.0)).collect();
-        m.eq(&terms, 1.0);
+        m.add_row_named(coflow_lp::Cmp::Eq, 1.0, &terms, format!("sum{flat}"));
         // (5) completion definition.
         let mut terms: Vec<_> = (first..nl)
             .map(|l| (x[flat][l].unwrap(), grid.lower(l)))
             .collect();
         terms.push((cf, -1.0));
-        m.le(&terms, 0.0);
+        m.add_row_named(coflow_lp::Cmp::Le, 0.0, &terms, format!("cmp{flat}"));
         // (6) dummy-flow precedence.
-        m.le(&[(cf, 1.0), (c_cof[id.coflow as usize], -1.0)], 0.0);
+        m.add_row_named(
+            coflow_lp::Cmp::Le,
+            0.0,
+            &[(cf, 1.0), (c_cof[id.coflow as usize], -1.0)],
+            format!("prec{flat}"),
+        );
     }
 
     // (7)+(8) capacity rows: group flows by edge.
@@ -174,12 +202,12 @@ pub fn solve_given_paths_lp(
             // the coefficients could sum past the capacity.
             let max_lhs: f64 = terms.iter().map(|&(_, c)| c).sum();
             if !terms.is_empty() && max_lhs > cap {
-                m.le(&terms, cap);
+                m.add_row_named(coflow_lp::Cmp::Le, cap, &terms, format!("cap{ei}:{l}"));
             }
         }
     }
 
-    let sol = m.solve_with(&cfg.solver)?;
+    let sol = chain.solve(&m, &cfg.solver)?;
 
     let xs: Vec<Vec<f64>> = x
         .iter()
@@ -196,6 +224,7 @@ pub fn solve_given_paths_lp(
         coflow_completion: c_cof.iter().map(|&v| sol.value(v)).collect(),
         objective: sol.objective,
         iterations: sol.iterations,
+        stats: sol.stats,
     })
 }
 
@@ -359,11 +388,68 @@ mod tests {
             coflow_completion: vec![0.0],
             objective: 0.0,
             iterations: 0,
+            stats: SolveStats::default(),
         };
         assert_eq!(sol.alpha_interval(0, 0.25), 0);
         assert_eq!(sol.alpha_interval(0, 0.5), 1);
         assert_eq!(sol.alpha_interval(0, 0.75), 2);
         assert_eq!(sol.alpha_interval(0, 1.0), 2);
+    }
+
+    /// A growing interval grid warm-started through one [`WarmChain`] must
+    /// reproduce the cold objectives while spending strictly fewer total
+    /// iterations than cold-starting every solve.
+    #[test]
+    fn warm_chain_on_growing_grids_matches_cold() {
+        let t = topo::line(3, 1.0);
+        let p01 = paths::bfs_shortest_path(&t.graph, NodeId(0), NodeId(2)).unwrap();
+        let p12 = paths::bfs_shortest_path(&t.graph, NodeId(1), NodeId(2)).unwrap();
+        let inst = Instance::new(
+            t.graph,
+            vec![
+                Coflow::new(
+                    2.0,
+                    vec![FlowSpec::with_path(NodeId(0), NodeId(2), 3.0, 0.0, p01)],
+                ),
+                Coflow::new(
+                    1.0,
+                    vec![FlowSpec::with_path(NodeId(1), NodeId(2), 2.0, 1.0, p12)],
+                ),
+            ],
+        );
+        let cfg = GivenPathsLpConfig::default();
+        let h = inst.horizon();
+        let scales = [1.0, 2.0, 4.0];
+
+        let mut chain = WarmChain::new();
+        let mut warm_sols = Vec::new();
+        for s in scales {
+            let grid = IntervalGrid::cover(cfg.eps, h * s);
+            warm_sols.push(solve_given_paths_lp_on_grid(&inst, &cfg, grid, &mut chain).unwrap());
+        }
+        // Every solve after the first attempted (and took) the warm start.
+        assert_eq!(chain.stats().warm_attempted, scales.len() - 1);
+        assert_eq!(chain.stats().warm_used, scales.len() - 1);
+
+        let mut cold_total = 0usize;
+        for (s, warm) in scales.iter().zip(&warm_sols) {
+            let grid = IntervalGrid::cover(cfg.eps, h * s);
+            let cold =
+                solve_given_paths_lp_on_grid(&inst, &cfg, grid, &mut WarmChain::new()).unwrap();
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6,
+                "scale {s}: warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+            cold_total += cold.iterations;
+        }
+        assert!(
+            chain.stats().total_iterations < cold_total,
+            "warm chain {} iters vs cold {}",
+            chain.stats().total_iterations,
+            cold_total
+        );
     }
 
     #[test]

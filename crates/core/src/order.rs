@@ -117,6 +117,7 @@ mod tests {
             coflow_completion: vec![5.0, 1.0],
             objective: 0.0,
             iterations: 0,
+            stats: Default::default(),
         };
         let p = lp_order(&inst, &lp);
         assert_eq!(p.order, vec![2, 1, 0]);

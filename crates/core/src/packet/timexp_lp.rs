@@ -11,7 +11,7 @@
 //! hence tests-only).
 
 use crate::model::Instance;
-use coflow_lp::{LpError, Model, SolverOptions, VarId};
+use coflow_lp::{LpError, Model, SolveStats, SolverOptions, VarId, WarmChain};
 use coflow_net::TimeExpandedGraph;
 
 /// Solves the time-expanded LP with horizon `T` steps.
@@ -25,6 +25,23 @@ pub fn packet_lp_lower_bound(
     horizon: usize,
     solver: &SolverOptions,
 ) -> Result<f64, LpError> {
+    packet_lp_lower_bound_warm(instance, horizon, solver, &mut WarmChain::new()).map(|(o, _)| o)
+}
+
+/// [`packet_lp_lower_bound`] warm-started through `chain`, additionally
+/// returning the solver statistics.
+///
+/// The time-expanded graph is built timestamp-major, so expanded edge ids —
+/// and with them every `z` variable name — are stable when the horizon
+/// grows. Threading one [`WarmChain`] through a growing horizon sequence
+/// (e.g. probing for the smallest `T` that stops lowering the bound) reuses
+/// each optimal basis instead of cold-starting every solve.
+pub fn packet_lp_lower_bound_warm(
+    instance: &Instance,
+    horizon: usize,
+    solver: &SolverOptions,
+    chain: &mut WarmChain,
+) -> Result<(f64, SolveStats), LpError> {
     assert!(horizon >= 1);
     let g = &instance.graph;
     // Queue edges are effectively uncapacitated (no LP row is generated for
@@ -100,7 +117,12 @@ pub fn packet_lp_lower_bound(
                 }
                 let rhs = if v == spec.src && t == rel { 1.0 } else { 0.0 };
                 if !terms.is_empty() || rhs != 0.0 {
-                    m.eq(&terms, rhs);
+                    m.add_row_named(
+                        coflow_lp::Cmp::Eq,
+                        rhs,
+                        &terms,
+                        format!("con{flat}:{t}:{}", v.index()),
+                    );
                 }
             }
         }
@@ -124,9 +146,14 @@ pub fn packet_lp_lower_bound(
             }
         }
         terms.push((cf, -1.0));
-        m.le(&terms, 0.0);
+        m.add_row_named(coflow_lp::Cmp::Le, 0.0, &terms, format!("cmp{flat}"));
         // (27) coflow precedence.
-        m.le(&[(cf, 1.0), (c_cof[id.coflow as usize], -1.0)], 0.0);
+        m.add_row_named(
+            coflow_lp::Cmp::Le,
+            0.0,
+            &[(cf, 1.0), (c_cof[id.coflow as usize], -1.0)],
+            format!("prec{flat}"),
+        );
         c_flow.push(cf);
         z.push(vars);
     }
@@ -143,12 +170,12 @@ pub fn packet_lp_lower_bound(
             }
         }
         if terms.len() > 1 {
-            m.le(&terms, 1.0);
+            m.add_row_named(coflow_lp::Cmp::Le, 1.0, &terms, format!("cap{}", e.0));
         }
     }
 
-    let sol = m.solve_with(solver)?;
-    Ok(sol.objective)
+    let sol = chain.solve(&m, solver)?;
+    Ok((sol.objective, sol.stats))
 }
 
 #[cfg(test)]
@@ -219,6 +246,30 @@ mod tests {
         // Best: heavy packet direct (arrives 1), light detours (arrives 2):
         // 5*1 + 1*2 = 7.
         assert!((lb - 7.0).abs() < 1e-5, "bound {lb}");
+    }
+
+    /// A growing time horizon warm-started through one chain: the bound at
+    /// each horizon matches the cold solve, and the chain reports warm
+    /// starts taken.
+    #[test]
+    fn warm_chain_on_growing_horizons_matches_cold() {
+        let t = topo::line(3, 1.0);
+        let mk = || Coflow::new(1.0, vec![FlowSpec::new(NodeId(0), NodeId(2), 1.0, 0.0)]);
+        let inst = Instance::new(t.graph.clone(), vec![mk(), mk()]);
+        let opts = SolverOptions::default();
+        let horizons = [6usize, 8, 10];
+
+        let mut chain = WarmChain::new();
+        let mut warm = Vec::new();
+        for &h in &horizons {
+            let (obj, _) = packet_lp_lower_bound_warm(&inst, h, &opts, &mut chain).unwrap();
+            warm.push(obj);
+        }
+        assert_eq!(chain.stats().warm_used, horizons.len() - 1);
+        for (&h, w) in horizons.iter().zip(&warm) {
+            let cold = packet_lp_lower_bound(&inst, h, &opts).unwrap();
+            assert!((w - cold).abs() < 1e-6, "T={h}: warm {w} vs cold {cold}");
+        }
     }
 
     #[test]

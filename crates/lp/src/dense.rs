@@ -200,6 +200,21 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
         if w_opt > 1e-6 {
             return Err(LpError::Infeasible);
         }
+        // Drive leftover degenerate basic artificials out of the basis:
+        // rank-deficient (redundant) rows end phase 1 with an artificial
+        // basic at value 0, and a later phase-2 pivot touching such a row
+        // would silently push the artificial positive — returning an
+        // infeasible point. Pivot each one onto any nonzero non-artificial
+        // column of its row (a degenerate pivot: rhs is 0, feasibility is
+        // unchanged); a row with no such column is entirely redundant and
+        // inert under further pivots.
+        for i in 0..m {
+            if basis[i] >= first_art {
+                if let Some(pc) = (0..first_art).find(|&j| t[i * w + j].abs() > 1e-7) {
+                    pivot(&mut t, &mut obj, &mut basis, i, pc);
+                }
+            }
+        }
     }
 
     // ---- Phase 2 ----
@@ -237,6 +252,7 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
         iterations: 0,
         phase1_iterations: 0,
         status: Status::Optimal,
+        stats: crate::basis::SolveStats::default(),
     })
 }
 

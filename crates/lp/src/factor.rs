@@ -1,0 +1,326 @@
+//! The basis-factorization abstraction behind the revised simplex.
+//!
+//! The pivot loop in [`crate::simplex`] only ever needs four linear-algebra
+//! operations on the basis matrix `B`:
+//!
+//! * `ftran` — `x ← B⁻¹ b` (entering column image, basic values);
+//! * `btran` — `y ← B⁻ᵀ c` (duals, devex reference row);
+//! * `update` — rank-one replacement of one basis column after a pivot;
+//! * `refactor` — rebuild from the current basis columns.
+//!
+//! [`Factorization`] captures exactly that contract, so the engine is
+//! generic over the representation: [`DenseInverse`] keeps an explicit
+//! `m×m` basis inverse with Gauss–Jordan refactorization (the historical
+//! implementation, kept as a measurable baseline and a cross-check), and
+//! [`SparseLuFactor`] wraps the sparse Markowitz LU + eta file from
+//! [`crate::sparse_lu`] (the production default).
+
+use crate::model::{LpError, SolverOptions};
+use crate::sparse_lu::{LuFactors, SparseCol};
+
+/// Linear-algebra contract of a basis representation.
+pub(crate) trait Factorization {
+    /// Rebuilds the representation from the basis columns (`cols.len() == m`).
+    fn refactor(&mut self, m: usize, cols: &[SparseCol]) -> Result<(), LpError>;
+    /// In place: `x ← B⁻¹ x` (input indexed by row, output by basis position).
+    fn ftran(&mut self, x: &mut [f64]);
+    /// In place: `x ← B⁻ᵀ x` (input indexed by basis position, output by row).
+    fn btran(&mut self, x: &mut [f64]);
+    /// Writes row `r` of `B⁻¹` into `out` (length `m`).
+    fn binv_row(&mut self, r: usize, out: &mut [f64]) {
+        out.fill(0.0);
+        out[r] = 1.0;
+        self.btran(out);
+    }
+    /// Replaces basis position `r_leave`; `w` is the FTRAN image of the
+    /// entering column. `Err` means "refactorize now".
+    fn update(&mut self, r_leave: usize, w: &[f64]) -> Result<(), LpError>;
+    /// Whether the engine should refactorize given pivots since the last one.
+    fn wants_refactor(&self, since: usize, opts: &SolverOptions) -> bool;
+    /// Nonzeros in the current factors (fill-in accounting).
+    fn factor_nnz(&self) -> usize;
+}
+
+// ---------------------------------------------------------------------------
+// Dense explicit inverse (baseline).
+// ---------------------------------------------------------------------------
+
+/// Explicit dense `B⁻¹`, column-major (`binv[c*m + r] = B⁻¹[r][c]`), with
+/// Gauss–Jordan refactorization and `O(m²)` product-form pivot updates.
+#[derive(Default)]
+pub(crate) struct DenseInverse {
+    m: usize,
+    binv: Vec<f64>,
+    scratch: Vec<f64>,
+    nz: Vec<(usize, f64)>,
+}
+
+impl Factorization for DenseInverse {
+    fn refactor(&mut self, m: usize, cols: &[SparseCol]) -> Result<(), LpError> {
+        self.m = m;
+        self.binv.clear();
+        self.binv.resize(m * m, 0.0);
+        self.scratch.resize(m, 0.0);
+        if m == 0 {
+            return Ok(());
+        }
+        // Dense B, row-major for cache-friendly row elimination.
+        let mut bmat = vec![0.0; m * m];
+        for (k, col) in cols.iter().enumerate() {
+            for &(r, v) in col {
+                bmat[r as usize * m + k] = v;
+            }
+        }
+        let mut inv = vec![0.0; m * m];
+        for r in 0..m {
+            inv[r * m + r] = 1.0;
+        }
+        for k in 0..m {
+            // Partial pivot on column k.
+            let mut piv_row = k;
+            let mut piv_abs = bmat[k * m + k].abs();
+            for r in k + 1..m {
+                let a = bmat[r * m + k].abs();
+                if a > piv_abs {
+                    piv_abs = a;
+                    piv_row = r;
+                }
+            }
+            if piv_abs < 1e-12 {
+                return Err(LpError::Numerical(format!(
+                    "singular basis at column {k} (pivot {piv_abs:.3e})"
+                )));
+            }
+            if piv_row != k {
+                for c in 0..m {
+                    bmat.swap(k * m + c, piv_row * m + c);
+                    inv.swap(k * m + c, piv_row * m + c);
+                }
+            }
+            let piv = bmat[k * m + k];
+            let inv_piv = 1.0 / piv;
+            for c in 0..m {
+                bmat[k * m + c] *= inv_piv;
+                inv[k * m + c] *= inv_piv;
+            }
+            for r in 0..m {
+                if r == k {
+                    continue;
+                }
+                let f = bmat[r * m + k];
+                if f == 0.0 {
+                    continue;
+                }
+                for c in 0..m {
+                    bmat[r * m + c] -= f * bmat[k * m + c];
+                    inv[r * m + c] -= f * inv[k * m + c];
+                }
+            }
+        }
+        // Transpose into the column-major layout.
+        for r in 0..m {
+            for c in 0..m {
+                self.binv[c * m + r] = inv[r * m + c];
+            }
+        }
+        Ok(())
+    }
+
+    fn ftran(&mut self, x: &mut [f64]) {
+        let m = self.m;
+        // Gather nonzeros of the (row-indexed) input first: entering
+        // columns and right-hand sides are sparse.
+        self.nz.clear();
+        for (r, &v) in x.iter().enumerate() {
+            if v != 0.0 {
+                self.nz.push((r, v));
+            }
+        }
+        let w = &mut self.scratch;
+        w.fill(0.0);
+        for &(r, v) in &self.nz {
+            let col = &self.binv[r * m..r * m + m];
+            for (wi, ci) in w.iter_mut().zip(col) {
+                *wi += v * ci;
+            }
+        }
+        x.copy_from_slice(w);
+    }
+
+    fn btran(&mut self, x: &mut [f64]) {
+        let m = self.m;
+        self.nz.clear();
+        for (r, &v) in x.iter().enumerate() {
+            if v != 0.0 {
+                self.nz.push((r, v));
+            }
+        }
+        let y = &mut self.scratch;
+        for (c, yc) in y.iter_mut().enumerate() {
+            let col = &self.binv[c * m..c * m + m];
+            let mut acc = 0.0;
+            for &(r, cv) in &self.nz {
+                acc += cv * col[r];
+            }
+            *yc = acc;
+        }
+        x.copy_from_slice(y);
+    }
+
+    fn binv_row(&mut self, r: usize, out: &mut [f64]) {
+        // Strided gather from the column-major layout.
+        let m = self.m;
+        for (c, rc) in out.iter_mut().enumerate() {
+            *rc = self.binv[c * m + r];
+        }
+    }
+
+    fn update(&mut self, r_leave: usize, w: &[f64]) -> Result<(), LpError> {
+        let m = self.m;
+        let piv = w[r_leave];
+        if piv.abs() < 1e-11 {
+            return Err(LpError::Numerical(format!(
+                "dense update pivot too small: {piv:.3e}"
+            )));
+        }
+        for c in 0..m {
+            let col = &mut self.binv[c * m..c * m + m];
+            let t = col[r_leave] / piv;
+            if t == 0.0 {
+                continue;
+            }
+            for (ci, wi) in col.iter_mut().zip(w) {
+                *ci -= wi * t;
+            }
+            col[r_leave] = t;
+        }
+        Ok(())
+    }
+
+    fn wants_refactor(&self, since: usize, opts: &SolverOptions) -> bool {
+        since >= opts.refactor_every
+    }
+
+    fn factor_nnz(&self) -> usize {
+        self.m * self.m
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse LU + eta file (production default).
+// ---------------------------------------------------------------------------
+
+/// Sparse Markowitz LU with product-form updates ([`crate::sparse_lu`]).
+#[derive(Default)]
+pub(crate) struct SparseLuFactor {
+    lu: Option<LuFactors>,
+}
+
+impl Factorization for SparseLuFactor {
+    fn refactor(&mut self, m: usize, cols: &[SparseCol]) -> Result<(), LpError> {
+        if m == 0 {
+            self.lu = None;
+            return Ok(());
+        }
+        match LuFactors::factorize(m, cols) {
+            Ok(lu) => {
+                self.lu = Some(lu);
+                Ok(())
+            }
+            Err(e) => Err(LpError::Numerical(e)),
+        }
+    }
+
+    fn ftran(&mut self, x: &mut [f64]) {
+        if let Some(lu) = self.lu.as_mut() {
+            lu.ftran(x);
+        }
+    }
+
+    fn btran(&mut self, x: &mut [f64]) {
+        if let Some(lu) = self.lu.as_mut() {
+            lu.btran(x);
+        }
+    }
+
+    fn update(&mut self, r_leave: usize, w: &[f64]) -> Result<(), LpError> {
+        match self.lu.as_mut() {
+            Some(lu) => lu.update(r_leave, w).map_err(LpError::Numerical),
+            None => Ok(()),
+        }
+    }
+
+    fn wants_refactor(&self, since: usize, opts: &SolverOptions) -> bool {
+        let Some(lu) = self.lu.as_ref() else {
+            return false;
+        };
+        // Refactorize when the eta file stops paying for itself: solves
+        // cost O(lu_nnz + eta_nnz), refactorization is cheap for sparse
+        // bases, and long eta chains also degrade numerically.
+        since >= opts.refactor_every.min(120) || lu.eta_nnz > 2 * lu.lu_nnz().max(500)
+    }
+
+    fn factor_nnz(&self) -> usize {
+        self.lu.as_ref().map_or(0, |lu| lu.lu_nnz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols3() -> Vec<SparseCol> {
+        vec![
+            vec![(0, 2.0), (1, 1.0)],
+            vec![(1, 1.0), (2, 3.0)],
+            vec![(0, 1.0), (2, 5.0)],
+        ]
+    }
+
+    /// Dense and sparse factorizations must agree on ftran/btran/binv_row
+    /// and on post-update solves.
+    #[test]
+    fn dense_and_sparse_agree() {
+        let cols = cols3();
+        let mut d = DenseInverse::default();
+        let mut s = SparseLuFactor::default();
+        d.refactor(3, &cols).unwrap();
+        s.refactor(3, &cols).unwrap();
+
+        let b = [1.0, -2.0, 0.5];
+        let (mut xd, mut xs) = (b, b);
+        d.ftran(&mut xd);
+        s.ftran(&mut xs);
+        for (u, v) in xd.iter().zip(&xs) {
+            assert!((u - v).abs() < 1e-10);
+        }
+        let c = [0.5, 0.0, -1.5];
+        let (mut yd, mut ys) = (c, c);
+        d.btran(&mut yd);
+        s.btran(&mut ys);
+        for (u, v) in yd.iter().zip(&ys) {
+            assert!((u - v).abs() < 1e-10);
+        }
+        let (mut rd, mut rs) = ([0.0; 3], [0.0; 3]);
+        d.binv_row(1, &mut rd);
+        s.binv_row(1, &mut rs);
+        for (u, v) in rd.iter().zip(&rs) {
+            assert!((u - v).abs() < 1e-10);
+        }
+
+        // Update position 0 with a new column, then compare ftran again.
+        let a = [1.0f64, 1.0, 0.0];
+        let (mut wd, mut ws) = (a, a);
+        d.ftran(&mut wd);
+        s.ftran(&mut ws);
+        d.update(0, &wd).unwrap();
+        s.update(0, &ws).unwrap();
+        let b2 = [0.0, 1.0, 1.0];
+        let (mut xd, mut xs) = (b2, b2);
+        d.ftran(&mut xd);
+        s.ftran(&mut xs);
+        for (u, v) in xd.iter().zip(&xs) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+}

@@ -7,18 +7,27 @@
 //! (`0 <= x <= 1` or `x >= 0`), which drives the design:
 //!
 //! * [`Model`] — a builder for `min cᵀx  s.t.  Ax {<=,=,>=} b, l <= x <= u`
-//!   with sparse rows;
-//! * [`simplex`] — a **bounded-variable revised primal simplex** with an
-//!   explicitly maintained dense basis inverse, periodic refactorization,
-//!   Dantzig pricing with a Bland's-rule anti-cycling fallback, and a
-//!   two-phase start;
+//!   with sparse rows (duplicate terms merged at build time);
+//! * [`simplex`] — a **bounded-variable revised primal simplex**, generic
+//!   over the basis factorization, with devex pricing, a Harris ratio
+//!   test, a Bland's-rule anti-cycling fallback, a two-phase start, and
+//!   name-mapped **warm starts** for sequences of related LPs;
+//! * [`sparse_lu`] — sparse LU with Markowitz pivoting and eta-file
+//!   (product-form) updates: the production basis representation;
+//! * [`backend`] — the [`LpBackend`] trait and the three selectable
+//!   implementations ([`Backend::Sparse`], [`Backend::DenseInverse`],
+//!   [`Backend::Reference`]);
 //! * [`dense`] — an independent, deliberately simple full-tableau simplex
 //!   used as a cross-checking oracle in tests (never in production paths);
-//! * [`presolve`] — fixed-variable elimination and empty-row checks.
+//! * [`presolve`] — fixed-variable elimination, empty-row checks, and
+//!   singleton-row bound tightening.
 //!
-//! The solver returns primal values, dual row prices, and the objective;
-//! optimality of every solve is asserted in debug builds by checking primal
-//! feasibility and reduced-cost signs.
+//! The solver returns primal values, dual row prices, the objective, and
+//! per-solve [`SolveStats`]; optimality of every solve is asserted in debug
+//! builds by checking primal feasibility and reduced-cost signs. For LP
+//! *sequences* (a grid or horizon that grows between solves), use
+//! [`Model::solve_with_basis`] / [`Model::solve_warm`] to reuse the
+//! previous optimal [`Basis`] instead of cold-starting.
 //!
 //! ```
 //! use coflow_lp::{Model, Cmp};
@@ -34,12 +43,18 @@
 //! assert!((sol.value(y) - 2.0).abs() < 1e-7);
 //! ```
 
+pub mod backend;
+pub mod basis;
 pub mod dense;
+pub(crate) mod factor;
 pub mod model;
 pub mod presolve;
 pub mod simplex;
+pub(crate) mod sparse_lu;
 
-pub use model::{Cmp, LpError, Model, RowId, Solution, SolverOptions, Status, VarId};
+pub use backend::{backend_for, Backend, LpBackend};
+pub use basis::{Basis, ChainStats, SolveStats, WarmChain};
+pub use model::{Cmp, LpError, Model, Pricing, RowId, Solution, SolverOptions, Status, VarId};
 
 /// Default feasibility / optimality tolerance.
 pub const LP_TOL: f64 = 1e-7;

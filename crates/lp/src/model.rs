@@ -1,6 +1,8 @@
 //! LP model builder and solution types.
 
-use crate::{dense, presolve, simplex, LP_TOL};
+use crate::backend::{backend_for, Backend};
+use crate::basis::{Basis, SolveStats};
+use crate::{dense, LP_TOL};
 use std::fmt;
 
 /// Identifier of a decision variable (dense index into the model).
@@ -83,6 +85,22 @@ impl fmt::Display for LpError {
 
 impl std::error::Error for LpError {}
 
+/// Column-pricing strategy of the revised simplex.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Pricing {
+    /// Sectioned ("partial") devex: each iteration scans rotating windows
+    /// of roughly `4m` columns and stops at the first window containing an
+    /// eligible candidate; devex weights are maintained for the scanned
+    /// columns only. Cuts the per-iteration cost from `O(nnz(A))` to
+    /// `O(nnz(window))` on the wide coflow LPs (`n ≫ m`).
+    #[default]
+    Partial,
+    /// Classic full pricing: every iteration scans all columns and updates
+    /// all devex weights (the historical behavior, kept as a measurable
+    /// baseline and for pathological instances).
+    Full,
+}
+
 /// Options controlling the simplex.
 #[derive(Clone, Debug)]
 pub struct SolverOptions {
@@ -105,6 +123,16 @@ pub struct SolverOptions {
     /// the perturbed problem, hence within `perturb · Σ|x|·scale` of the
     /// true optimum.
     pub perturb: f64,
+    /// Relative magnitude of the deterministic jitter on phase-1
+    /// artificial costs (0 = exact unit costs). Exact unit costs make
+    /// transportation-like LPs massively dual-degenerate in phase 1; the
+    /// jitter breaks the ties while preserving the phase-1 optimum's
+    /// defining property (zero infeasibility ⇔ all artificials at zero).
+    pub phase1_jitter: f64,
+    /// Column-pricing strategy (see [`Pricing`]).
+    pub pricing: Pricing,
+    /// Which solver implementation to use (see [`Backend`]).
+    pub backend: Backend,
 }
 
 impl Default for SolverOptions {
@@ -116,6 +144,9 @@ impl Default for SolverOptions {
             bland_after: 60,
             verify: cfg!(debug_assertions),
             perturb: 0.0,
+            phase1_jitter: 1e-7,
+            pricing: Pricing::default(),
+            backend: Backend::default(),
         }
     }
 }
@@ -145,6 +176,10 @@ pub(crate) struct Column {
 pub(crate) struct Row {
     pub cmp: Cmp,
     pub rhs: f64,
+    /// Optional stable name (empty = anonymous). Named rows let a
+    /// [`Basis`] snapshot remember basic *slacks* across related models,
+    /// which is what makes warm starts of inequality-heavy LPs effective.
+    pub name: String,
 }
 
 /// Builder for a linear program `min cᵀx  s.t.  Ax {<=,=,>=} b, l <= x <= u`.
@@ -209,20 +244,66 @@ impl Model {
     }
 
     /// Adds constraint `Σ terms {cmp} rhs`; returns the row id.
-    /// Zero-coefficient and duplicate terms are handled (duplicates sum).
+    ///
+    /// Duplicate `(var, coef)` terms are **summed once here**, so presolve
+    /// and the solver backends never re-scan for duplicates: every stored
+    /// row has unique variables and nonzero coefficients (terms whose sum
+    /// cancels to zero are dropped entirely).
     ///
     /// # Panics
     /// If `rhs` or any coefficient is not finite, or a var id is invalid.
     pub fn add_row(&mut self, cmp: Cmp, rhs: f64, terms: &[(VarId, f64)]) -> RowId {
+        self.add_row_named(cmp, rhs, terms, String::new())
+    }
+
+    /// [`Model::add_row`] with a stable row name. Naming a row lets basis
+    /// snapshots carry the row's basic-slack status into a related model
+    /// (see [`Model::solve_warm`]); anonymous rows still solve identically
+    /// but their slack state is reconstructed rather than remembered.
+    pub fn add_row_named(
+        &mut self,
+        cmp: Cmp,
+        rhs: f64,
+        terms: &[(VarId, f64)],
+        name: impl Into<String>,
+    ) -> RowId {
         assert!(rhs.is_finite(), "rhs must be finite");
         let id = RowId(self.rows.len() as u32);
-        self.rows.push(Row { cmp, rhs });
+        self.rows.push(Row {
+            cmp,
+            rhs,
+            name: name.into(),
+        });
+        let start = self.triplets.len();
         for &(v, c) in terms {
             assert!(c.is_finite(), "coefficient must be finite");
             assert!(v.index() < self.cols.len(), "unknown variable {v:?}");
             if c != 0.0 {
                 self.triplets.push((id.0, v.0, c));
             }
+        }
+        // Canonicalize the row in place: sort by variable, merge duplicates,
+        // drop exact cancellations. Rows are short, so this is cheap — and
+        // it runs once per row instead of once per solve.
+        let row = &mut self.triplets[start..];
+        if row.len() > 1 {
+            row.sort_unstable_by_key(|&(_, c, _)| c);
+            let mut w = start;
+            let mut i = start;
+            while i < self.triplets.len() {
+                let (r, c, mut a) = self.triplets[i];
+                let mut k = i + 1;
+                while k < self.triplets.len() && self.triplets[k].1 == c {
+                    a += self.triplets[k].2;
+                    k += 1;
+                }
+                if a != 0.0 {
+                    self.triplets[w] = (r, c, a);
+                    w += 1;
+                }
+                i = k;
+            }
+            self.triplets.truncate(w);
         }
         id
     }
@@ -267,16 +348,48 @@ impl Model {
         self.solve_with(&SolverOptions::default())
     }
 
-    /// Solves with explicit options, running presolve then the revised
-    /// simplex.
+    /// Solves with explicit options via the configured
+    /// [`Backend`](crate::Backend).
     pub fn solve_with(&self, opts: &SolverOptions) -> Result<Solution, LpError> {
-        let reduced = presolve::presolve(self)?;
-        let mut sol = simplex::solve_presolved(self, &reduced, opts)?;
+        Ok(self.solve_inner(opts, None, false)?.0)
+    }
+
+    /// Solves cold and additionally returns a [`Basis`] snapshot for
+    /// warm-starting a structurally related (e.g. grown) model.
+    pub fn solve_with_basis(&self, opts: &SolverOptions) -> Result<(Solution, Basis), LpError> {
+        let (sol, basis) = self.solve_inner(opts, None, true)?;
+        Ok((sol, basis.unwrap_or_default()))
+    }
+
+    /// Solves warm-started from `basis` (a snapshot of a related model's
+    /// optimal basis, mapped by variable name) and returns the solution
+    /// together with this model's own basis snapshot.
+    ///
+    /// Warm starting never changes the answer: if the mapped basis is
+    /// singular or infeasible the solver silently cold-starts (check
+    /// [`SolveStats::warm_used`] on the returned solution's `stats`).
+    pub fn solve_warm(
+        &self,
+        basis: &Basis,
+        opts: &SolverOptions,
+    ) -> Result<(Solution, Basis), LpError> {
+        let (sol, out) = self.solve_inner(opts, Some(basis), true)?;
+        Ok((sol, out.unwrap_or_default()))
+    }
+
+    fn solve_inner(
+        &self,
+        opts: &SolverOptions,
+        warm: Option<&Basis>,
+        want_basis: bool,
+    ) -> Result<(Solution, Option<Basis>), LpError> {
+        let backend = backend_for(opts.backend);
+        let (mut sol, basis) = backend.solve_model(self, opts, warm, want_basis)?;
         if opts.verify {
             self.verify_solution(&sol, opts.tol.max(1e-6) * 100.0);
         }
         sol.status = Status::Optimal;
-        Ok(sol)
+        Ok((sol, basis))
     }
 
     /// Solves with the slow dense-tableau reference solver (tests/oracles).
@@ -337,14 +450,21 @@ pub struct Solution {
     pub values: Vec<f64>,
     /// Dual prices, indexed by [`RowId`]. Sign convention: for `min`
     /// problems, `Le` rows have nonpositive... — duals are raw simplex
-    /// multipliers `y = c_B B⁻¹`; use for diagnostics only.
+    /// multipliers `y = c_B B⁻¹`; use for diagnostics only. Rows that
+    /// presolve eliminates (singleton rows rewritten into variable bounds,
+    /// rows whose support is entirely fixed) report a dual of `0.0`, not
+    /// the multiplier of the bound they became.
     pub duals: Vec<f64>,
-    /// Total simplex pivots across both phases.
+    /// Total simplex pivots across both phases (mirror of
+    /// `stats.iterations`, kept for convenience).
     pub iterations: usize,
     /// Pivots spent in phase 1 (diagnostics).
     pub phase1_iterations: usize,
     /// Termination status (always [`Status::Optimal`] on `Ok`).
     pub status: Status,
+    /// Detailed per-solve statistics (factorization fill-in,
+    /// refactorization count, warm-start outcome, ...).
+    pub stats: SolveStats,
 }
 
 impl Solution {
@@ -446,10 +566,12 @@ mod perturb_tests {
         m.le(&[(x, 1.0)], 4.0);
         let s = m.solve().unwrap();
         assert_eq!(s.phase1_iterations, 0, "Le-only LPs need no phase 1");
-        // Ge rows force phase 1 work.
+        // Ge rows force phase 1 work (two variables, so presolve cannot
+        // rewrite the row into a bound).
         let mut m = Model::new();
         let x = m.add_nonneg(1.0, "x");
-        m.ge(&[(x, 1.0)], 4.0);
+        let y = m.add_nonneg(2.0, "y");
+        m.ge(&[(x, 1.0), (y, 1.0)], 4.0);
         let s = m.solve().unwrap();
         assert!(s.phase1_iterations > 0);
     }

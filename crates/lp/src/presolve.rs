@@ -1,14 +1,32 @@
-//! Light presolve: fixed-variable elimination and empty-row consistency.
+//! Presolve: fixed-variable elimination, empty-row consistency, and
+//! singleton-row bound tightening.
 //!
 //! The coflow LP generators fix many variables (e.g. completion fractions
 //! `x_{jℓ} = 0` for intervals before a flow's release time, constraint (9)/
-//! (22) of the paper, when expressed as fixed variables). Eliminating them
-//! before the simplex shrinks the working problem substantially.
+//! (22) of the paper, when expressed as fixed variables), and they emit many
+//! rows that constrain a *single* variable (precedence rows `c_f <= C_i`
+//! after one side is fixed, pruned capacity rows with one surviving term,
+//! release lower bounds). Eliminating both before the simplex shrinks the
+//! working basis substantially:
+//!
+//! * a variable with `lb == ub` is **fixed**: its columns move to the
+//!   right-hand side and its cost to a constant offset;
+//! * a row whose support has exactly one free variable is a **bound in
+//!   disguise** (`a·x {cmp} b'` after substituting fixed variables): the
+//!   bound is tightened and the row dropped, never entering the basis;
+//! * both rules feed each other (a singleton equality fixes its variable,
+//!   which may create new singletons), so they run to a fixpoint over a
+//!   work queue.
+//!
+//! The tightened working bounds are reported in [`Presolved::lb`]/
+//! [`Presolved::ub`]; the simplex operates on those, not the model's
+//! original bounds. Duals of dropped rows are reported as zero (the
+//! [`crate::Solution`] documents duals as diagnostics only).
 
 use crate::model::{Cmp, LpError, Model};
 
 /// Outcome of presolve: a mapping onto a reduced variable set plus adjusted
-/// right-hand sides.
+/// right-hand sides and tightened bounds.
 #[derive(Clone, Debug)]
 pub struct Presolved {
     /// original var index -> reduced index (None if the var was fixed).
@@ -19,59 +37,164 @@ pub struct Presolved {
     pub fixed_values: Vec<f64>,
     /// Per original row: rhs minus contributions of fixed variables.
     pub rhs_adjust: Vec<f64>,
-    /// Rows that still contain free variables.
+    /// Rows that still constrain two or more free variables.
     pub keep_row: Vec<bool>,
     /// Objective contribution of the fixed variables.
     pub obj_offset: f64,
+    /// Tightened working lower bounds, per original variable.
+    pub lb: Vec<f64>,
+    /// Tightened working upper bounds, per original variable.
+    pub ub: Vec<f64>,
+    /// Number of singleton rows converted into bound updates (diagnostics).
+    pub singleton_rows: usize,
 }
 
-/// Tolerance for declaring an empty row inconsistent.
+/// Tolerance for declaring an empty row inconsistent or bounds crossed.
 const ROW_TOL: f64 = 1e-7;
 
 /// Runs presolve; fails fast with [`LpError::Infeasible`] when a row reduces
-/// to an unsatisfiable constant relation.
+/// to an unsatisfiable constant relation or crosses a variable's bounds.
 pub fn presolve(m: &Model) -> Result<Presolved, LpError> {
     let n = m.num_vars();
-    let mut var_map = vec![None; n];
-    let mut kept_vars = Vec::with_capacity(n);
+    let nr = m.num_rows();
+
+    let mut lb: Vec<f64> = m.cols.iter().map(|c| c.lb).collect();
+    let mut ub: Vec<f64> = m.cols.iter().map(|c| c.ub).collect();
+    let mut fixed = vec![false; n];
     let mut fixed_values = vec![0.0; n];
     let mut obj_offset = 0.0;
 
-    for (j, col) in m.cols.iter().enumerate() {
-        if col.ub - col.lb <= 0.0 {
-            // Fixed: lb == ub (builder guarantees lb <= ub).
-            fixed_values[j] = col.lb;
-            obj_offset += col.cost * col.lb;
-        } else {
-            var_map[j] = Some(kept_vars.len() as u32);
-            kept_vars.push(j as u32);
+    // Row supports and the transposed adjacency (var -> rows).
+    let mut row_terms: Vec<Vec<(u32, f64)>> = vec![Vec::new(); nr];
+    let mut var_rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    for &(r, c, a) in &m.triplets {
+        row_terms[r as usize].push((c, a));
+        var_rows[c as usize].push((r, a));
+    }
+
+    // Initially fixed variables (builder guarantees lb <= ub).
+    for j in 0..n {
+        if ub[j] - lb[j] <= 0.0 {
+            fixed[j] = true;
+            fixed_values[j] = lb[j];
+            obj_offset += m.cols[j].cost * lb[j];
         }
     }
 
     let mut rhs_adjust: Vec<f64> = m.rows.iter().map(|r| r.rhs).collect();
-    let mut live = vec![false; m.num_rows()];
-    for &(r, c, a) in &m.triplets {
-        if var_map[c as usize].is_some() {
-            live[r as usize] = true;
-        } else {
-            rhs_adjust[r as usize] -= a * fixed_values[c as usize];
+    let mut free_count = vec![0usize; nr];
+    for (r, terms) in row_terms.iter().enumerate() {
+        for &(c, a) in terms {
+            if fixed[c as usize] {
+                rhs_adjust[r] -= a * fixed_values[c as usize];
+            } else {
+                free_count[r] += 1;
+            }
         }
     }
 
-    // Rows with no free variables must already hold as `0 {cmp} rhs'`.
-    let mut keep_row = vec![true; m.num_rows()];
-    for (i, row) in m.rows.iter().enumerate() {
-        if !live[i] {
-            let r = rhs_adjust[i];
-            let ok = match row.cmp {
-                Cmp::Le => r >= -ROW_TOL,
-                Cmp::Ge => r <= ROW_TOL,
-                Cmp::Eq => r.abs() <= ROW_TOL,
-            };
-            if !ok {
-                return Err(LpError::Infeasible);
+    let mut live = vec![true; nr];
+    let mut singleton_rows = 0usize;
+
+    // Work queue over rows; every row is examined at least once, and again
+    // whenever one of its variables becomes fixed.
+    let mut queue: std::collections::VecDeque<u32> = (0..nr as u32).collect();
+    let mut queued = vec![true; nr];
+
+    // Fixes variable j at v, propagating into its rows. Returns rows that
+    // need re-examination (pushed by the caller's loop via `queue`).
+    macro_rules! fix_var {
+        ($j:expr, $v:expr) => {{
+            let j = $j;
+            let v: f64 = $v;
+            fixed[j] = true;
+            fixed_values[j] = v;
+            lb[j] = v;
+            ub[j] = v;
+            obj_offset += m.cols[j].cost * v;
+            for &(r, a) in &var_rows[j] {
+                let r = r as usize;
+                if live[r] {
+                    rhs_adjust[r] -= a * v;
+                    free_count[r] -= 1;
+                    if !queued[r] {
+                        queued[r] = true;
+                        queue.push_back(r as u32);
+                    }
+                }
             }
-            keep_row[i] = false;
+        }};
+    }
+
+    while let Some(r) = queue.pop_front() {
+        let r = r as usize;
+        queued[r] = false;
+        if !live[r] {
+            continue;
+        }
+        match free_count[r] {
+            0 => {
+                // Constant row: `0 {cmp} rhs'` must hold.
+                let rv = rhs_adjust[r];
+                let tol = ROW_TOL * (1.0 + m.rows[r].rhs.abs());
+                let ok = match m.rows[r].cmp {
+                    Cmp::Le => rv >= -tol,
+                    Cmp::Ge => rv <= tol,
+                    Cmp::Eq => rv.abs() <= tol,
+                };
+                if !ok {
+                    return Err(LpError::Infeasible);
+                }
+                live[r] = false;
+            }
+            1 => {
+                // Singleton row: a bound on its one free variable.
+                let &(c, a) = row_terms[r]
+                    .iter()
+                    .find(|&&(c, _)| !fixed[c as usize])
+                    .expect("free_count says one free var");
+                let j = c as usize;
+                let bound = rhs_adjust[r] / a;
+                let (mut new_lb, mut new_ub) = (f64::NEG_INFINITY, f64::INFINITY);
+                match (m.rows[r].cmp, a > 0.0) {
+                    (Cmp::Le, true) | (Cmp::Ge, false) => new_ub = bound,
+                    (Cmp::Ge, true) | (Cmp::Le, false) => new_lb = bound,
+                    (Cmp::Eq, _) => {
+                        new_lb = bound;
+                        new_ub = bound;
+                    }
+                }
+                let tol = ROW_TOL * (1.0 + bound.abs());
+                if new_lb > ub[j] + tol || new_ub < lb[j] - tol {
+                    return Err(LpError::Infeasible);
+                }
+                if new_lb == f64::INFINITY || new_ub == f64::NEG_INFINITY {
+                    // Overflowed division: unsatisfiable direction.
+                    return Err(LpError::Infeasible);
+                }
+                if new_lb.is_finite() && new_lb > lb[j] {
+                    lb[j] = new_lb.min(ub[j]);
+                }
+                if new_ub.is_finite() && new_ub < ub[j] {
+                    ub[j] = new_ub.max(lb[j]);
+                }
+                live[r] = false;
+                singleton_rows += 1;
+                if ub[j] - lb[j] <= 0.0 {
+                    fix_var!(j, lb[j]);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Final variable mapping.
+    let mut var_map = vec![None; n];
+    let mut kept_vars = Vec::with_capacity(n);
+    for j in 0..n {
+        if !fixed[j] {
+            var_map[j] = Some(kept_vars.len() as u32);
+            kept_vars.push(j as u32);
         }
     }
 
@@ -80,8 +203,11 @@ pub fn presolve(m: &Model) -> Result<Presolved, LpError> {
         kept_vars,
         fixed_values,
         rhs_adjust,
-        keep_row,
+        keep_row: live,
         obj_offset,
+        lb,
+        ub,
+        singleton_rows,
     })
 }
 
@@ -97,12 +223,12 @@ mod tests {
         let y = m.add_nonneg(1.0, "y");
         m.eq(&[(x, 1.0), (y, 1.0)], 5.0);
         let p = presolve(&m).unwrap();
-        assert_eq!(p.kept_vars, vec![y.0]);
+        // The row becomes a singleton on y and fixes it at 2.
         assert_eq!(p.var_map[x.index()], None);
         assert_eq!(p.fixed_values[x.index()], 3.0);
-        assert_eq!(p.obj_offset, 6.0);
-        assert_eq!(p.rhs_adjust[0], 2.0); // 5 - 3
-        assert!(p.keep_row[0]);
+        assert_eq!(p.fixed_values[y.index()], 2.0);
+        assert_eq!(p.obj_offset, 8.0);
+        assert!(!p.keep_row[0]);
         // End-to-end: y = 2, objective 6 + 2 = 8.
         let sol = m.solve().unwrap();
         assert!((sol.objective - 8.0).abs() < 1e-7);
@@ -146,5 +272,93 @@ mod tests {
         m.ge(&[(x, 1.0)], 1.0);
         let sol = m.solve().unwrap();
         assert!((sol.value(x) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn singleton_le_tightens_upper_bound() {
+        let mut m = Model::new();
+        let x = m.add_nonneg(-1.0, "x"); // min -x
+        m.le(&[(x, 2.0)], 8.0); // x <= 4, as a row
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.singleton_rows, 1);
+        assert!(!p.keep_row[0]);
+        assert_eq!(p.ub[x.index()], 4.0);
+        // No rows survive: the solve uses the tightened bound.
+        let sol = m.solve().unwrap();
+        assert!((sol.value(x) - 4.0).abs() < 1e-9);
+        assert!((sol.objective + 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singleton_ge_tightens_lower_bound() {
+        let mut m = Model::new();
+        let x = m.add_nonneg(1.0, "x"); // min x
+        m.ge(&[(x, 1.0)], 3.0);
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.lb[x.index()], 3.0);
+        assert!(!p.keep_row[0]);
+        let sol = m.solve().unwrap();
+        assert!((sol.value(x) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singleton_negative_coef_flips_sense() {
+        let mut m = Model::new();
+        let x = m.add_nonneg(1.0, "x");
+        m.le(&[(x, -1.0)], -3.0); // -x <= -3  <=>  x >= 3
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.lb[x.index()], 3.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.value(x) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singleton_eq_fixes_and_cascades() {
+        // x = 2 (singleton eq) makes the second row a singleton on y,
+        // which fixes y = 3 via its own equality.
+        let mut m = Model::new();
+        let x = m.add_nonneg(1.0, "x");
+        let y = m.add_nonneg(1.0, "y");
+        m.eq(&[(x, 1.0)], 2.0);
+        m.eq(&[(x, 1.0), (y, 1.0)], 5.0);
+        let p = presolve(&m).unwrap();
+        assert!(p.kept_vars.is_empty(), "both vars fixed by cascade");
+        assert!(!p.keep_row[0] && !p.keep_row[1]);
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 5.0).abs() < 1e-9);
+        assert!((sol.value(x) - 2.0).abs() < 1e-9);
+        assert!((sol.value(y) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossing_singleton_bounds_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_unit(1.0, "x"); // x in [0,1]
+        m.ge(&[(x, 1.0)], 2.0); // x >= 2: crosses ub
+        assert_eq!(presolve(&m).unwrap_err(), LpError::Infeasible);
+        assert_eq!(m.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn redundant_singleton_kept_loose() {
+        let mut m = Model::new();
+        let x = m.add_unit(-1.0, "x");
+        m.le(&[(x, 1.0)], 5.0); // looser than ub = 1: no-op bound
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.ub[x.index()], 1.0);
+        assert!(!p.keep_row[0]);
+        let sol = m.solve().unwrap();
+        assert!((sol.value(x) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_var_rows_survive() {
+        let mut m = Model::new();
+        let x = m.add_nonneg(1.0, "x");
+        let y = m.add_nonneg(1.0, "y");
+        m.ge(&[(x, 1.0), (y, 1.0)], 2.0);
+        let p = presolve(&m).unwrap();
+        assert!(p.keep_row[0]);
+        assert_eq!(p.singleton_rows, 0);
     }
 }

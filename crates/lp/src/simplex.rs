@@ -1,26 +1,41 @@
-//! Bounded-variable revised primal simplex with an explicit dense basis
-//! inverse.
+//! Bounded-variable revised primal simplex, generic over the basis
+//! factorization.
 //!
 //! Design notes (why this shape):
 //!
 //! * The coflow LPs have `m` in the hundreds-to-low-thousands and `n` up to
 //!   tens of thousands, with very sparse columns (a flow-interval variable
 //!   touches one convexity row, one completion row, and the capacity rows of
-//!   its path). A revised simplex that keeps `B⁻¹` explicitly (column-major
-//!   `m×m`) gives `O(m²)` per pivot with excellent cache behavior and no
-//!   factorization machinery; refactorization by Gauss–Jordan restores
-//!   numerical health every [`SolverOptions::refactor_every`] pivots.
+//!   its path). The pivot loop talks to the basis only through the
+//!   [`Factorization`] contract (`ftran`/`btran`/`update`/`refactor`), so
+//!   the representation is pluggable: the production default is the sparse
+//!   Markowitz LU with eta-file updates ([`crate::sparse_lu`]); the
+//!   historical explicit dense `B⁻¹` remains available as
+//!   [`crate::Backend::DenseInverse`] for baseline measurements.
 //! * Bounds `l <= x <= u` are handled natively (nonbasic-at-lower /
 //!   nonbasic-at-upper, bound flips) — crucial because the LPs are dominated
 //!   by `[0,1]` variables and adding bound rows would double `m`.
-//! * Degeneracy is endemic to interval-indexed LPs; we use Dantzig pricing
+//! * Degeneracy is endemic to interval-indexed LPs; we use devex pricing
 //!   with a Harris-style ratio tie-break on `|w_r|` and fall back to Bland's
 //!   rule after a run of degenerate pivots to guarantee termination.
 //! * Phase 1 minimizes the sum of per-row artificials; phase 2 locks the
 //!   artificials to zero by setting their bounds to `[0,0]`.
+//! * **Warm starts**: a [`Basis`] snapshot from a related model is mapped
+//!   onto this one by variable name (slacks by row name or original row
+//!   index); the mapped basic set is completed to a full nonsingular basis
+//!   by a rank-revealing elimination
+//!   ([`crate::sparse_lu::complete_basis`]), preferring each uncovered
+//!   row's slack over its artificial. Basic variables the mapping forces
+//!   outside their bounds are repaired by a bound-shifting "phase 0"
+//!   rather than rejected wholesale; if the repair fails the solver falls
+//!   back to its cold crash basis — warm starting is an optimization,
+//!   never a correctness risk.
 
+use crate::basis::{Basis, SnapStat, SolveStats};
+use crate::factor::Factorization;
 use crate::model::{Cmp, LpError, Model, Solution, SolverOptions, Status};
 use crate::presolve::Presolved;
+use crate::sparse_lu::{complete_basis, SparseCol};
 
 /// Variable status in the simplex dictionary.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -34,7 +49,6 @@ enum VStat {
 /// variables (reduced structurals followed by slacks). Artificial columns
 /// are unit vectors and handled implicitly.
 struct Csc {
-    m: usize,
     col_ptr: Vec<usize>,
     row_idx: Vec<u32>,
     values: Vec<f64>,
@@ -64,14 +78,14 @@ struct State {
     /// Current point over all variables.
     x: Vec<f64>,
     vstat: Vec<VStat>,
-    /// Basic variable of each row.
+    /// Basic variable at each basis position.
     basis: Vec<usize>,
-    /// Dense basis inverse, column-major: `binv[c*m + r] = B⁻¹[r][c]`.
-    binv: Vec<f64>,
     /// Pivots since the last refactorization.
     since_refactor: usize,
     /// Total pivots.
     iterations: usize,
+    /// Per-solve statistics under construction.
+    stats: SolveStats,
 }
 
 impl State {
@@ -81,7 +95,7 @@ impl State {
     }
 
     /// Iterate the nonzero entries of column `j` (explicit or artificial).
-    fn for_col<F: FnMut(usize, f64)>(&self, j: usize, mut f: F) {
+    fn for_col<G: FnMut(usize, f64)>(&self, j: usize, mut f: G) {
         if j < self.n_expl {
             let (rows, vals) = self.csc.col(j);
             for (r, v) in rows.iter().zip(vals) {
@@ -93,36 +107,28 @@ impl State {
         }
     }
 
-    /// FTRAN: `w = B⁻¹ a_j` (dense output).
-    fn ftran(&self, j: usize, w: &mut [f64]) {
-        w.fill(0.0);
-        let m = self.m;
-        self.for_col(j, |r, v| {
-            let col = &self.binv[r * m..r * m + m];
-            for (wi, ci) in w.iter_mut().zip(col) {
-                *wi += v * ci;
-            }
-        });
+    /// Column `j` as an owned sparse vector (for factorization input).
+    fn sparse_col(&self, j: usize) -> SparseCol {
+        let mut col = SparseCol::new();
+        self.for_col(j, |r, v| col.push((r as u32, v)));
+        col
     }
 
-    /// BTRAN-ish: `y = c_Bᵀ B⁻¹` using only the nonzero basic costs.
-    fn duals(&self, costs: &[f64], y: &mut [f64]) {
-        let m = self.m;
-        let mut nz: Vec<(usize, f64)> = Vec::new();
-        for (r, &bj) in self.basis.iter().enumerate() {
-            let c = costs[bj];
-            if c != 0.0 {
-                nz.push((r, c));
-            }
+    /// FTRAN of column `j`: `w = B⁻¹ a_j` (dense output).
+    fn ftran_col<F: Factorization>(&self, f: &mut F, j: usize, w: &mut [f64]) {
+        w.fill(0.0);
+        // Scatter the column (structural values, or art_sign for
+        // artificials), then solve.
+        self.for_col(j, |r, v| w[r] += v);
+        f.ftran(w);
+    }
+
+    /// Duals `y = B⁻ᵀ c_B` via BTRAN.
+    fn duals<F: Factorization>(&self, f: &mut F, costs: &[f64], y: &mut [f64]) {
+        for (k, &bj) in self.basis.iter().enumerate() {
+            y[k] = costs[bj];
         }
-        for (c, yc) in y.iter_mut().enumerate() {
-            let col = &self.binv[c * m..c * m + m];
-            let mut acc = 0.0;
-            for &(r, cv) in &nz {
-                acc += cv * col[r];
-            }
-            *yc = acc;
-        }
+        f.btran(y);
     }
 
     /// Reduced cost of nonbasic `j` given duals `y`.
@@ -132,78 +138,29 @@ impl State {
         d
     }
 
-    /// Rebuilds `binv` from scratch (Gauss–Jordan with partial pivoting)
-    /// and recomputes the basic values. Returns `Err` on a singular basis.
-    fn refactorize(&mut self, tol: f64) -> Result<(), LpError> {
-        let m = self.m;
-        if m == 0 {
+    /// Rebuilds the factorization from the current basis and recomputes the
+    /// basic values (clamping arithmetic noise, failing on violations far
+    /// beyond tolerance).
+    fn refactorize<F: Factorization>(&mut self, f: &mut F, tol: f64) -> Result<(), LpError> {
+        if self.m == 0 {
             return Ok(());
         }
-        // Dense B, row-major for cache-friendly row elimination.
-        let mut bmat = vec![0.0; m * m];
-        for (k, &bj) in self.basis.iter().enumerate() {
-            self.for_col(bj, |r, v| bmat[r * m + k] = v);
-        }
-        let mut inv = vec![0.0; m * m];
-        for r in 0..m {
-            inv[r * m + r] = 1.0;
-        }
-        for k in 0..m {
-            // Partial pivot on column k.
-            let mut piv_row = k;
-            let mut piv_abs = bmat[k * m + k].abs();
-            for r in k + 1..m {
-                let a = bmat[r * m + k].abs();
-                if a > piv_abs {
-                    piv_abs = a;
-                    piv_row = r;
-                }
-            }
-            if piv_abs < 1e-12 {
-                return Err(LpError::Numerical(format!(
-                    "singular basis at column {k} (pivot {piv_abs:.3e})"
-                )));
-            }
-            if piv_row != k {
-                for c in 0..m {
-                    bmat.swap(k * m + c, piv_row * m + c);
-                    inv.swap(k * m + c, piv_row * m + c);
-                }
-            }
-            let piv = bmat[k * m + k];
-            let inv_piv = 1.0 / piv;
-            for c in 0..m {
-                bmat[k * m + c] *= inv_piv;
-                inv[k * m + c] *= inv_piv;
-            }
-            for r in 0..m {
-                if r == k {
-                    continue;
-                }
-                let f = bmat[r * m + k];
-                if f == 0.0 {
-                    continue;
-                }
-                for c in 0..m {
-                    bmat[r * m + c] -= f * bmat[k * m + c];
-                    inv[r * m + c] -= f * inv[k * m + c];
-                }
-            }
-        }
-        // Transpose into the column-major layout.
-        for r in 0..m {
-            for c in 0..m {
-                self.binv[c * m + r] = inv[r * m + c];
-            }
-        }
-        self.recompute_basic_values(tol)?;
+        let cols: Vec<SparseCol> = self.basis.iter().map(|&j| self.sparse_col(j)).collect();
+        self.stats.basis_nnz = cols.iter().map(|c| c.len()).sum();
+        f.refactor(self.m, &cols)?;
+        self.stats.refactorizations += 1;
+        self.stats.factor_nnz = f.factor_nnz();
+        self.recompute_basic_values(f, tol)?;
         self.since_refactor = 0;
         Ok(())
     }
 
     /// Recomputes `x_B = B⁻¹ (b − N x_N)` from the nonbasic point.
-    fn recompute_basic_values(&mut self, tol: f64) -> Result<(), LpError> {
-        let m = self.m;
+    fn recompute_basic_values<F: Factorization>(
+        &mut self,
+        f: &mut F,
+        tol: f64,
+    ) -> Result<(), LpError> {
         let mut r = self.b.clone();
         for j in 0..self.nvars() {
             if self.vstat[j] == VStat::Basic {
@@ -220,20 +177,11 @@ impl State {
                 self.for_col(j, |row, v| r[row] -= v * xb);
             }
         }
-        let mut xb = vec![0.0; m];
-        for (c, &rc) in r.iter().enumerate() {
-            if rc == 0.0 {
-                continue;
-            }
-            let col = &self.binv[c * m..c * m + m];
-            for (xi, ci) in xb.iter_mut().zip(col) {
-                *xi += rc * ci;
-            }
-        }
+        f.ftran(&mut r);
         // Clamp tiny bound violations introduced by arithmetic noise.
         let big = tol.max(1e-9) * 1e4;
-        for (row, val) in xb.iter().enumerate() {
-            let j = self.basis[row];
+        for (pos, val) in r.iter().enumerate() {
+            let j = self.basis[pos];
             let mut v = *val;
             if v < self.lb[j] {
                 if self.lb[j] - v > big {
@@ -257,25 +205,6 @@ impl State {
         }
         Ok(())
     }
-
-    /// Applies the pivot update `B⁻¹ ← E B⁻¹` for entering direction `w`
-    /// and leaving row `r_leave`.
-    fn update_binv(&mut self, r_leave: usize, w: &[f64]) {
-        let m = self.m;
-        let piv = w[r_leave];
-        for c in 0..m {
-            let col = &mut self.binv[c * m..c * m + m];
-            let t = col[r_leave] / piv;
-            if t == 0.0 {
-                continue;
-            }
-            for (ci, wi) in col.iter_mut().zip(w) {
-                *ci -= wi * t;
-            }
-            col[r_leave] = t;
-        }
-        self.since_refactor += 1;
-    }
 }
 
 /// Result of one phase.
@@ -285,22 +214,34 @@ enum PhaseEnd {
 }
 
 /// Runs simplex iterations until optimality for the given cost vector.
-fn run_phase(
+fn run_phase<F: Factorization>(
     st: &mut State,
+    f: &mut F,
     costs: &[f64],
     opts: &SolverOptions,
     iter_cap: usize,
 ) -> Result<PhaseEnd, LpError> {
     let m = st.m;
     let tol = opts.tol;
+    let nv = st.nvars();
     let mut y = vec![0.0; m];
     let mut w = vec![0.0; m];
     let mut rho = vec![0.0; m];
     // Devex reference weights (reset per phase).
-    let mut gamma = vec![1.0_f64; st.nvars()];
+    let mut gamma = vec![1.0_f64; nv];
     let mut stall = 0usize;
     let mut bland = false;
     let mut local_iters = 0usize;
+    // Sectioned pricing: scan rotating windows of ~4m columns, stopping at
+    // the first window with an eligible candidate. `scan_start` sticks to
+    // the window that produced the last entering variable (attractive
+    // columns cluster), and optimality is only declared after a full
+    // fruitless cycle.
+    let window = match opts.pricing {
+        crate::model::Pricing::Full => nv,
+        crate::model::Pricing::Partial => (4 * m).max(256).min(nv.max(1)),
+    };
+    let mut scan_start = 0usize;
 
     loop {
         if local_iters >= iter_cap {
@@ -308,40 +249,79 @@ fn run_phase(
         }
         local_iters += 1;
 
-        st.duals(costs, &mut y);
+        st.duals(f, costs, &mut y);
 
         // --- Pricing: pick an entering variable (devex: maximize d²/γ). ---
         let mut enter: Option<(usize, f64, f64)> = None; // (var, reduced cost, score)
-        for j in 0..st.nvars() {
-            let vs = st.vstat[j];
-            if vs == VStat::Basic {
-                continue;
-            }
-            // Fixed variables (lb==ub) can never improve the objective.
-            if st.ub[j] - st.lb[j] <= 0.0 {
-                continue;
-            }
-            let d = st.reduced_cost(j, costs, &y);
-            let viol = match vs {
-                VStat::AtLower => -d, // want d < -tol
-                VStat::AtUpper => d,  // want d > tol
-                VStat::Basic => unreachable!(),
-            };
-            if viol > tol {
-                if bland {
-                    enter = Some((j, d, viol));
-                    break; // Bland: first eligible index
+                                                         // Columns scanned this iteration, as a rotated range
+                                                         // `scan_start + [0, scanned)` (mod nv) — the devex update below is
+                                                         // restricted to the same range.
+        let mut scanned = 0usize;
+        if bland {
+            // Bland's rule: lowest eligible index over ALL columns (the
+            // anti-cycling argument needs a consistent total order).
+            scanned = nv;
+            scan_start = 0;
+            for j in 0..nv {
+                let vs = st.vstat[j];
+                if vs == VStat::Basic || st.ub[j] - st.lb[j] <= 0.0 {
+                    continue;
                 }
-                let score = viol * viol / gamma[j];
-                match enter {
-                    Some((_, _, best)) if best >= score => {}
-                    _ => enter = Some((j, d, score)),
+                let d = st.reduced_cost(j, costs, &y);
+                let viol = match vs {
+                    VStat::AtLower => -d,
+                    VStat::AtUpper => d,
+                    VStat::Basic => unreachable!(),
+                };
+                if viol > tol {
+                    enter = Some((j, d, viol));
+                    break;
+                }
+            }
+        } else {
+            while scanned < nv {
+                let take = window.min(nv - scanned);
+                for t in 0..take {
+                    let mut j = scan_start + scanned + t;
+                    if j >= nv {
+                        j -= nv;
+                    }
+                    let vs = st.vstat[j];
+                    if vs == VStat::Basic {
+                        continue;
+                    }
+                    // Fixed variables (lb==ub) can never improve.
+                    if st.ub[j] - st.lb[j] <= 0.0 {
+                        continue;
+                    }
+                    let d = st.reduced_cost(j, costs, &y);
+                    let viol = match vs {
+                        VStat::AtLower => -d, // want d < -tol
+                        VStat::AtUpper => d,  // want d > tol
+                        VStat::Basic => unreachable!(),
+                    };
+                    if viol > tol {
+                        let score = viol * viol / gamma[j];
+                        match enter {
+                            Some((_, _, best)) if best >= score => {}
+                            _ => enter = Some((j, d, score)),
+                        }
+                    }
+                }
+                scanned += take;
+                if enter.is_some() {
+                    break;
                 }
             }
         }
         let Some((j_in, _d_in, _)) = enter else {
             return Ok(PhaseEnd::Optimal);
         };
+        if !bland && scanned > window {
+            // The candidate came from a later window: rotate the scan start
+            // there so the next iteration finds it first.
+            scan_start = (scan_start + scanned - window) % nv;
+        }
 
         // Direction: +1 when increasing from lower bound, -1 when
         // decreasing from upper bound.
@@ -351,7 +331,8 @@ fn run_phase(
             -1.0
         };
 
-        st.ftran(j_in, &mut w);
+        st.ftran_col(f, j_in, &mut w);
+        let wmax = w.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
 
         // --- Two-pass Harris ratio test (bounded variables). ---
         // Basic r changes by -s*t*w_r. Pass 1 computes the relaxed step
@@ -361,7 +342,7 @@ fn run_phase(
         // the stabilizing pivot (largest |w_r|) among rows whose exact
         // limit fits under t_max.
         let t_flip = st.ub[j_in] - st.lb[j_in]; // may be +inf
-        let zero_tol = 1e-11;
+        let zero_tol = 1e-11_f64.max(1e-10 * wmax);
         let mut t_max = t_flip;
         for (r, &wr) in w.iter().enumerate() {
             let swr = s * wr;
@@ -468,17 +449,25 @@ fn run_phase(
         let j_out = st.basis[r_lv];
         let t = exact.max(0.0);
 
-        // --- Devex weight update (with the pre-pivot B⁻¹). ---
+        // --- Devex weight update (with the pre-pivot basis), restricted to
+        // the columns priced this iteration: they are the ones whose
+        // weights the next pricing pass will actually read, and the
+        // restriction keeps the update `O(nnz(window))` instead of
+        // `O(nnz(A))`. Unscanned columns keep slightly stale weights —
+        // devex is approximate by design.
         let alpha_q = w[r_lv];
         if alpha_q.abs() > 1e-12 {
-            // ρ = row r_lv of B⁻¹ (strided gather from column-major).
-            for (c, rc) in rho.iter_mut().enumerate() {
-                *rc = st.binv[c * m + r_lv];
-            }
+            f.binv_row(r_lv, &mut rho);
             let gq = gamma[j_in].max(1.0);
             let ratio2 = gq / (alpha_q * alpha_q);
             let mut overflow = false;
-            for j in 0..st.nvars() {
+            // After the post-selection rotation the producing window always
+            // sits at `scan_start + [0, min(scanned, window))`.
+            for t in 0..scanned.min(window) {
+                let mut j = scan_start + t;
+                if j >= nv {
+                    j -= nv;
+                }
                 if st.vstat[j] == VStat::Basic || j == j_in {
                     continue;
                 }
@@ -527,21 +516,35 @@ fn run_phase(
 
         st.vstat[j_in] = VStat::Basic;
         st.basis[r_lv] = j_in;
-        st.update_binv(r_lv, &w);
         st.iterations += 1;
-
-        if st.since_refactor >= opts.refactor_every {
-            st.refactorize(tol)?;
+        match f.update(r_lv, &w) {
+            Ok(()) => {
+                st.since_refactor += 1;
+                if f.wants_refactor(st.since_refactor, opts) {
+                    st.refactorize(f, tol)?;
+                }
+            }
+            Err(_) if st.since_refactor > 0 => {
+                // Stale factors produced an untrustworthy pivot: rebuild
+                // from scratch (the basis change is already recorded).
+                st.refactorize(f, tol)?;
+            }
+            Err(e) => return Err(e),
         }
     }
 }
 
-/// Entry point used by [`Model::solve_with`]: solve the presolved LP.
-pub fn solve_presolved(
+/// Entry point used by the backends: solve the presolved LP with the given
+/// factorization, optionally warm-starting from `warm` and optionally
+/// extracting the final [`Basis`].
+pub(crate) fn solve_presolved<F: Factorization + Default>(
     model: &Model,
     pre: &Presolved,
     opts: &SolverOptions,
-) -> Result<Solution, LpError> {
+    warm: Option<&Basis>,
+    want_basis: bool,
+) -> Result<(Solution, Option<Basis>), LpError> {
+    let mut f = F::default();
     // ---- Assemble the working problem. ----
     let kept_rows: Vec<u32> = (0..model.num_rows() as u32)
         .filter(|&r| pre.keep_row[r as usize])
@@ -560,27 +563,40 @@ pub fn solve_presolved(
     if m == 0 {
         let mut values = pre.fixed_values.clone();
         let mut objective = pre.obj_offset;
-        for (rj, &oj) in pre.kept_vars.iter().enumerate() {
-            let _ = rj;
-            let col = &model.cols[oj as usize];
-            let v = if col.cost >= 0.0 {
-                col.lb
-            } else if col.ub.is_finite() {
-                col.ub
+        let mut basis_out = want_basis.then(Basis::default);
+        for &oj in pre.kept_vars.iter() {
+            let oj = oj as usize;
+            let (cost, lo, hi) = (model.cols[oj].cost, pre.lb[oj], pre.ub[oj]);
+            let v = if cost >= 0.0 {
+                lo
+            } else if hi.is_finite() {
+                if let Some(b) = basis_out.as_mut() {
+                    b.stat
+                        .insert(model.cols[oj].name.clone(), SnapStat::AtUpper);
+                }
+                hi
             } else {
                 return Err(LpError::Unbounded);
             };
-            values[oj as usize] = v;
-            objective += col.cost * v;
+            values[oj] = v;
+            objective += cost * v;
         }
-        return Ok(Solution {
-            objective,
-            values,
-            duals: vec![0.0; model.num_rows()],
-            iterations: 0,
-            phase1_iterations: 0,
-            status: Status::Optimal,
-        });
+        let stats = SolveStats {
+            warm_attempted: warm.is_some(),
+            ..Default::default()
+        };
+        return Ok((
+            Solution {
+                objective,
+                values,
+                duals: vec![0.0; model.num_rows()],
+                iterations: 0,
+                phase1_iterations: 0,
+                status: Status::Optimal,
+                stats,
+            },
+            basis_out,
+        ));
     }
 
     // Column-sorted triplets over kept rows/vars.
@@ -642,22 +658,21 @@ pub fn solve_presolved(
             }
         }
     }
-    // Merge duplicate (row) entries within each column (builder allows
-    // repeated terms).
-    let csc = merge_duplicates(Csc {
-        m,
+    // The model builder merges duplicate terms at `add_row` time, so each
+    // CSC column already has unique row indices.
+    let csc = Csc {
         col_ptr,
         row_idx,
         values,
-    });
+    };
 
     // Bounds and working arrays.
     let nvars = n_expl + m;
     let mut lb = vec![0.0; nvars];
     let mut ub = vec![f64::INFINITY; nvars];
     for (rj, &oj) in pre.kept_vars.iter().enumerate() {
-        lb[rj] = model.cols[oj as usize].lb;
-        ub[rj] = model.cols[oj as usize].ub;
+        lb[rj] = pre.lb[oj as usize];
+        ub[rj] = pre.ub[oj as usize];
     }
     // Slacks: [0, inf). Artificials: [0, inf) during phase 1.
 
@@ -677,82 +692,58 @@ pub fn solve_presolved(
         x: vec![0.0; nvars],
         vstat: vec![VStat::AtLower; nvars],
         basis: (0..m).map(|r| n_expl + r).collect(),
-        binv: vec![0.0; m * m],
         since_refactor: 0,
         iterations: 0,
+        stats: SolveStats {
+            rows: m,
+            cols: n_expl,
+            warm_attempted: warm.is_some(),
+            ..Default::default()
+        },
     };
-    for r in 0..m {
-        st.binv[r * m + r] = 1.0;
+
+    // ---- Warm start: map the snapshot onto this model's variables. ----
+    let mut warm_ready = false;
+    if let Some(snap) = warm {
+        warm_ready = try_warm_start(
+            model,
+            pre,
+            &mut st,
+            &mut f,
+            opts,
+            snap,
+            &kept_rows,
+            &slack_of_row,
+        );
+        st.stats.warm_used = warm_ready;
     }
 
-    // Initial nonbasic point: everything at lower bound.
-    for j in 0..n_expl {
-        st.x[j] = st.lb[j];
-    }
-    // Residual determines the crash basis: prefer the row's own slack when
-    // it can sit at a feasible (nonnegative) value, otherwise fall back to
-    // an artificial. This leaves artificials only on equality rows and on
-    // inequality rows violated at the all-lower-bound point, which slashes
-    // phase-1 work.
-    let mut resid = st.b.clone();
-    for j in 0..n_expl {
-        let xj = st.x[j];
-        if xj != 0.0 {
-            st.for_col(j, |r, v| resid[r] -= v * xj);
-        }
-    }
-    for (r, &res) in resid.iter().enumerate() {
-        let aj = n_expl + r;
-        let slack_ok = match slack_of_row[r] {
-            Some(si) => {
-                let sj = n_struct + si;
-                // Slack coefficient: +1 for Le, -1 for Ge.
-                let coef = match model.rows[kept_rows[r] as usize].cmp {
-                    Cmp::Le => 1.0,
-                    Cmp::Ge => -1.0,
-                    Cmp::Eq => unreachable!(),
-                };
-                let val = res / coef;
-                if val >= 0.0 {
-                    st.basis[r] = sj;
-                    st.vstat[sj] = VStat::Basic;
-                    st.x[sj] = val;
-                    // Column r of B is coef·e_r.
-                    st.binv[r * m + r] = coef;
-                    true
-                } else {
-                    false
-                }
-            }
-            None => false,
-        };
-        if slack_ok {
-            // Artificial stays nonbasic at 0 and is never allowed to move.
-            st.art_sign[r] = 1.0;
-            st.ub[aj] = 0.0;
-            st.vstat[aj] = VStat::AtLower;
-            st.x[aj] = 0.0;
-        } else if res >= 0.0 {
-            st.art_sign[r] = 1.0;
-            st.x[aj] = res;
-            st.vstat[aj] = VStat::Basic;
-            st.binv[r * m + r] = st.art_sign[r];
-        } else {
-            st.art_sign[r] = -1.0;
-            st.x[aj] = -res;
-            st.vstat[aj] = VStat::Basic;
-            st.binv[r * m + r] = st.art_sign[r];
-        }
+    if !warm_ready {
+        crash_basis(
+            model,
+            pre,
+            &kept_rows,
+            &slack_of_row,
+            n_struct,
+            &mut st,
+            &mut f,
+            opts,
+        )?;
     }
 
     // ---- Phase 1: minimize sum of artificials. ----
+    // The artificial costs carry a tiny deterministic jitter: exact unit
+    // costs make transportation-like LPs massively dual-degenerate in
+    // phase 1 (every tied reduced cost spawns a run of degenerate pivots);
+    // the jitter breaks ties while keeping the phase-1 optimum's defining
+    // property (zero infeasibility ⇔ all artificials at zero) intact.
     let mut costs1 = vec![0.0; nvars];
-    for c in costs1.iter_mut().skip(n_expl) {
-        *c = 1.0;
+    for (r, c) in costs1.iter_mut().skip(n_expl).enumerate() {
+        *c = 1.0 + opts.phase1_jitter * splitmix_unit(r as u64 + 0x5EED);
     }
     let phase1_needed = st.x[n_expl..].iter().any(|&v| v > opts.tol);
     if phase1_needed {
-        match run_phase(&mut st, &costs1, opts, opts.max_iters)? {
+        match run_phase(&mut st, &mut f, &costs1, opts, opts.max_iters)? {
             PhaseEnd::Optimal => {}
             PhaseEnd::Unbounded => {
                 return Err(LpError::Numerical("phase 1 reported unbounded".into()))
@@ -792,16 +783,16 @@ pub fn solve_presolved(
         }
     }
     let remaining = opts.max_iters.saturating_sub(st.iterations).max(1);
-    match run_phase(&mut st, &costs2, opts, remaining)? {
+    match run_phase(&mut st, &mut f, &costs2, opts, remaining)? {
         PhaseEnd::Optimal => {}
         PhaseEnd::Unbounded => return Err(LpError::Unbounded),
     }
 
     // One final refactorization pass for clean values.
-    st.refactorize(opts.tol)?;
+    st.refactorize(&mut f, opts.tol)?;
     // Re-check optimality after the refresh: if the cleaned point lost
     // optimality (rare), resume pivoting once.
-    match run_phase(&mut st, &costs2, opts, remaining)? {
+    match run_phase(&mut st, &mut f, &costs2, opts, remaining)? {
         PhaseEnd::Optimal => {}
         PhaseEnd::Unbounded => return Err(LpError::Unbounded),
     }
@@ -812,20 +803,362 @@ pub fn solve_presolved(
         values[oj as usize] = st.x[rj];
     }
     let mut y = vec![0.0; m];
-    st.duals(&costs2, &mut y);
+    st.duals(&mut f, &costs2, &mut y);
     let mut duals = vec![0.0; model.num_rows()];
     for (new_r, &old_r) in kept_rows.iter().enumerate() {
         duals[old_r as usize] = y[new_r];
     }
     let objective = model.objective_of(&values);
-    Ok(Solution {
-        objective,
-        values,
-        duals,
-        iterations: st.iterations,
-        phase1_iterations,
-        status: Status::Optimal,
-    })
+
+    // ---- Snapshot the final basis (by name) if requested. ----
+    let basis_out = want_basis.then(|| {
+        let mut snap = Basis {
+            rows: m,
+            ..Default::default()
+        };
+        for (rj, &oj) in pre.kept_vars.iter().enumerate() {
+            let name = &model.cols[oj as usize].name;
+            match st.vstat[rj] {
+                VStat::Basic => {
+                    snap.stat.insert(name.clone(), SnapStat::Basic);
+                }
+                VStat::AtUpper => {
+                    snap.stat.insert(name.clone(), SnapStat::AtUpper);
+                }
+                VStat::AtLower => {}
+            }
+        }
+        // Basic slacks, remembered through their rows: by name when the
+        // row is named, by original row index always.
+        for (new_r, slack) in slack_of_row.iter().enumerate() {
+            if let Some(si) = slack {
+                if st.vstat[n_struct + si] == VStat::Basic {
+                    let old_r = kept_rows[new_r];
+                    snap.basic_slack_rows.insert(old_r);
+                    let name = &model.rows[old_r as usize].name;
+                    if !name.is_empty() {
+                        snap.basic_slacks.insert(name.clone());
+                    }
+                }
+            }
+        }
+        snap
+    });
+
+    st.stats.iterations = st.iterations;
+    st.stats.phase1_iterations = phase1_iterations;
+    Ok((
+        Solution {
+            objective,
+            values,
+            duals,
+            iterations: st.iterations,
+            phase1_iterations,
+            status: Status::Optimal,
+            stats: st.stats,
+        },
+        basis_out,
+    ))
+}
+
+/// Builds the cold crash basis: prefer each row's own slack when it can sit
+/// at a feasible (nonnegative) value, otherwise fall back to an artificial.
+/// This leaves artificials only on equality rows and on inequality rows
+/// violated at the all-lower-bound point, which slashes phase-1 work.
+#[allow(clippy::too_many_arguments)]
+fn crash_basis<F: Factorization>(
+    model: &Model,
+    _pre: &Presolved,
+    kept_rows: &[u32],
+    slack_of_row: &[Option<usize>],
+    n_struct: usize,
+    st: &mut State,
+    f: &mut F,
+    opts: &SolverOptions,
+) -> Result<(), LpError> {
+    let m = st.m;
+    let n_expl = st.n_expl;
+    // Reset statuses.
+    for j in 0..st.nvars() {
+        st.vstat[j] = VStat::AtLower;
+    }
+    st.basis = (0..m).map(|r| n_expl + r).collect();
+    st.art_sign.iter_mut().for_each(|s| *s = 1.0);
+    for j in n_expl..st.nvars() {
+        st.lb[j] = 0.0;
+        st.ub[j] = f64::INFINITY;
+    }
+
+    // Initial nonbasic point: everything at lower bound.
+    for j in 0..n_expl {
+        st.x[j] = st.lb[j];
+    }
+    let mut resid = st.b.clone();
+    for j in 0..n_expl {
+        let xj = st.x[j];
+        if xj != 0.0 {
+            st.for_col(j, |r, v| resid[r] -= v * xj);
+        }
+    }
+    for (r, &res) in resid.iter().enumerate() {
+        let aj = n_expl + r;
+        let slack_ok = match slack_of_row[r] {
+            Some(si) => {
+                let sj = n_struct + si;
+                // Slack coefficient: +1 for Le, -1 for Ge.
+                let coef = match model.rows[kept_rows[r] as usize].cmp {
+                    Cmp::Le => 1.0,
+                    Cmp::Ge => -1.0,
+                    Cmp::Eq => unreachable!(),
+                };
+                let val = res / coef;
+                if val >= 0.0 {
+                    st.basis[r] = sj;
+                    st.vstat[sj] = VStat::Basic;
+                    st.x[sj] = val;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        };
+        if slack_ok {
+            // Artificial stays nonbasic at 0 and is never allowed to move.
+            st.art_sign[r] = 1.0;
+            st.ub[aj] = 0.0;
+            st.vstat[aj] = VStat::AtLower;
+            st.x[aj] = 0.0;
+        } else if res >= 0.0 {
+            st.art_sign[r] = 1.0;
+            st.x[aj] = res;
+            st.vstat[aj] = VStat::Basic;
+        } else {
+            st.art_sign[r] = -1.0;
+            st.x[aj] = -res;
+            st.vstat[aj] = VStat::Basic;
+        }
+    }
+    st.refactorize(f, opts.tol)
+}
+
+/// Attempts a warm start from `snap`. Returns `true` when a mapped basis
+/// factorized and produced a (near-)feasible point; on `false` the state
+/// may be arbitrary and the caller must run the cold crash.
+///
+/// The mapping is repaired, not all-or-nothing: negative artificials get
+/// their sign flipped, basic variables forced outside their range are
+/// driven back by a bound-shifting "phase 0" (see inline comments), and a
+/// small residual on artificials is tolerated — phase 1 clears it in far
+/// fewer pivots than a cold start would need.
+#[allow(clippy::too_many_arguments)]
+fn try_warm_start<F: Factorization>(
+    model: &Model,
+    pre: &Presolved,
+    st: &mut State,
+    f: &mut F,
+    opts: &SolverOptions,
+    snap: &Basis,
+    kept_rows: &[u32],
+    slack_of_row: &[Option<usize>],
+) -> bool {
+    if snap.is_empty() {
+        return false;
+    }
+    let m = st.m;
+    let n_struct = pre.kept_vars.len();
+    let n_expl = st.n_expl;
+
+    // Map snapshot statuses onto reduced indices by name.
+    let mut cand: Vec<usize> = Vec::new();
+    let mut uppers: Vec<usize> = Vec::new();
+    for (rj, &oj) in pre.kept_vars.iter().enumerate() {
+        match snap.stat.get(&model.cols[oj as usize].name) {
+            Some(SnapStat::Basic) => cand.push(rj),
+            Some(SnapStat::AtUpper) => uppers.push(rj),
+            None => {}
+        }
+    }
+    // Remembered basic slacks: matched by row name when the row is named,
+    // and by original row index otherwise (exact whenever the grown model
+    // keeps the old rows as a prefix; validated below either way).
+    for (new_r, slack) in slack_of_row.iter().enumerate() {
+        if let Some(si) = slack {
+            let old_r = kept_rows[new_r];
+            let name = &model.rows[old_r as usize].name;
+            let hit = if name.is_empty() {
+                snap.basic_slack_rows.contains(&old_r)
+            } else {
+                snap.basic_slacks.contains(name)
+            };
+            if hit {
+                cand.push(n_struct + si);
+            }
+        }
+    }
+
+    if cand.is_empty() {
+        return false;
+    }
+
+    // Bound-violation threshold for treating a mapped basic value as off.
+    let vtol = opts.tol.max(1e-9) * 10.0;
+    st.art_sign.iter_mut().for_each(|s| *s = 1.0);
+
+    // Complete the candidate set to a full basis: rank-revealing
+    // elimination over the candidate columns, then slack (preferred) or
+    // artificial unit columns for uncovered rows.
+    let cand_cols: Vec<SparseCol> = cand.iter().map(|&j| st.sparse_col(j)).collect();
+    let (picked, covered) = complete_basis(m, &cand_cols);
+    let mut basis: Vec<usize> = cand
+        .iter()
+        .zip(&picked)
+        .filter(|&(_, &p)| p)
+        .map(|(&j, _)| j)
+        .collect();
+    for (r, &cov) in covered.iter().enumerate() {
+        if !cov {
+            match slack_of_row[r] {
+                Some(si) => basis.push(n_struct + si),
+                None => basis.push(n_expl + r),
+            }
+        }
+    }
+    if basis.len() != m {
+        return false;
+    }
+
+    // Statuses: basis members basic; snapshot uppers at their (finite)
+    // upper bound; everything else at lower. Artificials not in the basis
+    // are pinned to zero.
+    for j in 0..st.nvars() {
+        st.vstat[j] = VStat::AtLower;
+    }
+    for j in n_expl..st.nvars() {
+        st.lb[j] = 0.0;
+        st.ub[j] = 0.0;
+    }
+    for &j in &basis {
+        st.vstat[j] = VStat::Basic;
+        if j >= n_expl {
+            st.ub[j] = f64::INFINITY; // artificial may carry residual
+        }
+    }
+    for &j in &uppers {
+        if st.vstat[j] != VStat::Basic && st.ub[j].is_finite() {
+            st.vstat[j] = VStat::AtUpper;
+        }
+    }
+    st.basis = basis;
+
+    // Factorize and compute the implied basic values, unclamped. A second
+    // pass re-factorizes after flipping the sign of any artificial whose
+    // implied value came out negative.
+    let mut r = vec![0.0; m];
+    for _pass in 0..2 {
+        let cols: Vec<SparseCol> = st.basis.iter().map(|&j| st.sparse_col(j)).collect();
+        st.stats.basis_nnz = cols.iter().map(|c| c.len()).sum();
+        if f.refactor(m, &cols).is_err() {
+            return false;
+        }
+        st.stats.refactorizations += 1;
+        st.stats.factor_nnz = f.factor_nnz();
+        r.copy_from_slice(&st.b);
+        for j in 0..st.nvars() {
+            if st.vstat[j] == VStat::Basic {
+                continue;
+            }
+            let xb = match st.vstat[j] {
+                VStat::AtLower => st.lb[j],
+                VStat::AtUpper => st.ub[j],
+                VStat::Basic => unreachable!(),
+            };
+            st.x[j] = xb;
+            if xb != 0.0 {
+                st.for_col(j, |row, v| r[row] -= v * xb);
+            }
+        }
+        f.ftran(&mut r);
+        let mut flipped = false;
+        for (pos, &val) in r.iter().enumerate() {
+            let j = st.basis[pos];
+            if j >= n_expl && val < -vtol {
+                let row = j - n_expl;
+                st.art_sign[row] = -st.art_sign[row];
+                flipped = true;
+            }
+        }
+        if !flipped {
+            break;
+        }
+    }
+    st.since_refactor = 0;
+
+    // Adopt the implied point, shifting the bounds of any basic variable
+    // forced outside its range: a below-lower variable works on temporary
+    // bounds `[value, lb]` with phase-0 cost −1, an above-upper one on
+    // `[ub, value]` with cost +1, so the minimum of the phase-0 objective
+    // is attained exactly when every shifted variable is back at (or
+    // inside) its original range. This "phase 0" is what makes warm
+    // starting a *grown* LP robust: the embedded old optimum is usually a
+    // handful of pivots from feasibility, while a cold start would redo
+    // the whole phase 1.
+    let mut shifted: Vec<(usize, f64, f64)> = Vec::new();
+    let mut costs0 = vec![0.0; st.nvars()];
+    for (pos, &val) in r.iter().enumerate() {
+        let j = st.basis[pos];
+        if j >= n_expl {
+            st.x[j] = val.max(0.0);
+        } else if val < st.lb[j] - vtol {
+            shifted.push((j, st.lb[j], st.ub[j]));
+            costs0[j] = -1.0;
+            st.ub[j] = st.lb[j];
+            st.lb[j] = val;
+            st.x[j] = val;
+        } else if val > st.ub[j] + vtol {
+            shifted.push((j, st.lb[j], st.ub[j]));
+            costs0[j] = 1.0;
+            st.lb[j] = st.ub[j];
+            st.ub[j] = val;
+            st.x[j] = val;
+        } else {
+            st.x[j] = val.clamp(st.lb[j], st.ub[j]);
+        }
+    }
+
+    if !shifted.is_empty() {
+        let cap = 200 + 4 * m;
+        let repaired = matches!(run_phase(st, f, &costs0, opts, cap), Ok(PhaseEnd::Optimal));
+        // Restore the original bounds and re-align nonbasic statuses with
+        // them; any variable still outside its range means the repair
+        // failed and the caller must cold-start.
+        let mut still_bad = !repaired;
+        for &(j, lb0, ub0) in &shifted {
+            st.lb[j] = lb0;
+            st.ub[j] = ub0;
+            if st.x[j] < lb0 - vtol || st.x[j] > ub0 + vtol {
+                still_bad = true;
+            } else if st.vstat[j] != VStat::Basic {
+                if (st.x[j] - ub0).abs() <= (st.x[j] - lb0).abs() && ub0.is_finite() {
+                    st.vstat[j] = VStat::AtUpper;
+                    st.x[j] = ub0;
+                } else {
+                    st.vstat[j] = VStat::AtLower;
+                    st.x[j] = lb0;
+                }
+            } else {
+                st.x[j] = st.x[j].clamp(lb0, ub0);
+            }
+        }
+        if still_bad {
+            return false;
+        }
+    }
+
+    // Accept unless the mapping left so much residual on artificials that
+    // phase 1 would redo everything anyway.
+    let art_rows = st.x[n_expl..].iter().filter(|&&v| v > opts.tol).count();
+    art_rows * 4 <= m
 }
 
 /// Deterministic hash → uniform float in `(0, 1]` (splitmix64 finalizer).
@@ -837,48 +1170,9 @@ fn splitmix_unit(mut x: u64) -> f64 {
     (x >> 11) as f64 / (1u64 << 53) as f64 + f64::EPSILON
 }
 
-/// Collapses duplicate row entries inside each CSC column.
-fn merge_duplicates(c: Csc) -> Csc {
-    let n = c.col_ptr.len() - 1;
-    let mut col_ptr = vec![0usize; n + 1];
-    let mut row_idx = Vec::with_capacity(c.row_idx.len());
-    let mut values = Vec::with_capacity(c.values.len());
-    let mut scratch: Vec<(u32, f64)> = Vec::new();
-    for j in 0..n {
-        let (rows, vals) = (
-            &c.row_idx[c.col_ptr[j]..c.col_ptr[j + 1]],
-            &c.values[c.col_ptr[j]..c.col_ptr[j + 1]],
-        );
-        scratch.clear();
-        scratch.extend(rows.iter().copied().zip(vals.iter().copied()));
-        scratch.sort_unstable_by_key(|&(r, _)| r);
-        let mut i = 0;
-        while i < scratch.len() {
-            let (r, mut v) = scratch[i];
-            let mut k = i + 1;
-            while k < scratch.len() && scratch[k].0 == r {
-                v += scratch[k].1;
-                k += 1;
-            }
-            if v != 0.0 {
-                row_idx.push(r);
-                values.push(v);
-            }
-            i = k;
-        }
-        col_ptr[j + 1] = row_idx.len();
-    }
-    Csc {
-        m: c.m,
-        col_ptr,
-        row_idx,
-        values,
-    }
-}
-
 #[cfg(test)]
 mod tests {
-    use crate::{LpError, Model, SolverOptions};
+    use crate::{Backend, LpError, Model, SolverOptions};
 
     fn assert_close(a: f64, b: f64) {
         assert!((a - b).abs() < 1e-6, "{a} != {b}");
@@ -914,8 +1208,7 @@ mod tests {
 
     #[test]
     fn ge_rows_need_phase1() {
-        // min 2x + 3y s.t. x + y >= 4, x >= 1  => (4, 0)? check: obj 2*4=8
-        // vs x=1,y=3 => 11. So (4,0), obj 8.
+        // min 2x + 3y s.t. x + y >= 4, x >= 1  => (4, 0), obj 8.
         let mut m = Model::new();
         let x = m.add_nonneg(2.0, "x");
         let y = m.add_nonneg(3.0, "y");
@@ -1014,8 +1307,7 @@ mod tests {
 
     #[test]
     fn free_row_zero_rhs() {
-        // min x s.t. x - y = 0, y <= 5, x >= 1 => x = y = 1? y in [0,5],
-        // min x with x = y, x >= 1 => 1.
+        // min x s.t. x - y = 0, y in [0,5], x >= 1 => x = y = 1.
         let mut m = Model::new();
         let x = m.add_var(1.0, 1.0, f64::INFINITY, "x");
         let y = m.add_var(0.0, 0.0, 5.0, "y");
@@ -1068,11 +1360,12 @@ mod tests {
 
     #[test]
     fn duals_on_tight_rows() {
-        // min -x, x <= 4 (row), x >= 0. Dual of the row should be -1
-        // (raw multiplier convention: y = c_B B^-1).
+        // min -x, x <= 4 via a 2-var row (a singleton row would be
+        // presolved into a bound), x >= 0. Dual of the row is -1.
         let mut m = Model::new();
         let x = m.add_nonneg(-1.0, "x");
-        let r = m.le(&[(x, 1.0)], 4.0);
+        let y = m.add_nonneg(10.0, "y");
+        let r = m.le(&[(x, 1.0), (y, 1.0)], 4.0);
         let s = m.solve().unwrap();
         assert_close(s.value(x), 4.0);
         assert_close(s.dual(r), -1.0);
@@ -1084,7 +1377,6 @@ mod tests {
         // one shared capacity row per interval.
         let mut m = Model::new();
         let tau = [1.0, 2.0, 4.0, 8.0];
-        // x[f][l] in [0,1]; completion c_f >= sum tau_l x's; sum_l x = 1.
         let mut c_vars = Vec::new();
         let mut x_vars = vec![Vec::new(); 2];
         for (f, xv) in x_vars.iter_mut().enumerate() {
@@ -1101,17 +1393,131 @@ mod tests {
             terms.push((c_vars[f], -1.0));
             m.le(&terms, 0.0);
         }
-        // Capacity: both flows share one unit-capacity edge; size 1 each;
-        // bandwidth x * size / tau_l <= 1 per interval.
         for l in 0..3 {
             let terms: Vec<_> = (0..2).map(|f| (x_vars[f][l], 1.0 / tau[l])).collect();
             m.le(&terms, 1.0);
         }
         let s = m.solve().unwrap();
-        // Feasible and bounded; both flows can finish by tau_1=2:
-        // in interval 0 (len 1, completing fraction tau0-scale)...
-        // just sanity-check objective within [1, 6].
         assert!(s.objective >= 1.0 - 1e-6 && s.objective <= 6.0 + 1e-6);
         assert!(m.max_violation(&s.values) < 1e-6);
+    }
+
+    #[test]
+    fn backends_agree_on_small_lps() {
+        let build = || {
+            let mut m = Model::new();
+            let x = m.add_nonneg(-3.0, "x");
+            let y = m.add_unit(-5.0, "y");
+            let z = m.add_var(2.0, 0.5, 4.0, "z");
+            m.le(&[(x, 1.0), (y, 2.0)], 4.0);
+            m.ge(&[(x, 1.0), (z, 1.0)], 2.0);
+            m.eq(&[(y, 1.0), (z, 1.0)], 1.5);
+            m
+        };
+        let m = build();
+        let sparse = m
+            .solve_with(&SolverOptions {
+                backend: Backend::Sparse,
+                ..Default::default()
+            })
+            .unwrap();
+        let dense_inv = m
+            .solve_with(&SolverOptions {
+                backend: Backend::DenseInverse,
+                ..Default::default()
+            })
+            .unwrap();
+        let reference = m.solve_dense_reference().unwrap();
+        assert_close(sparse.objective, dense_inv.objective);
+        assert_close(sparse.objective, reference.objective);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let mut m = Model::new();
+        let x = m.add_nonneg(2.0, "x");
+        let y = m.add_nonneg(3.0, "y");
+        m.ge(&[(x, 1.0), (y, 1.0)], 4.0);
+        m.ge(&[(x, 1.0), (y, -1.0)], 1.0);
+        let s = m.solve().unwrap();
+        assert!(s.stats.iterations > 0);
+        assert_eq!(s.stats.iterations, s.iterations);
+        assert!(s.stats.refactorizations >= 1);
+        assert!(s.stats.factor_nnz > 0);
+        assert_eq!(s.stats.rows, 2);
+        assert!(!s.stats.warm_attempted);
+    }
+
+    #[test]
+    fn warm_start_same_model_skips_pivots() {
+        // Solve once, snapshot, re-solve warm: the warm solve must accept
+        // the basis and spend (near) zero pivots.
+        let mut m = Model::new();
+        let x = m.add_nonneg(2.0, "x");
+        let y = m.add_nonneg(3.0, "y");
+        let z = m.add_unit(-1.0, "z");
+        m.ge(&[(x, 1.0), (y, 1.0)], 4.0);
+        m.le(&[(x, 1.0), (z, 2.0)], 9.0);
+        m.eq(&[(y, 1.0), (z, 1.0)], 2.0);
+        let opts = SolverOptions::default();
+        let (cold, basis) = m.solve_with_basis(&opts).unwrap();
+        let (warm, _) = m.solve_warm(&basis, &opts).unwrap();
+        assert_close(cold.objective, warm.objective);
+        assert!(warm.stats.warm_attempted);
+        assert!(warm.stats.warm_used, "same-model warm start must be taken");
+        assert_eq!(warm.stats.phase1_iterations, 0);
+        assert!(
+            warm.stats.iterations <= cold.stats.iterations,
+            "warm {} vs cold {}",
+            warm.stats.iterations,
+            cold.stats.iterations
+        );
+    }
+
+    #[test]
+    fn warm_start_on_grown_model() {
+        // A model that literally grows: extra variables and rows appended.
+        // Names are stable, so the snapshot maps onto the prefix.
+        let build = |stages: usize| {
+            let mut m = Model::new();
+            let mut xs = Vec::new();
+            for k in 0..stages {
+                xs.push(m.add_unit(-((k + 1) as f64), format!("x{k}")));
+            }
+            // Shared budget plus per-pair couplings.
+            let terms: Vec<_> = xs.iter().map(|&v| (v, 1.0)).collect();
+            m.le(&terms, stages as f64 * 0.6);
+            for w in xs.windows(2) {
+                m.le(&[(w[0], 1.0), (w[1], 1.0)], 1.2);
+            }
+            m
+        };
+        let opts = SolverOptions::default();
+        let small = build(6);
+        let (_, basis) = small.solve_with_basis(&opts).unwrap();
+        let big = build(10);
+        let (warm, _) = big.solve_warm(&basis, &opts).unwrap();
+        let cold = big.solve_with(&opts).unwrap();
+        assert_close(warm.objective, cold.objective);
+        assert!(warm.stats.warm_used);
+    }
+
+    #[test]
+    fn warm_start_from_unrelated_model_falls_back() {
+        let mut a = Model::new();
+        let p = a.add_nonneg(1.0, "p");
+        let q = a.add_nonneg(1.0, "q");
+        a.ge(&[(p, 1.0), (q, 1.0)], 2.0);
+        let (_, basis) = a.solve_with_basis(&SolverOptions::default()).unwrap();
+
+        let mut b = Model::new();
+        let x = b.add_nonneg(-1.0, "x"); // entirely different names
+        let y = b.add_nonneg(-1.0, "y");
+        b.le(&[(x, 1.0), (y, 1.0)], 3.0);
+        let (warm, _) = b.solve_warm(&basis, &SolverOptions::default()).unwrap();
+        let cold = b.solve().unwrap();
+        assert_close(warm.objective, cold.objective);
+        assert!(warm.stats.warm_attempted);
+        assert!(!warm.stats.warm_used, "no shared names: must cold start");
     }
 }

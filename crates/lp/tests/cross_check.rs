@@ -6,7 +6,7 @@
 //! LPs have non-unique optima — but objectives must match and both points
 //! must be feasible).
 
-use coflow_lp::{Cmp, LpError, Model};
+use coflow_lp::{Cmp, LpError, Model, SolverOptions, LP_TOL};
 use proptest::prelude::*;
 
 /// A randomly generated LP description.
@@ -154,6 +154,134 @@ proptest! {
         let witness_obj: f64 = (0..n).map(|j| costs[j] * witness[j]).sum();
         prop_assert!(sol.objective <= witness_obj + 1e-6);
         prop_assert!(m.max_violation(&sol.values) < 1e-6);
+    }
+}
+
+/// A degenerate sparse LP description: coefficients, costs, and right-hand
+/// sides drawn from tiny discrete sets, so reduced costs and ratio-test
+/// limits tie constantly — the regime where naive pivoting cycles or
+/// stalls, and where the sparse-LU backend must still match the oracle.
+#[derive(Debug, Clone)]
+struct DegenerateLp {
+    n: usize,
+    costs: Vec<u8>,                        // index into COSTS
+    rows: Vec<(u8, u8, Vec<(usize, u8)>)>, // (cmp, rhs index, (var, coef index))
+    dup_row: usize,                        // one row repeated verbatim
+}
+
+const DEG_COSTS: [f64; 4] = [-1.0, 0.0, 1.0, -1.0]; // repeated values: cost ties
+const DEG_COEFS: [f64; 3] = [0.5, 1.0, 2.0];
+const DEG_RHS: [f64; 4] = [0.0, 1.0, 1.0, 2.0]; // zero and repeated rhs
+
+fn arb_degenerate(max_vars: usize, max_rows: usize) -> impl Strategy<Value = DegenerateLp> {
+    (3..=max_vars).prop_flat_map(move |n| {
+        let costs = proptest::collection::vec(0u8..4, n);
+        let rows = proptest::collection::vec(
+            (
+                0u8..3,
+                0u8..4,
+                proptest::collection::vec((0..n, 0u8..3), 1..=n.min(3)),
+            ),
+            2..=max_rows,
+        );
+        (Just(n), costs, rows, 0usize..max_rows).prop_map(|(n, costs, rows, dup_row)| {
+            DegenerateLp {
+                n,
+                costs,
+                rows,
+                dup_row,
+            }
+        })
+    })
+}
+
+fn build_degenerate(lp: &DegenerateLp) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..lp.n)
+        .map(|j| m.add_var(DEG_COSTS[lp.costs[j] as usize], 0.0, 1.0, format!("x{j}")))
+        .collect();
+    let mut add = |(code, rhs, terms): &(u8, u8, Vec<(usize, u8)>)| {
+        let cmp = match code {
+            0 => Cmp::Le,
+            1 => Cmp::Ge,
+            _ => Cmp::Eq,
+        };
+        let t: Vec<_> = terms
+            .iter()
+            .map(|&(j, c)| (vars[j], DEG_COEFS[c as usize]))
+            .collect();
+        m.add_row(cmp, DEG_RHS[*rhs as usize], &t);
+    };
+    for row in &lp.rows {
+        add(row);
+    }
+    // Repeat one row verbatim: duplicate constraints are a classic source
+    // of degenerate bases (dependent artificials in phase 1).
+    add(&lp.rows[lp.dup_row % lp.rows.len()]);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Degenerate sparse LPs: the production sparse-LU backend and the
+    /// dense-tableau oracle must agree on classification and, when
+    /// optimal, on the objective within `LP_TOL` scale.
+    #[test]
+    fn degenerate_sparse_matches_reference(lp in arb_degenerate(8, 6)) {
+        let m = build_degenerate(&lp);
+        let fast = m.solve();
+        let slow = m.solve_dense_reference();
+        prop_assert_eq!(classify(&fast), classify(&slow));
+        if let (Ok(f), Ok(s)) = (&fast, &slow) {
+            let scale = 1.0 + f.objective.abs().max(s.objective.abs());
+            prop_assert!(
+                (f.objective - s.objective).abs() / scale < 10.0 * LP_TOL,
+                "objective mismatch: sparse {} vs reference {}", f.objective, s.objective
+            );
+            prop_assert!(m.max_violation(&f.values) < 10.0 * LP_TOL);
+        }
+    }
+
+    /// Warm starting a *grown* model from the smaller model's basis must
+    /// reproduce the cold objective exactly (warm starts are an
+    /// optimization, never a correctness risk) — including when the shared
+    /// rows' right-hand sides change with the growth.
+    #[test]
+    fn warm_start_grown_matches_cold(
+        small in 3usize..7,
+        extra in 1usize..5,
+        costs in proptest::collection::vec(1u8..6, 12),
+        budget_num in 3usize..9,  // budget rhs = stages * budget_num / 10
+        pair_cap in 1usize..3,    // window rhs = 0.6 * pair_cap
+    ) {
+        let build = |stages: usize| {
+            let mut m = Model::new();
+            let xs: Vec<_> = (0..stages)
+                .map(|k| m.add_unit(-(costs[k % costs.len()] as f64), format!("x{k}")))
+                .collect();
+            let terms: Vec<_> = xs.iter().map(|&v| (v, 1.0)).collect();
+            // The budget rhs scales with the stage count, so the grown
+            // model changes this shared row's rhs — exercising the
+            // bound-shifting warm-start repair.
+            m.le(&terms, stages as f64 * budget_num as f64 / 10.0);
+            for w in xs.windows(2) {
+                m.le(&[(w[0], 1.0), (w[1], 1.0)], 0.6 * pair_cap as f64);
+            }
+            m
+        };
+        let opts = SolverOptions::default();
+        let (_, basis) = build(small).solve_with_basis(&opts).unwrap();
+        let big = build(small + extra);
+        let (warm, _) = big.solve_warm(&basis, &opts).unwrap();
+        let cold = big.solve_with(&opts).unwrap();
+        let scale = 1.0 + warm.objective.abs().max(cold.objective.abs());
+        prop_assert!(
+            (warm.objective - cold.objective).abs() / scale < 10.0 * LP_TOL,
+            "warm {} vs cold {}", warm.objective, cold.objective
+        );
+        prop_assert!(warm.stats.warm_attempted);
+        prop_assert!(big.max_violation(&warm.values) < 10.0 * LP_TOL);
     }
 }
 
