@@ -218,6 +218,35 @@ fn bench_snapshot(_c: &mut Criterion) {
         });
     }
 
+    // Warm vs cold across a *sweep* of distinct same-shape trial instances
+    // (the fig3/fig4 pattern): one chain threaded through consecutive
+    // trials, exactly what `coflow_bench::run_point` now does per worker
+    // thread.
+    let sweep: Vec<Instance> = (0..4)
+        .map(|trial| generate(&topo::fat_tree(4, 1.0), &fig3_config(4, trial)))
+        .collect();
+    let sweep_cfg = FreePathsLpConfig {
+        solver: production_opts(),
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let mut sweep_chain = WarmChain::new();
+    for inst in &sweep {
+        let grid = IntervalGrid::cover(sweep_cfg.eps, inst.horizon());
+        solve_free_paths_lp_paths_on_grid(inst, &sweep_cfg, grid, &mut sweep_chain).unwrap();
+    }
+    let sweep_warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let sweep_warm = sweep_chain.stats();
+    let t0 = Instant::now();
+    let mut sweep_cold_iters = 0usize;
+    for inst in &sweep {
+        let grid = IntervalGrid::cover(sweep_cfg.eps, inst.horizon());
+        let sol = solve_free_paths_lp_paths_on_grid(inst, &sweep_cfg, grid, &mut WarmChain::new())
+            .unwrap();
+        sweep_cold_iters += sol.base.iterations;
+    }
+    let sweep_cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+
     // Warm vs cold on a growing grid sequence of the path LP.
     let inst = generate(&topo::fat_tree(4, 1.0), &fig3_config(4, 0));
     let cfg = FreePathsLpConfig {
@@ -285,6 +314,19 @@ fn bench_snapshot(_c: &mut Criterion) {
         cold_ms,
     ));
     json.push_str(&format!(
+        concat!(
+            "  \"sweep_warm_vs_cold\": {{\"sequence\":\"fig3 fat_tree_k4 width-4 trials x{}\",",
+            "\"warm_total_iterations\":{},\"cold_total_iterations\":{},",
+            "\"warm_used\":{},\"warm_wall_ms\":{:.3},\"cold_wall_ms\":{:.3}}},\n"
+        ),
+        sweep.len(),
+        sweep_warm.total_iterations,
+        sweep_cold_iters,
+        sweep_warm.warm_used,
+        sweep_warm_ms,
+        sweep_cold_ms,
+    ));
+    json.push_str(&format!(
         "  \"derived\": {{\"transport100_speedup_vs_dense_baseline\":{:.2}}}\n}}\n",
         dense100 / sparse100
     ));
@@ -296,10 +338,13 @@ fn bench_snapshot(_c: &mut Criterion) {
     std::fs::write(results.join("BENCH_lp.json"), &json).expect("write results/BENCH_lp.json");
     println!(
         "lp_snapshot: transport/100 sparse {sparse100:.1}ms vs dense baseline {dense100:.1}ms \
-         ({:.1}x); warm chain {} iters vs cold {} — results/BENCH_lp.json",
+         ({:.1}x); warm grid chain {} iters vs cold {}; warm trial sweep {} iters vs cold {} \
+         — results/BENCH_lp.json",
         dense100 / sparse100,
         warm_stats.total_iterations,
-        cold_iters
+        cold_iters,
+        sweep_warm.total_iterations,
+        sweep_cold_iters
     );
     assert!(
         warm_stats.total_iterations < cold_iters,

@@ -1,0 +1,328 @@
+//! **Online arrivals**: arrival-rate × policy sweep of the online engine
+//! on a fat-tree, the workspace's first experiment in the coflows-arrive-
+//! over-time regime (the setting of the iterated-rounding and
+//! parallel-networks follow-up papers).
+//!
+//! For each Poisson arrival rate, every [`OnlinePolicy`] schedules the
+//! same trace; `LpOrder` additionally runs twice — once threading its
+//! [`WarmChain`] across epoch re-solves and once forced cold — so the
+//! warm-start pivot saving is a *measured* artifact. Results (per-policy
+//! objectives plus per-epoch `SolveStats`) land in
+//! `results/BENCH_online.json` through the same hand-rolled JSON as the
+//! instance snapshots.
+//!
+//! ```text
+//! cargo run --release -p coflow-bench --bin online_arrivals \
+//!     [--k 4] [--coflows 8] [--width 4] [--trials 3] [--smoke] [--out results/BENCH_online.json]
+//! ```
+//!
+//! [`OnlinePolicy`]: coflow_engine::OnlinePolicy
+//! [`WarmChain`]: coflow_lp::WarmChain
+
+use coflow_bench::print_table;
+use coflow_core::circuit::lp_free::FreePathsLpConfig;
+use coflow_core::circuit::round_free::{FreeRoundingConfig, PathSelection};
+use coflow_engine::{run, EngineConfig, EngineMetrics, Fifo, Greedy, LpOrder, WeightedFair};
+use coflow_net::topo;
+use coflow_workloads::gen::{generate, GenConfig};
+use coflow_workloads::io::Value;
+
+struct Args {
+    k: usize,
+    coflows: usize,
+    width: usize,
+    trials: usize,
+    rates: Vec<f64>,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let smoke_env = std::env::var_os("COFLOW_BENCH_QUICK").is_some_and(|v| v != "0");
+    let mut a = Args {
+        k: 4,
+        coflows: 8,
+        width: 4,
+        trials: 3,
+        rates: vec![0.25, 0.5, 1.0],
+        out: "results/BENCH_online.json".into(),
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut smoke = smoke_env;
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--k" => {
+                a.k = argv[i + 1].parse().expect("--k <even int>");
+                i += 2;
+            }
+            "--coflows" => {
+                a.coflows = argv[i + 1].parse().expect("--coflows <int>");
+                i += 2;
+            }
+            "--width" => {
+                a.width = argv[i + 1].parse().expect("--width <int>");
+                i += 2;
+            }
+            "--trials" => {
+                a.trials = argv[i + 1].parse().expect("--trials <int>");
+                i += 2;
+            }
+            "--rates" => {
+                a.rates = argv[i + 1]
+                    .split(',')
+                    .map(|s| s.parse().expect("--rates <f,f,f>"))
+                    .collect();
+                i += 2;
+            }
+            "--out" => {
+                a.out = argv[i + 1].clone();
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    if smoke {
+        a.coflows = a.coflows.min(5);
+        a.width = a.width.min(3);
+        a.trials = 1;
+    }
+    assert!(a.rates.len() >= 3, "need at least 3 arrival rates");
+    assert!(a.trials >= 1, "need at least 1 trial (--trials)");
+    a
+}
+
+fn lp_policy(seed: u64, warm: bool) -> LpOrder {
+    let lp_cfg = FreePathsLpConfig {
+        solver: coflow_lp::SolverOptions::for_experiments(),
+        ..Default::default()
+    };
+    let round_cfg = FreeRoundingConfig {
+        seed,
+        selection: PathSelection::LoadAware,
+        ..Default::default()
+    };
+    if warm {
+        LpOrder::new(lp_cfg, round_cfg)
+    } else {
+        LpOrder::cold(lp_cfg, round_cfg)
+    }
+}
+
+/// Sums a metric over per-trial engine metrics.
+fn total(ms: &[EngineMetrics], f: impl Fn(&EngineMetrics) -> f64) -> f64 {
+    ms.iter().map(f).sum()
+}
+
+fn main() {
+    let args = parse_args();
+    let t = topo::fat_tree(args.k, 1.0);
+    println!(
+        "Online arrivals on {} ({} hosts): {} coflows x width {}, rates {:?}, {} trial(s)/rate",
+        t.name,
+        t.host_count(),
+        args.coflows,
+        args.width,
+        args.rates,
+        args.trials
+    );
+    let cfg = EngineConfig::default();
+
+    let mut points: Vec<Value> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut warm_pivots_total = 0usize;
+    let mut cold_pivots_total = 0usize;
+    let mut warm_ms_total = 0.0;
+    let mut cold_ms_total = 0.0;
+
+    for (ri, &rate) in args.rates.iter().enumerate() {
+        let instances: Vec<_> = (0..args.trials)
+            .map(|trial| {
+                generate(
+                    &t,
+                    &GenConfig {
+                        n_coflows: args.coflows,
+                        width: args.width,
+                        size_mean: 3.0,
+                        arrival_rate: rate,
+                        jitter_rate: 2.0,
+                        // Keyed by sweep position, not the rate value:
+                        // nearby rates must not collide to one seed.
+                        seed: 0x0_11E_0000 + (ri as u64) * 10_000 + trial as u64,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+
+        // name -> per-trial engine metrics
+        let mut per_policy: Vec<(&str, Vec<EngineMetrics>)> = vec![
+            ("LpOrder", Vec::new()),
+            ("Greedy", Vec::new()),
+            ("WeightedFair", Vec::new()),
+            ("Fifo", Vec::new()),
+        ];
+        let mut lp_cold: Vec<EngineMetrics> = Vec::new();
+
+        for (trial, inst) in instances.iter().enumerate() {
+            let seed = trial as u64;
+            for (name, metrics) in per_policy.iter_mut() {
+                let out = match *name {
+                    "LpOrder" => run(inst, &mut lp_policy(seed, true), &cfg),
+                    "Greedy" => run(inst, &mut Greedy, &cfg),
+                    "WeightedFair" => run(inst, &mut WeightedFair, &cfg),
+                    "Fifo" => run(inst, &mut Fifo, &cfg),
+                    _ => unreachable!(),
+                };
+                // Feasibility is asserted on every run: the online engine
+                // must never oversubscribe a link or jump a release.
+                let routed = inst.with_paths(&out.paths);
+                let violations = out.schedule.check(&routed, 1e-6, 1e-6);
+                assert!(violations.is_empty(), "{name}: {violations:?}");
+                metrics.push(out.engine);
+            }
+            // The warm-vs-cold A/B for the LP policy.
+            lp_cold.push(run(inst, &mut lp_policy(seed, false), &cfg).engine);
+        }
+
+        let warm = &per_policy[0].1;
+        let wp = total(warm, |m| m.total_pivots as f64) as usize;
+        let cp = total(&lp_cold, |m| m.total_pivots as f64) as usize;
+        warm_pivots_total += wp;
+        cold_pivots_total += cp;
+        warm_ms_total += total(warm, |m| m.total_resolve_ms);
+        cold_ms_total += total(&lp_cold, |m| m.total_resolve_ms);
+        println!(
+            "  rate {rate}: LpOrder re-solves warm {} pivots vs cold {} ({} of {} epochs reused the basis)",
+            wp,
+            cp,
+            total(warm, |m| m.warm_used as f64) as usize,
+            total(warm, |m| m.epochs as f64) as usize,
+        );
+
+        for (name, ms) in &per_policy {
+            let trials = ms.len() as f64;
+            rows.push(vec![
+                format!("{rate}"),
+                name.to_string(),
+                format!("{:.2}", total(ms, |m| m.weighted_sum) / trials),
+                format!("{:.2}", total(ms, |m| m.avg_coflow_completion) / trials),
+                format!("{:.0}", total(ms, |m| m.epochs as f64) / trials),
+                format!("{:.0}", total(ms, |m| m.total_pivots as f64) / trials),
+                format!("{:.1}", total(ms, |m| m.total_resolve_ms) / trials),
+            ]);
+        }
+
+        points.push(Value::Obj(vec![
+            ("arrival_rate".into(), Value::Num(rate)),
+            ("trials".into(), Value::Num(args.trials as f64)),
+            (
+                "policies".into(),
+                Value::Arr(per_policy.iter().map(|(_, ms)| summarize(ms)).collect()),
+            ),
+            ("lp_cold".into(), summarize(&lp_cold)),
+            // Full per-epoch SolveStats of the first trial's warm LP run.
+            ("lp_warm_trial0".into(), warm[0].to_json()),
+        ]));
+    }
+
+    print_table(
+        "Online engine: mean weighted objective per policy",
+        &[
+            "rate",
+            "policy",
+            "Σ ω·C",
+            "avg C",
+            "epochs",
+            "pivots",
+            "resolve ms",
+        ],
+        &rows,
+    );
+    println!(
+        "\nwarm-started epoch re-solves: {warm_pivots_total} total pivots vs {cold_pivots_total} cold \
+         ({:.2}x), {warm_ms_total:.0} ms vs {cold_ms_total:.0} ms",
+        cold_pivots_total as f64 / warm_pivots_total.max(1) as f64
+    );
+    assert!(
+        warm_pivots_total < cold_pivots_total,
+        "warm-started re-solves must need fewer total pivots than cold"
+    );
+
+    let doc = Value::Obj(vec![
+        ("schema".into(), Value::Str("coflow-online-bench/v1".into())),
+        (
+            "topology".into(),
+            Value::Obj(vec![
+                ("name".into(), Value::Str(t.name.clone())),
+                ("hosts".into(), Value::Num(t.host_count() as f64)),
+            ]),
+        ),
+        ("coflows".into(), Value::Num(args.coflows as f64)),
+        ("width".into(), Value::Num(args.width as f64)),
+        (
+            "arrival_rates".into(),
+            Value::Arr(args.rates.iter().map(|&r| Value::Num(r)).collect()),
+        ),
+        ("points".into(), Value::Arr(points)),
+        (
+            "warm_vs_cold".into(),
+            Value::Obj(vec![
+                (
+                    "warm_total_pivots".into(),
+                    Value::Num(warm_pivots_total as f64),
+                ),
+                (
+                    "cold_total_pivots".into(),
+                    Value::Num(cold_pivots_total as f64),
+                ),
+                ("warm_total_ms".into(), Value::Num(warm_ms_total)),
+                ("cold_total_ms".into(), Value::Num(cold_ms_total)),
+            ]),
+        ),
+    ]);
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&args.out, doc.render()).expect("write BENCH_online.json");
+    println!("Wrote {}", args.out);
+}
+
+/// Aggregate JSON summary of one policy's trials at one rate.
+fn summarize(ms: &[EngineMetrics]) -> Value {
+    let n = ms.len().max(1) as f64;
+    Value::Obj(vec![
+        ("policy".into(), Value::Str(ms[0].policy.clone())),
+        (
+            "mean_weighted_sum".into(),
+            Value::Num(total(ms, |m| m.weighted_sum) / n),
+        ),
+        (
+            "mean_avg_completion".into(),
+            Value::Num(total(ms, |m| m.avg_coflow_completion) / n),
+        ),
+        (
+            "total_epochs".into(),
+            Value::Num(total(ms, |m| m.epochs as f64)),
+        ),
+        (
+            "total_pivots".into(),
+            Value::Num(total(ms, |m| m.total_pivots as f64)),
+        ),
+        (
+            "total_resolve_ms".into(),
+            Value::Num(total(ms, |m| m.total_resolve_ms)),
+        ),
+        (
+            "warm_used".into(),
+            Value::Num(total(ms, |m| m.warm_used as f64)),
+        ),
+        (
+            "warm_attempted".into(),
+            Value::Num(total(ms, |m| m.warm_attempted as f64)),
+        ),
+    ])
+}

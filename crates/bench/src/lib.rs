@@ -19,10 +19,12 @@
 
 use coflow_core::baselines::{self, BaselineConfig, Scheme};
 use coflow_core::bounds;
-use coflow_core::circuit::lp_free::{solve_free_paths_lp_paths, FreePathsLpConfig};
+use coflow_core::circuit::lp_free::{solve_free_paths_lp_paths_on_grid, FreePathsLpConfig};
 use coflow_core::circuit::round_free::{round_free_paths, FreeRoundingConfig, PathSelection};
+use coflow_core::intervals::IntervalGrid;
 use coflow_core::model::Instance;
 use coflow_core::order::lp_order;
+use coflow_lp::WarmChain;
 use coflow_sim::fluid::{simulate, SimConfig};
 use std::io::Write as _;
 use std::time::Instant;
@@ -60,6 +62,11 @@ pub struct LpDiagnostics {
     pub fill_ratio: f64,
     /// LP solve wall time in milliseconds.
     pub solve_ms: f64,
+    /// Trials whose LP solve attempted a warm start (sum over trials when
+    /// aggregated).
+    pub warm_attempted: usize,
+    /// Trials whose warm basis was accepted.
+    pub warm_used: usize,
 }
 
 /// One experiment trial: run all four schemes on `instance`.
@@ -71,12 +78,34 @@ pub fn run_trial(
     lp_cfg: &FreePathsLpConfig,
     seed: u64,
 ) -> (Vec<TrialOutcome>, LpDiagnostics) {
+    run_trial_chained(instance, lp_cfg, seed, &mut WarmChain::new())
+}
+
+/// [`run_trial`] with the LP solve warm-started through `chain`.
+///
+/// Sweep drivers thread one chain per worker thread across consecutive
+/// trials (see [`run_point`]): trial instances of one figure point share
+/// topology and shape, so their LPs are structurally close enough for the
+/// previous optimal basis to be a useful start — the cross-instance
+/// counterpart of the growing-grid warm starts inside `coflow-core`. A
+/// rejected warm start silently degrades to the cold crash basis and
+/// changes nothing; an *accepted* one keeps the objective optimal but may
+/// land on a different optimal vertex than a cold solve would, so callers
+/// that promise reproducible artifacts must thread chains deterministically
+/// (see [`run_point`]).
+pub fn run_trial_chained(
+    instance: &Instance,
+    lp_cfg: &FreePathsLpConfig,
+    seed: u64,
+    chain: &mut WarmChain,
+) -> (Vec<TrialOutcome>, LpDiagnostics) {
     let sim_cfg = SimConfig::default();
     let mut outcomes = Vec::with_capacity(4);
 
     // --- LP-Based (§2.2 + §4.2 tweaks). ---
     let t0 = Instant::now();
-    let lp = solve_free_paths_lp_paths(instance, lp_cfg)
+    let grid = IntervalGrid::cover(lp_cfg.eps, instance.horizon());
+    let lp = solve_free_paths_lp_paths_on_grid(instance, lp_cfg, grid, chain)
         .expect("free-paths LP must be feasible on valid instances");
     let solve_ms = t0.elapsed().as_secs_f64() * 1e3;
     let rounding = round_free_paths(
@@ -105,6 +134,8 @@ pub fn run_trial(
         refactorizations: lp.base.stats.refactorizations,
         fill_ratio: lp.base.stats.fill_ratio(),
         solve_ms,
+        warm_attempted: lp.base.stats.warm_attempted as usize,
+        warm_used: lp.base.stats.warm_used as usize,
     };
 
     // --- Heuristics (§4.3). ---
@@ -160,16 +191,59 @@ impl PointSummary {
 }
 
 /// Runs `instances` as parallel trials of one figure point.
+///
+/// Trials are split into **contiguous chunks, one per worker**, and each
+/// chunk threads one [`WarmChain`] through its trials in order, so
+/// consecutive same-shape LP solves can warm-start off each other
+/// (`diag.warm_used` counts how many trials accepted the basis). The
+/// chunking is static — not work-stealing — so which trials share a chain
+/// is a pure function of `(instances, threads)`: an accepted warm start
+/// may land the simplex on a different (equally optimal) vertex, and
+/// dynamic scheduling would make the produced CSVs depend on thread
+/// timing. Chaining is also *adaptive*: once a chunk sees its warm basis
+/// rejected — the measured outcome for independent random instances, whose
+/// identically-named variables describe different candidate paths (see
+/// `sweep_warm_vs_cold` in `results/BENCH_lp.json`) — it stops attempting
+/// and runs its remaining trials cold, so a non-transferring sweep pays
+/// for at most one rejected mapping per chunk. Sequences that *do*
+/// transfer (growing budgets over one instance, online residuals) keep
+/// the chain alive for every solve.
 pub fn run_point(
     label: &str,
     instances: &[Instance],
     lp_cfg: &FreePathsLpConfig,
     threads: usize,
 ) -> PointSummary {
+    let workers = threads.max(1).min(instances.len().max(1));
+    let per_chunk = instances.len().div_ceil(workers.max(1)).max(1);
+    let chunks: Vec<(usize, &[Instance])> = instances
+        .chunks(per_chunk)
+        .enumerate()
+        .map(|(c, chunk)| (c * per_chunk, chunk))
+        .collect();
     let results: Vec<(Vec<TrialOutcome>, LpDiagnostics)> =
-        run_parallel(instances, threads, |i, inst| {
-            run_trial(inst, lp_cfg, 1000 + i as u64)
-        });
+        run_parallel(&chunks, workers, |_, &(start, chunk)| {
+            let mut chain = WarmChain::new();
+            let mut gave_up = false;
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(k, inst)| {
+                    if gave_up {
+                        chain.reset();
+                    }
+                    let out =
+                        run_trial_chained(inst, lp_cfg, 1000 + (start + k) as u64, &mut chain);
+                    if out.1.warm_attempted > out.1.warm_used {
+                        gave_up = true;
+                    }
+                    out
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
     let trials = results.len();
     let mut schemes = Vec::new();
@@ -203,6 +277,9 @@ pub fn run_point(
             / trials,
         fill_ratio: results.iter().map(|(_, d)| d.fill_ratio).sum::<f64>() / trials as f64,
         solve_ms: results.iter().map(|(_, d)| d.solve_ms).sum::<f64>() / trials as f64,
+        // Counts, not means: how many of the point's trials warm-started.
+        warm_attempted: results.iter().map(|(_, d)| d.warm_attempted).sum(),
+        warm_used: results.iter().map(|(_, d)| d.warm_used).sum(),
     };
     PointSummary {
         label: label.to_string(),
@@ -218,6 +295,23 @@ pub fn run_parallel<T: Sync, R: Send>(
     threads: usize,
     f: impl Fn(usize, &T) -> R + Sync,
 ) -> Vec<R> {
+    run_parallel_with(items, threads, || (), |(), i, item| f(i, item))
+}
+
+/// [`run_parallel`] with per-worker state: `init` runs once on each worker
+/// thread and the resulting state is threaded through every item that
+/// worker processes. General utility for caches or scratch buffers whose
+/// contents must not affect results — note [`run_point`] deliberately does
+/// *not* use it for its [`WarmChain`]s: work-stealing makes the
+/// item-to-worker assignment timing-dependent, so anything result-affecting
+/// (an accepted warm basis can change the optimal vertex) must be threaded
+/// through a deterministic static partition instead.
+pub fn run_parallel_with<T: Sync, R: Send, S>(
+    items: &[T],
+    threads: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize, &T) -> R + Sync,
+) -> Vec<R> {
     let threads = threads.max(1);
     let n = items.len();
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
@@ -226,13 +320,16 @@ pub fn run_parallel<T: Sync, R: Send>(
         out.iter_mut().map(std::sync::Mutex::new).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&mut state, i, &items[i]);
+                    **slots[i].lock().expect("worker panicked holding slot lock") = Some(r);
                 }
-                let r = f(i, &items[i]);
-                **slots[i].lock().expect("worker panicked holding slot lock") = Some(r);
             });
         }
     });
@@ -409,6 +506,63 @@ mod tests {
         assert_eq!(p.schemes.len(), 4);
         assert!(p.avg_of("LP-Based") > 0.0);
         assert!(p.ratio_to_baseline("Baseline") == 1.0);
+    }
+
+    /// Chained trials must reproduce unchained results (warm starts are a
+    /// speed lever, never a result change) while actually warm-starting.
+    #[test]
+    fn chained_trials_match_cold_and_warm_start() {
+        let instances: Vec<Instance> = (0..3).map(small_instance).collect();
+        let lp_cfg = FreePathsLpConfig::default();
+        let mut chain = WarmChain::new();
+        let mut attempted = 0;
+        for (i, inst) in instances.iter().enumerate() {
+            let (warm_outs, warm_diag) =
+                run_trial_chained(inst, &lp_cfg, 1000 + i as u64, &mut chain);
+            let (cold_outs, cold_diag) = run_trial(inst, &lp_cfg, 1000 + i as u64);
+            assert!(
+                (warm_diag.lp_objective - cold_diag.lp_objective).abs() < 1e-6,
+                "trial {i}: warm obj {} vs cold {}",
+                warm_diag.lp_objective,
+                cold_diag.lp_objective
+            );
+            for (w, c) in warm_outs.iter().zip(&cold_outs) {
+                assert_eq!(w.scheme, c.scheme);
+                assert!(
+                    (w.avg_completion - c.avg_completion).abs() < 1e-6,
+                    "{}: warm {} vs cold {}",
+                    w.scheme,
+                    w.avg_completion,
+                    c.avg_completion
+                );
+            }
+            attempted += warm_diag.warm_attempted;
+            assert_eq!(cold_diag.warm_attempted, 0);
+        }
+        assert_eq!(attempted, 2, "every trial after the first attempts warm");
+    }
+
+    #[test]
+    fn parallel_with_threads_state_through_workers() {
+        let items: Vec<usize> = (0..9).collect();
+        // Single worker: the counter state sees every item in order.
+        let out = run_parallel_with(
+            &items,
+            1,
+            || 0usize,
+            |seen, _, &x| {
+                *seen += 1;
+                (*seen, x * 2)
+            },
+        );
+        assert_eq!(
+            out.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+            (1..=9).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            out.iter().map(|&(_, d)| d).collect::<Vec<_>>(),
+            (0..9).map(|x| x * 2).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | §4    | [`baselines`], [`order`] | Baseline / Schedule-only / Route-only heuristics and LP-completion-time orderings |
 //! | §1.3  | [`switch`] | the non-blocking-switch (task-based / concurrent-open-shop) special case |
 //! | Lem. 4/5/7 | [`bounds`] | LP-derived lower bounds for empirical approximation ratios |
+//! | online | [`residual`] | residual instances (remaining sizes, frozen completed flows) for the online engine's epoch re-solves |
 //!
 //! Schedules are explicit, checkable artifacts: [`schedule::CircuitSchedule`]
 //! (piecewise-constant bandwidths, Lemma 1) and
@@ -28,6 +29,7 @@ pub mod model;
 pub mod objective;
 pub mod order;
 pub mod packet;
+pub mod residual;
 pub mod schedule;
 pub mod switch;
 

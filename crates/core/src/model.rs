@@ -212,11 +212,19 @@ impl Instance {
             if f.src == f.dst {
                 errs.push(format!("{id:?}: src == dst"));
             }
-            if f.size < 0.0 || !f.size.is_finite() {
-                errs.push(format!("{id:?}: bad size {}", f.size));
+            // `!(x >= 0)` (rather than `x < 0`) so NaN — which fails every
+            // comparison — lands in the same rejection path as negatives.
+            if !(f.size >= 0.0 && f.size.is_finite()) {
+                errs.push(format!(
+                    "{id:?}: bad size {} (must be finite and >= 0)",
+                    f.size
+                ));
             }
-            if f.release < 0.0 || !f.release.is_finite() {
-                errs.push(format!("{id:?}: bad release {}", f.release));
+            if !(f.release >= 0.0 && f.release.is_finite()) {
+                errs.push(format!(
+                    "{id:?}: bad release {} (must be finite and >= 0)",
+                    f.release
+                ));
             }
             if let Some(p) = &f.path {
                 if !self.graph.is_simple_path(p, f.src, f.dst) {
@@ -327,6 +335,29 @@ mod tests {
         assert!(errs.iter().any(|e| e.contains("bad release")));
         assert!(errs.iter().any(|e| e.contains("bad weight")));
         assert!(errs.iter().any(|e| e.contains("empty")));
+    }
+
+    #[test]
+    fn validate_rejects_negative_and_nan_releases() {
+        let t = topo::triangle();
+        let (x, y) = (t.hosts[0], t.hosts[1]);
+        for bad in [-1.0, -1e-9, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let inst = Instance::new(
+                t.graph.clone(),
+                vec![Coflow::new(1.0, vec![FlowSpec::new(x, y, 1.0, bad)])],
+            );
+            let errs = inst.validate();
+            assert!(
+                errs.iter().any(|e| e.contains("bad release")),
+                "release {bad} must be rejected, got {errs:?}"
+            );
+        }
+        // NaN size takes the same rejection path.
+        let inst = Instance::new(
+            t.graph.clone(),
+            vec![Coflow::new(1.0, vec![FlowSpec::new(x, y, f64::NAN, 0.0)])],
+        );
+        assert!(inst.validate().iter().any(|e| e.contains("bad size")));
     }
 
     #[test]

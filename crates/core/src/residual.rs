@@ -1,0 +1,187 @@
+//! Residual-instance construction for online re-optimization.
+//!
+//! The online engine (`coflow-engine`) re-solves the paper's LPs at every
+//! epoch boundary on the *residual* instance: the coflows that have arrived
+//! so far, with each flow carrying its **remaining** size and a release
+//! shifted to the epoch's local clock. Completed flows are kept but
+//! *frozen* at size 0 rather than dropped — this preserves flat indices
+//! (and therefore LP variable/row names like `x{flat}:{l}`) across epochs,
+//! which is what lets one [`coflow_lp::WarmChain`] thread consecutive
+//! re-solves: the next epoch's model keeps every surviving variable's name,
+//! so the previous optimal basis maps onto it.
+//!
+//! Coflows are emitted in **admission order** (the order the engine first
+//! saw them), not original index order, for the same reason: admission only
+//! appends, so residual flat indices are stable for the lifetime of a flow.
+
+use crate::model::{Coflow, FlowSpec, Instance};
+use coflow_net::Path;
+
+/// A residual view of an in-progress instance at some time `now`.
+#[derive(Clone, Debug)]
+pub struct Residual {
+    /// The residual instance on the engine's local clock (`now` ↦ 0):
+    /// admitted coflows in admission order; remaining sizes; completed
+    /// flows frozen at size 0; releases `max(r − now, 0)`; chosen paths
+    /// prescribed where already committed.
+    pub instance: Instance,
+    /// Original coflow index of each residual coflow.
+    pub coflow_map: Vec<usize>,
+    /// Original flat flow index of each residual flat index.
+    pub flat_map: Vec<usize>,
+}
+
+impl Residual {
+    /// Remaining volume still to serve (excludes frozen flows).
+    pub fn remaining_size(&self) -> f64 {
+        self.instance.total_size()
+    }
+}
+
+/// Builds the residual instance at time `now`.
+///
+/// * `admitted` — original coflow indices in admission order (each at most
+///   once);
+/// * `remaining` — remaining size per **original** flat index (≤ 0 means
+///   the flow completed and is frozen at size 0);
+/// * `paths` — the path each flow has committed to, per original flat
+///   index (`None` = not routed yet; the LP stays free to choose).
+///
+/// # Panics
+/// If `remaining`/`paths` lengths disagree with the instance or an
+/// admitted index repeats or is out of range.
+pub fn residual_instance(
+    original: &Instance,
+    now: f64,
+    admitted: &[usize],
+    remaining: &[f64],
+    paths: &[Option<Path>],
+) -> Residual {
+    let nf = original.flow_count();
+    assert_eq!(remaining.len(), nf, "remaining must be flat-indexed");
+    assert_eq!(paths.len(), nf, "paths must be flat-indexed");
+    let mut seen = vec![false; original.coflow_count()];
+    let mut coflows = Vec::with_capacity(admitted.len());
+    let mut flat_map = Vec::new();
+    for &ci in admitted {
+        assert!(
+            !std::mem::replace(&mut seen[ci], true),
+            "coflow {ci} admitted twice"
+        );
+        let orig = &original.coflows[ci];
+        let flows: Vec<FlowSpec> = orig
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(j, f)| {
+                let flat = original.flat_index(crate::model::FlowId {
+                    coflow: ci as u32,
+                    flow: j as u32,
+                });
+                flat_map.push(flat);
+                FlowSpec {
+                    src: f.src,
+                    dst: f.dst,
+                    size: remaining[flat].max(0.0),
+                    release: (f.release - now).max(0.0),
+                    path: paths[flat].clone(),
+                }
+            })
+            .collect();
+        coflows.push(Coflow::new(orig.weight, flows));
+    }
+    Residual {
+        instance: Instance::new(original.graph.clone(), coflows),
+        coflow_map: admitted.to_vec(),
+        flat_map,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coflow_net::{topo, NodeId};
+
+    fn two_coflows() -> Instance {
+        let t = topo::line(3, 1.0);
+        Instance::new(
+            t.graph,
+            vec![
+                Coflow::new(
+                    1.0,
+                    vec![
+                        FlowSpec::new(NodeId(0), NodeId(1), 2.0, 0.0),
+                        FlowSpec::new(NodeId(1), NodeId(2), 3.0, 1.0),
+                    ],
+                ),
+                Coflow::new(2.0, vec![FlowSpec::new(NodeId(0), NodeId(2), 4.0, 2.5)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn full_admission_at_time_zero_is_identity() {
+        let inst = two_coflows();
+        let remaining: Vec<f64> = inst.flows().map(|(_, _, f)| f.size).collect();
+        let paths = vec![None; inst.flow_count()];
+        let r = residual_instance(&inst, 0.0, &[0, 1], &remaining, &paths);
+        assert_eq!(r.coflow_map, vec![0, 1]);
+        assert_eq!(r.flat_map, vec![0, 1, 2]);
+        assert_eq!(r.instance.coflow_count(), 2);
+        for ((_, _, a), (_, _, b)) in inst.flows().zip(r.instance.flows()) {
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.release, b.release);
+            assert_eq!(a.src, b.src);
+        }
+        assert_eq!(r.instance.coflows[1].weight, 2.0);
+    }
+
+    #[test]
+    fn shifts_releases_and_freezes_completed() {
+        let inst = two_coflows();
+        // At t = 2: flow 0 done, flow 1 half-served, coflow 1 not admitted.
+        let remaining = vec![0.0, 1.5, 4.0];
+        let paths = vec![None; 3];
+        let r = residual_instance(&inst, 2.0, &[0], &remaining, &paths);
+        assert_eq!(r.instance.coflow_count(), 1);
+        assert_eq!(r.flat_map, vec![0, 1]);
+        let flows = &r.instance.coflows[0].flows;
+        assert_eq!(flows[0].size, 0.0, "completed flow frozen at zero");
+        assert_eq!(flows[0].release, 0.0);
+        assert_eq!(flows[1].size, 1.5);
+        assert_eq!(flows[1].release, 0.0, "past release clamps to now");
+        assert!((r.remaining_size() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn admission_order_controls_residual_indices() {
+        let inst = two_coflows();
+        let remaining = vec![2.0, 3.0, 4.0];
+        let paths = vec![None; 3];
+        let r = residual_instance(&inst, 0.0, &[1, 0], &remaining, &paths);
+        assert_eq!(r.coflow_map, vec![1, 0]);
+        assert_eq!(r.flat_map, vec![2, 0, 1]);
+        assert_eq!(r.instance.coflows[0].weight, 2.0);
+    }
+
+    #[test]
+    fn committed_paths_carry_over() {
+        let inst = two_coflows();
+        let p = coflow_net::paths::bfs_shortest_path(&inst.graph, NodeId(0), NodeId(1)).unwrap();
+        let mut paths = vec![None; 3];
+        paths[0] = Some(p.clone());
+        let remaining = vec![1.0, 3.0, 4.0];
+        let r = residual_instance(&inst, 0.5, &[0, 1], &remaining, &paths);
+        assert_eq!(r.instance.coflows[0].flows[0].path.as_ref(), Some(&p));
+        assert!(r.instance.coflows[0].flows[1].path.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "admitted twice")]
+    fn duplicate_admission_rejected() {
+        let inst = two_coflows();
+        let remaining = vec![2.0, 3.0, 4.0];
+        let paths = vec![None; 3];
+        let _ = residual_instance(&inst, 0.0, &[0, 0], &remaining, &paths);
+    }
+}

@@ -1,0 +1,334 @@
+//! The discrete-event online scheduling engine.
+//!
+//! The engine ingests coflow arrivals from an [`ArrivalTrace`], maintains
+//! the live (admitted, not yet completed) flow set, and advances a fluid
+//! executor between events. Two nested cadences:
+//!
+//! * **events** — flow completions, flow releases, coflow arrivals,
+//!   periodic ticks. At every event the executor re-applies the standing
+//!   [`RatePlan`] (the same shared allocators the offline simulator uses:
+//!   [`coflow_sim::fluid::greedy_fill`] / [`fair_fill`]), so rates adapt
+//!   as flows finish or appear;
+//! * **epoch boundaries** — the subset of events selected by the
+//!   [`EpochTrigger`]. There the engine admits newly arrived coflows,
+//!   rebuilds the [`residual instance`](coflow_core::residual), and asks
+//!   the [`OnlinePolicy`] for a fresh plan — for [`LpOrder`] that is a
+//!   warm-started LP re-solve whose [`SolveStats`] land in the epoch log.
+//!
+//! [`fair_fill`]: coflow_sim::fluid::fair_fill
+//! [`LpOrder`]: crate::policy::LpOrder
+//! [`SolveStats`]: coflow_lp::SolveStats
+
+use crate::epoch::EpochTrigger;
+use crate::metrics::{EngineMetrics, EpochRecord};
+use crate::policy::{EpochPlan, EpochView, OnlinePolicy, RatePlan};
+use crate::trace::ArrivalTrace;
+use coflow_core::objective::{metrics, Metrics};
+use coflow_core::residual::residual_instance;
+use coflow_core::schedule::{CircuitSchedule, FlowSchedule};
+use coflow_core::Instance;
+use coflow_net::Path;
+use coflow_sim::fluid::{fair_fill, greedy_fill, push_segment};
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// When to re-optimize (see [`EpochTrigger`]).
+    pub trigger: EpochTrigger,
+    /// Relative volume tolerance for deeming a flow complete (matches
+    /// [`coflow_sim::fluid::SimConfig::vol_eps`]).
+    pub vol_eps: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            trigger: EpochTrigger::default(),
+            vol_eps: 1e-9,
+        }
+    }
+}
+
+/// Result of an engine run.
+#[derive(Clone, Debug)]
+pub struct EngineOutcome {
+    /// The realized piecewise-constant schedule (original flat indices).
+    pub schedule: CircuitSchedule,
+    /// Per-flow completion times (flat order).
+    pub flow_completion: Vec<f64>,
+    /// The path each flow committed to (empty for never-routed zero-size
+    /// flows).
+    pub paths: Vec<Path>,
+    /// Objective metrics of the realized schedule.
+    pub metrics: Metrics,
+    /// Engine-level metrics: epochs, re-solve time, pivots, warm-start
+    /// outcomes.
+    pub engine: EngineMetrics,
+}
+
+/// Runs `policy` online over `instance`'s canonical arrival trace (each
+/// coflow arrives at its earliest flow release).
+pub fn run(
+    instance: &Instance,
+    policy: &mut dyn OnlinePolicy,
+    cfg: &EngineConfig,
+) -> EngineOutcome {
+    run_trace(
+        instance,
+        &ArrivalTrace::from_instance(instance),
+        policy,
+        cfg,
+    )
+}
+
+/// Runs `policy` online over an explicit arrival trace. A flow can start
+/// no earlier than `max(its release, its coflow's trace arrival)`, so
+/// traces can batch or delay admissions relative to the instance.
+///
+/// # Panics
+/// * if the trace does not cover every coflow exactly once;
+/// * if the policy tries to re-route a committed flow;
+/// * if the engine deadlocks or exceeds its event budget (bugs).
+pub fn run_trace(
+    instance: &Instance,
+    trace: &ArrivalTrace,
+    policy: &mut dyn OnlinePolicy,
+    cfg: &EngineConfig,
+) -> EngineOutcome {
+    let nf = instance.flow_count();
+    let ncof = instance.coflow_count();
+    assert_eq!(
+        trace.len(),
+        ncof,
+        "trace must cover every coflow exactly once"
+    );
+    let g = &instance.graph;
+
+    let sizes: Vec<f64> = instance.flows().map(|(_, _, s)| s.size).collect();
+    let releases: Vec<f64> = instance.flows().map(|(_, _, s)| s.release).collect();
+    let coflow_of: Vec<usize> = instance
+        .flows()
+        .map(|(id, _, _)| id.coflow as usize)
+        .collect();
+
+    let mut admitted_at = vec![f64::INFINITY; ncof];
+    let mut admission_order: Vec<usize> = Vec::with_capacity(ncof);
+    let mut remaining = sizes.clone();
+    let mut done = vec![false; nf];
+    let mut completion = vec![0.0_f64; nf];
+    let mut paths_opt: Vec<Option<Path>> = vec![None; nf];
+    let mut paths_flat: Vec<Path> = vec![Path::empty(); nf];
+    let mut schedule = CircuitSchedule {
+        flows: (0..nf).map(|_| FlowSchedule::default()).collect(),
+    };
+
+    let mut plan = EpochPlan {
+        routes: Vec::new(),
+        rates: RatePlan::Ordered(Vec::new()),
+    };
+    let mut epoch_log: Vec<EpochRecord> = Vec::new();
+    let mut t = 0.0_f64;
+    let mut next_arr = 0usize;
+    let mut events = 0usize;
+    let mut epoch_due = true;
+
+    let mut rates = vec![0.0_f64; nf];
+    let mut residual_cap = vec![0.0_f64; g.edge_count()];
+    let mut event_budget = 8 * (nf + ncof) + 64;
+    if let Some(p) = cfg.trigger.period {
+        event_budget += (instance.horizon() / p).ceil() as usize + 16;
+    }
+
+    // Effective release: a flow starts no earlier than its coflow's
+    // admission.
+    let eff_release = |f: usize, admitted_at: &[f64]| releases[f].max(admitted_at[coflow_of[f]]);
+
+    loop {
+        if epoch_due {
+            // --- Admission. ---
+            while next_arr < trace.len() && trace.events()[next_arr].0 <= t + 1e-9 {
+                let (at, ci) = trace.events()[next_arr];
+                // `at` may predate this boundary under batching triggers;
+                // the flow could not run before now because `admitted_at`
+                // was infinite in every earlier activity check.
+                admitted_at[ci] = at;
+                admission_order.push(ci);
+                // Zero-size flows complete the moment they exist.
+                for (j, _) in instance.coflows[ci].flows.iter().enumerate() {
+                    let flat = instance.flat_index(coflow_core::FlowId {
+                        coflow: ci as u32,
+                        flow: j as u32,
+                    });
+                    if sizes[flat] <= 0.0 {
+                        done[flat] = true;
+                        completion[flat] = releases[flat].max(t);
+                    }
+                }
+                next_arr += 1;
+            }
+
+            // --- Re-plan (only when there is live work). ---
+            let live = (0..nf).any(|f| !done[f] && admitted_at[coflow_of[f]].is_finite());
+            if live {
+                let residual =
+                    residual_instance(instance, t, &admission_order, &remaining, &paths_opt);
+                let live_flows = residual
+                    .instance
+                    .flows()
+                    .filter(|&(_, rf, _)| !done[residual.flat_map[rf]])
+                    .count();
+                let t0 = Instant::now();
+                plan = policy.plan(&EpochView {
+                    now: t,
+                    original: instance,
+                    residual: &residual,
+                    paths: &paths_opt,
+                });
+                let resolve_ms = t0.elapsed().as_secs_f64() * 1e3;
+                for (f, p) in std::mem::take(&mut plan.routes) {
+                    if done[f] && sizes[f] <= 0.0 {
+                        continue; // zero-size flows never transmit
+                    }
+                    assert!(
+                        paths_opt[f].is_none(),
+                        "policy attempted to re-route committed flow {f}"
+                    );
+                    schedule.flows[f].path = p.clone();
+                    paths_flat[f] = p.clone();
+                    paths_opt[f] = Some(p);
+                }
+                epoch_log.push(EpochRecord {
+                    time: t,
+                    live_flows,
+                    resolve_ms,
+                    solve: policy.last_solve(),
+                });
+            } else {
+                plan = EpochPlan {
+                    routes: Vec::new(),
+                    rates: RatePlan::Ordered(Vec::new()),
+                };
+            }
+            // (`epoch_due` is recomputed at the bottom of every iteration.)
+        }
+
+        if done.iter().all(|&d| d) && next_arr >= trace.len() {
+            break;
+        }
+        events += 1;
+        assert!(
+            events <= event_budget,
+            "online engine exceeded event budget (bug)"
+        );
+
+        // --- Allocate rates under the standing plan. ---
+        for (e, r) in residual_cap.iter_mut().enumerate() {
+            *r = g.capacity(coflow_net::EdgeId(e as u32));
+        }
+        rates.fill(0.0);
+        let is_active = |f: usize| {
+            !done[f]
+                && admitted_at[coflow_of[f]].is_finite()
+                && eff_release(f, &admitted_at) <= t + 1e-12
+                && paths_opt[f].is_some()
+        };
+        match &plan.rates {
+            RatePlan::Ordered(order) => {
+                let mut active: Vec<usize> =
+                    order.iter().copied().filter(|&f| is_active(f)).collect();
+                // Defensive: active flows the plan omitted go last, in flat
+                // order (they will be ranked properly at the next epoch).
+                let in_plan: std::collections::HashSet<usize> = active.iter().copied().collect();
+                active.extend((0..nf).filter(|&f| is_active(f) && !in_plan.contains(&f)));
+                greedy_fill(&paths_flat, &active, &mut rates, &mut residual_cap);
+            }
+            RatePlan::Fair(weights) => {
+                let active: Vec<usize> = (0..nf).filter(|&f| is_active(f)).collect();
+                fair_fill(
+                    &paths_flat,
+                    &active,
+                    Some(weights),
+                    &mut rates,
+                    &mut residual_cap,
+                );
+            }
+        }
+
+        // --- Find the next event time. ---
+        let mut next_t = f64::INFINITY;
+        for f in 0..nf {
+            if rates[f] > 1e-12 {
+                next_t = next_t.min(t + remaining[f] / rates[f]);
+            }
+        }
+        for f in 0..nf {
+            if !done[f] && admitted_at[coflow_of[f]].is_finite() {
+                let r = eff_release(f, &admitted_at);
+                if r > t + 1e-12 {
+                    next_t = next_t.min(r);
+                }
+            }
+        }
+        let live_admitted = (0..nf).any(|f| !done[f] && admitted_at[coflow_of[f]].is_finite());
+        let next_arrival = (next_arr < trace.len()).then(|| trace.events()[next_arr].0);
+        if let Some(at) = next_arrival {
+            if cfg.trigger.on_arrival {
+                next_t = next_t.min(at);
+            }
+        }
+        let mut tick = None;
+        if cfg.trigger.period.is_some() && (live_admitted || next_arrival.is_some()) {
+            tick = cfg.trigger.next_tick(t);
+            next_t = next_t.min(tick.unwrap());
+        }
+        if !next_t.is_finite() {
+            // Last resort: idle until the next arrival and force an epoch
+            // there (covers triggers that would otherwise sleep forever).
+            if let Some(at) = next_arrival {
+                next_t = at;
+            }
+        }
+        assert!(
+            next_t.is_finite(),
+            "online engine deadlocked at t={t}: live flows starved"
+        );
+        // Guard against zero-length steps from numerical ties.
+        let next_t = next_t.max(t + 1e-12);
+
+        // --- Advance, record segments. ---
+        let mut completed_any = false;
+        for f in 0..nf {
+            if rates[f] > 1e-12 {
+                push_segment(&mut schedule.flows[f].segments, t, next_t, rates[f]);
+                remaining[f] -= rates[f] * (next_t - t);
+                let tol = cfg.vol_eps * (1.0 + sizes[f]);
+                if remaining[f] <= tol {
+                    remaining[f] = 0.0;
+                    done[f] = true;
+                    completion[f] = next_t;
+                    completed_any = true;
+                }
+            }
+        }
+        t = next_t;
+
+        // --- Does this event open an epoch? ---
+        let arrived_now = next_arrival.is_some_and(|at| at <= t + 1e-9);
+        let tick_hit = tick.is_some_and(|tk| t + 1e-12 >= tk);
+        epoch_due = (completed_any && cfg.trigger.on_completion)
+            || (arrived_now && cfg.trigger.on_arrival)
+            || tick_hit
+            || (arrived_now && !live_admitted);
+    }
+
+    let m = metrics(instance, &completion);
+    let engine = EngineMetrics::collect(policy, &m, events, &epoch_log);
+    EngineOutcome {
+        schedule,
+        flow_completion: completion,
+        paths: paths_flat,
+        metrics: m,
+        engine,
+    }
+}

@@ -1,0 +1,198 @@
+//! Engine-level metrics and their JSON snapshot.
+//!
+//! [`EngineMetrics`] records what the *engine* did on top of what the
+//! schedule achieved: epochs, per-epoch LP [`SolveStats`], re-solve wall
+//! time, and warm-chain outcomes. The snapshot serializes through the
+//! workspace's one hand-rolled JSON implementation
+//! ([`coflow_workloads::io::Value`]), so `BENCH_online.json` is produced
+//! and parsed by the same code as the instance snapshots.
+
+use crate::policy::OnlinePolicy;
+use coflow_core::Metrics;
+use coflow_lp::SolveStats;
+use coflow_workloads::io::Value;
+
+/// One epoch boundary's record.
+#[derive(Clone, Debug)]
+pub struct EpochRecord {
+    /// Boundary time.
+    pub time: f64,
+    /// Live (admitted, not completed) flows at the boundary.
+    pub live_flows: usize,
+    /// Wall time of the policy's plan call in milliseconds.
+    pub resolve_ms: f64,
+    /// LP statistics of the re-solve (`None` for solver-free policies).
+    pub solve: Option<SolveStats>,
+}
+
+/// Aggregate engine metrics for one run.
+#[derive(Clone, Debug, Default)]
+pub struct EngineMetrics {
+    /// Policy display name.
+    pub policy: String,
+    /// Per-coflow completion times.
+    pub coflow_completion: Vec<f64>,
+    /// `Σ ω_k C_k` of the realized schedule.
+    pub weighted_sum: f64,
+    /// Unweighted mean coflow completion.
+    pub avg_coflow_completion: f64,
+    /// Epoch boundaries at which the policy re-planned.
+    pub epochs: usize,
+    /// Executor events processed (completions, releases, arrivals, ticks).
+    pub events: usize,
+    /// Total plan/re-solve wall time in milliseconds.
+    pub total_resolve_ms: f64,
+    /// Total simplex pivots across all epoch re-solves.
+    pub total_pivots: usize,
+    /// Total phase-1 pivots across all epoch re-solves.
+    pub total_phase1_pivots: usize,
+    /// Epoch re-solves that attempted a warm start.
+    pub warm_attempted: usize,
+    /// Epoch re-solves whose warm basis was accepted.
+    pub warm_used: usize,
+    /// The per-epoch log.
+    pub epoch_log: Vec<EpochRecord>,
+}
+
+impl EngineMetrics {
+    /// Folds the epoch log and objective metrics into the aggregate view.
+    pub(crate) fn collect(
+        policy: &dyn OnlinePolicy,
+        m: &Metrics,
+        events: usize,
+        epoch_log: &[EpochRecord],
+    ) -> Self {
+        let solves: Vec<&SolveStats> = epoch_log.iter().filter_map(|e| e.solve.as_ref()).collect();
+        Self {
+            policy: policy.name().to_string(),
+            coflow_completion: m.coflow_completion.clone(),
+            weighted_sum: m.weighted_sum,
+            avg_coflow_completion: m.avg_coflow_completion,
+            epochs: epoch_log.len(),
+            events,
+            total_resolve_ms: epoch_log.iter().map(|e| e.resolve_ms).sum(),
+            total_pivots: solves.iter().map(|s| s.iterations).sum(),
+            total_phase1_pivots: solves.iter().map(|s| s.phase1_iterations).sum(),
+            warm_attempted: solves.iter().filter(|s| s.warm_attempted).count(),
+            warm_used: solves.iter().filter(|s| s.warm_used).count(),
+            epoch_log: epoch_log.to_vec(),
+        }
+    }
+
+    /// The JSON snapshot (schema used by `results/BENCH_online.json`).
+    pub fn to_json(&self) -> Value {
+        let solve_json = |s: &SolveStats| {
+            Value::Obj(vec![
+                ("iterations".into(), Value::Num(s.iterations as f64)),
+                (
+                    "phase1_iterations".into(),
+                    Value::Num(s.phase1_iterations as f64),
+                ),
+                (
+                    "refactorizations".into(),
+                    Value::Num(s.refactorizations as f64),
+                ),
+                ("rows".into(), Value::Num(s.rows as f64)),
+                ("cols".into(), Value::Num(s.cols as f64)),
+                ("warm_attempted".into(), Value::Bool(s.warm_attempted)),
+                ("warm_used".into(), Value::Bool(s.warm_used)),
+            ])
+        };
+        Value::Obj(vec![
+            ("policy".into(), Value::Str(self.policy.clone())),
+            ("weighted_sum".into(), Value::Num(self.weighted_sum)),
+            (
+                "avg_coflow_completion".into(),
+                Value::Num(self.avg_coflow_completion),
+            ),
+            (
+                "coflow_completion".into(),
+                Value::Arr(
+                    self.coflow_completion
+                        .iter()
+                        .map(|&c| Value::Num(c))
+                        .collect(),
+                ),
+            ),
+            ("epochs".into(), Value::Num(self.epochs as f64)),
+            ("events".into(), Value::Num(self.events as f64)),
+            ("total_resolve_ms".into(), Value::Num(self.total_resolve_ms)),
+            ("total_pivots".into(), Value::Num(self.total_pivots as f64)),
+            (
+                "total_phase1_pivots".into(),
+                Value::Num(self.total_phase1_pivots as f64),
+            ),
+            (
+                "warm_attempted".into(),
+                Value::Num(self.warm_attempted as f64),
+            ),
+            ("warm_used".into(), Value::Num(self.warm_used as f64)),
+            (
+                "epoch_log".into(),
+                Value::Arr(
+                    self.epoch_log
+                        .iter()
+                        .map(|e| {
+                            let mut pairs = vec![
+                                ("time".into(), Value::Num(e.time)),
+                                ("live_flows".into(), Value::Num(e.live_flows as f64)),
+                                ("resolve_ms".into(), Value::Num(e.resolve_ms)),
+                            ];
+                            if let Some(s) = &e.solve {
+                                pairs.push(("solve".into(), solve_json(s)));
+                            }
+                            Value::Obj(pairs)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coflow_workloads::io::parse_json;
+
+    #[test]
+    fn json_snapshot_roundtrips_and_exposes_fields() {
+        let m = EngineMetrics {
+            policy: "LpOrder".into(),
+            coflow_completion: vec![2.0, 4.5],
+            weighted_sum: 11.0,
+            avg_coflow_completion: 3.25,
+            epochs: 3,
+            events: 9,
+            total_resolve_ms: 1.5,
+            total_pivots: 120,
+            total_phase1_pivots: 30,
+            warm_attempted: 2,
+            warm_used: 2,
+            epoch_log: vec![EpochRecord {
+                time: 0.0,
+                live_flows: 4,
+                resolve_ms: 0.5,
+                solve: Some(SolveStats {
+                    iterations: 40,
+                    warm_attempted: true,
+                    warm_used: true,
+                    ..Default::default()
+                }),
+            }],
+        };
+        let v = m.to_json();
+        let back = parse_json(&v.render()).unwrap();
+        assert_eq!(back.lookup("policy"), Some(&Value::Str("LpOrder".into())));
+        assert_eq!(back.lookup("total_pivots"), Some(&Value::Num(120.0)));
+        let log = match back.lookup("epoch_log") {
+            Some(Value::Arr(items)) => items,
+            other => panic!("expected epoch_log array, got {other:?}"),
+        };
+        assert_eq!(log.len(), 1);
+        assert_eq!(
+            log[0].lookup("solve").unwrap().lookup("warm_used"),
+            Some(&Value::Bool(true))
+        );
+    }
+}

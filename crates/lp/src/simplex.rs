@@ -1126,6 +1126,24 @@ fn try_warm_start<F: Factorization>(
         }
     }
 
+    // Early junk-basis rejection, before spending repair pivots: when the
+    // mapped point violates bounds on a large fraction of the basis, the
+    // snapshot came from a structurally unrelated model (e.g. a different
+    // random instance whose variables merely share names) and the
+    // bound-shifting repair would burn its whole pivot cap only to fail —
+    // cold-starting immediately is cheaper. The ¼ threshold mirrors the
+    // artificial-residual acceptance test below; genuinely related models
+    // (grown grids, online residuals) shift only a handful of variables.
+    if shifted.len() * 4 > m {
+        // The shift loop above already moved these bounds; the cold crash
+        // reuses them, so put them back before bailing.
+        for &(j, lb0, ub0) in &shifted {
+            st.lb[j] = lb0;
+            st.ub[j] = ub0;
+        }
+        return false;
+    }
+
     if !shifted.is_empty() {
         let cap = 200 + 4 * m;
         let repaired = matches!(run_phase(st, f, &costs0, opts, cap), Ok(PhaseEnd::Optimal));

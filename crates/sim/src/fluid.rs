@@ -55,6 +55,113 @@ pub struct SimOutcome {
     pub events: usize,
 }
 
+/// Greedy priority-order rate allocation (§4.2): each flow in `active`
+/// order (highest priority first) takes the full residual bottleneck of its
+/// path. `rates` entries for active flows are written (others left
+/// untouched); `residual` holds per-edge remaining capacity and is consumed.
+///
+/// Shared by [`simulate`] and the online engine's epoch executor
+/// (`coflow-engine`), so both realize identical schedules for identical
+/// priority orders.
+pub fn greedy_fill(paths: &[Path], active: &[usize], rates: &mut [f64], residual: &mut [f64]) {
+    for &f in active {
+        let rate = paths[f]
+            .edges
+            .iter()
+            .map(|e| residual[e.index()])
+            .fold(f64::INFINITY, f64::min);
+        let rate = if rate.is_finite() { rate.max(0.0) } else { 0.0 };
+        if rate > 1e-12 {
+            rates[f] = rate;
+            for e in paths[f].edges.iter() {
+                residual[e.index()] -= rate;
+            }
+        }
+    }
+}
+
+/// Weighted progressive-filling max–min fairness across `active` flows.
+///
+/// `weights[f]` scales flow `f`'s share of every bottleneck (pass `None`
+/// for the unweighted fair sharing of [`AllocPolicy::MaxMinFair`]); with
+/// all weights 1 this is bit-identical to classic progressive filling.
+/// `rates` entries for active flows are written; `residual` is consumed.
+pub fn fair_fill(
+    paths: &[Path],
+    active: &[usize],
+    weights: Option<&[f64]>,
+    rates: &mut [f64],
+    residual: &mut [f64],
+) {
+    let nf = rates.len();
+    let w = |f: usize| weights.map(|w| w[f]).unwrap_or(1.0);
+    let mut frozen = vec![true; nf];
+    for &f in active {
+        // Weight-0 (or negative) flows take no share: freezing them from
+        // the start both defines their rate as 0 and keeps the filling
+        // loop terminating (an unfrozen flow contributing nothing to any
+        // edge's weight sum would never saturate or freeze).
+        frozen[f] = w(f) <= 0.0;
+    }
+    // Progressive filling.
+    loop {
+        // Weighted share per edge of unfrozen flows.
+        let mut wsum = vec![0.0_f64; residual.len()];
+        let mut any = false;
+        for &f in active {
+            if frozen[f] {
+                continue;
+            }
+            any = true;
+            for e in paths[f].edges.iter() {
+                wsum[e.index()] += w(f);
+            }
+        }
+        if !any {
+            break;
+        }
+        // Raise all unfrozen rates by the smallest per-edge fair share.
+        let mut delta = f64::INFINITY;
+        for (e, &s) in wsum.iter().enumerate() {
+            if s > 0.0 {
+                delta = delta.min(residual[e] / s);
+            }
+        }
+        if !delta.is_finite() {
+            // Every unfrozen flow has an empty path: nothing constrains
+            // them, nothing can saturate — stop rather than spin.
+            break;
+        }
+        if delta <= 1e-12 {
+            // Saturated: freeze everything on saturated edges.
+            delta = delta.max(0.0);
+        }
+        for (e, &s) in wsum.iter().enumerate() {
+            if s > 0.0 {
+                residual[e] -= delta * s;
+            }
+        }
+        let mut progressed = false;
+        for &f in active {
+            if frozen[f] {
+                continue;
+            }
+            rates[f] += delta * w(f);
+            // Freeze flows crossing a saturated edge.
+            if paths[f].edges.iter().any(|e| residual[e.index()] <= 1e-9) {
+                frozen[f] = true;
+                progressed = true;
+            }
+        }
+        if !progressed && delta <= 1e-12 {
+            // No residual and nobody newly frozen: freeze all.
+            for &f in active {
+                frozen[f] = true;
+            }
+        }
+    }
+}
+
 /// Runs the fluid simulation of (`paths`, `order`) on `instance`.
 ///
 /// # Panics
@@ -124,78 +231,8 @@ pub fn simulate(
             .filter(|&f| !done[f] && releases[f] <= t + 1e-12)
             .collect();
         match cfg.policy {
-            AllocPolicy::GreedyRate => {
-                for &f in &active {
-                    let rate = paths[f]
-                        .edges
-                        .iter()
-                        .map(|e| residual[e.index()])
-                        .fold(f64::INFINITY, f64::min);
-                    let rate = if rate.is_finite() { rate.max(0.0) } else { 0.0 };
-                    if rate > 1e-12 {
-                        rates[f] = rate;
-                        for e in paths[f].edges.iter() {
-                            residual[e.index()] -= rate;
-                        }
-                    }
-                }
-            }
-            AllocPolicy::MaxMinFair => {
-                let mut frozen: Vec<bool> = (0..nf).map(|f| !active.contains(&f)).collect();
-                // Progressive filling.
-                loop {
-                    // Count unfrozen flows per edge.
-                    let mut count = vec![0usize; g.edge_count()];
-                    let mut any = false;
-                    for &f in &active {
-                        if frozen[f] {
-                            continue;
-                        }
-                        any = true;
-                        for e in paths[f].edges.iter() {
-                            count[e.index()] += 1;
-                        }
-                    }
-                    if !any {
-                        break;
-                    }
-                    // Raise all unfrozen rates by the smallest per-edge
-                    // fair share.
-                    let mut delta = f64::INFINITY;
-                    for (e, &c) in count.iter().enumerate() {
-                        if c > 0 {
-                            delta = delta.min(residual[e] / c as f64);
-                        }
-                    }
-                    if !delta.is_finite() || delta <= 1e-12 {
-                        // Saturated: freeze everything on saturated edges.
-                        delta = delta.max(0.0);
-                    }
-                    for (e, &c) in count.iter().enumerate() {
-                        if c > 0 {
-                            residual[e] -= delta * c as f64;
-                        }
-                    }
-                    let mut progressed = false;
-                    for &f in &active {
-                        if frozen[f] {
-                            continue;
-                        }
-                        rates[f] += delta;
-                        // Freeze flows crossing a saturated edge.
-                        if paths[f].edges.iter().any(|e| residual[e.index()] <= 1e-9) {
-                            frozen[f] = true;
-                            progressed = true;
-                        }
-                    }
-                    if !progressed && delta <= 1e-12 {
-                        // No residual and nobody newly frozen: freeze all.
-                        for &f in &active {
-                            frozen[f] = true;
-                        }
-                    }
-                }
-            }
+            AllocPolicy::GreedyRate => greedy_fill(paths, &active, &mut rates, &mut residual),
+            AllocPolicy::MaxMinFair => fair_fill(paths, &active, None, &mut rates, &mut residual),
         }
 
         // --- Find the next event time. ---
@@ -244,7 +281,9 @@ pub fn simulate(
 
 /// Appends a segment, merging with the previous one when contiguous with an
 /// identical rate (keeps schedules compact across no-op reallocations).
-fn push_segment(segs: &mut Vec<Segment>, start: f64, end: f64, rate: f64) {
+/// Shared with the online engine's executor so both emit identical
+/// schedules for identical rate sequences.
+pub fn push_segment(segs: &mut Vec<Segment>, start: f64, end: f64, rate: f64) {
     if let Some(last) = segs.last_mut() {
         if (last.end - start).abs() < 1e-12 && (last.rate - rate).abs() < 1e-12 {
             last.end = end;
@@ -467,6 +506,41 @@ mod tests {
         assert_eq!(out.flow_completion[2], 1.0, "uncontended flow at full rate");
         assert_eq!(out.flow_completion[0], 2.0);
         assert_eq!(out.flow_completion[1], 2.0);
+    }
+
+    #[test]
+    fn fair_fill_zero_weight_flow_gets_zero_rate_and_terminates() {
+        let t = topo::line(2, 1.0);
+        let p = paths::bfs_shortest_path(&t.graph, NodeId(0), NodeId(1)).unwrap();
+        let paths = vec![p.clone(), p];
+        let mut rates = vec![0.0; 2];
+        let mut residual = vec![1.0];
+        // Flow 1 has weight 0: it must be starved, not spin the filling
+        // loop forever; flow 0 takes the whole edge.
+        fair_fill(
+            &paths,
+            &[0, 1],
+            Some(&[2.0, 0.0]),
+            &mut rates,
+            &mut residual,
+        );
+        assert!((rates[0] - 1.0).abs() < 1e-9, "rates {rates:?}");
+        assert_eq!(rates[1], 0.0);
+        // All-zero weights: no allocation, no hang.
+        let mut rates = vec![0.0; 2];
+        let mut residual = vec![1.0];
+        let paths2 = vec![
+            paths::bfs_shortest_path(&t.graph, NodeId(0), NodeId(1)).unwrap(),
+            paths::bfs_shortest_path(&t.graph, NodeId(0), NodeId(1)).unwrap(),
+        ];
+        fair_fill(
+            &paths2,
+            &[0, 1],
+            Some(&[0.0, 0.0]),
+            &mut rates,
+            &mut residual,
+        );
+        assert_eq!(rates, vec![0.0, 0.0]);
     }
 
     #[test]

@@ -183,6 +183,11 @@ pub fn from_json(s: &str) -> Result<Instance, JsonError> {
         let ctx = format!("coflows[{i}]");
         let cobj = c.as_object(&ctx)?;
         let weight = cobj.get("weight", &ctx)?.as_f64(&format!("{ctx}.weight"))?;
+        if !(weight >= 0.0 && weight.is_finite()) {
+            return Err(JsonError::new(format!(
+                "{ctx}: weight must be finite and >= 0, got {weight}"
+            )));
+        }
         let mut flows = Vec::new();
         for (j, f) in cobj
             .get("flows", &ctx)?
@@ -202,6 +207,18 @@ pub fn from_json(s: &str) -> Result<Instance, JsonError> {
             let release = fobj
                 .get("release", &fctx)?
                 .as_f64(&format!("{fctx}.release"))?;
+            // NaN fails every comparison, so `!(x >= 0)` catches NaN,
+            // negatives, and (via is_finite) overflow literals like 1e999.
+            if !(size >= 0.0 && size.is_finite()) {
+                return Err(JsonError::new(format!(
+                    "{fctx}: size must be finite and >= 0, got {size}"
+                )));
+            }
+            if !(release >= 0.0 && release.is_finite()) {
+                return Err(JsonError::new(format!(
+                    "{fctx}: release must be finite and >= 0, got {release}"
+                )));
+            }
             let mut spec = FlowSpec::new(NodeId(src as u32), NodeId(dst as u32), size, release);
             match fobj.get("path", &fctx)? {
                 Value::Null => {}
@@ -241,15 +258,120 @@ pub fn load(path: &Path) -> std::io::Result<Instance> {
 // Minimal JSON value, parser, and string writer.
 // ---------------------------------------------------------------------------
 
-/// A parsed JSON value.
+/// A JSON value.
+///
+/// Public so other crates in the workspace (the online engine's
+/// [`EngineMetrics`-style] snapshots, the bench drivers) can build and
+/// render machine-readable artifacts through the one hand-rolled JSON
+/// implementation instead of each formatting strings by hand. Construct
+/// values directly (`Value::Obj(vec![("k".into(), Value::Num(1.0))])`),
+/// render with [`Value::render`], parse with [`parse_json`].
 #[derive(Debug, Clone, PartialEq)]
-enum Value {
+pub enum Value {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// A number (always an `f64`; non-finite values cannot be rendered).
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Value>),
+    /// An object as ordered key/value pairs (insertion order preserved).
     Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Renders to a pretty-printed JSON string (2-space indent). Floats use
+    /// Rust's shortest round-trip formatting, so [`parse_json`] ∘ `render`
+    /// is the identity on every finite `f64`.
+    ///
+    /// # Panics
+    /// On non-finite numbers (JSON cannot represent them; callers validate
+    /// before building the tree, as [`to_json`] does for instances).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, level: usize) {
+        let pad = |out: &mut String, l: usize| {
+            for _ in 0..l {
+                out.push_str("  ");
+            }
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(x) => {
+                assert!(x.is_finite(), "JSON cannot represent {x}");
+                out.push_str(&format!("{x:?}"));
+            }
+            Value::Str(s) => write_json_string(out, s),
+            Value::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                // Scalar-only arrays stay on one line.
+                if items
+                    .iter()
+                    .all(|v| !matches!(v, Value::Arr(_) | Value::Obj(_)))
+                {
+                    out.push('[');
+                    for (i, v) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        v.write(out, level);
+                    }
+                    out.push(']');
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    pad(out, level + 1);
+                    v.write(out, level + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, level);
+                out.push(']');
+            }
+            Value::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    pad(out, level + 1);
+                    write_json_string(out, k);
+                    out.push_str(": ");
+                    v.write(out, level + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, level);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Looks up a key in an object value (`None` for non-objects).
+    pub fn lookup(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
 }
 
 impl Value {
@@ -329,7 +451,8 @@ struct Parser<'a> {
 /// this is garbage — better a `JsonError` than recursing to stack overflow.
 const MAX_DEPTH: usize = 64;
 
-fn parse_json(s: &str) -> Result<Value, JsonError> {
+/// Parses a JSON document into a [`Value`] tree.
+pub fn parse_json(s: &str) -> Result<Value, JsonError> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
@@ -652,6 +775,48 @@ mod tests {
             vec![Coflow::new(1.0, vec![flow(1.0, f64::INFINITY)])],
         );
         assert!(to_json(&bad_release).is_err());
+    }
+
+    #[test]
+    fn negative_or_nonfinite_scalars_rejected_at_load_time() {
+        let doc = |size: &str, release: &str, weight: &str| {
+            format!(
+                concat!(
+                    "{{\"nodes\": [null, null], \"edges\": [[0, 1, 1.0]], \"coflows\": [",
+                    "{{\"weight\": {}, \"flows\": [{{\"src\": 0, \"dst\": 1, ",
+                    "\"size\": {}, \"release\": {}, \"path\": null}}]}}]}}"
+                ),
+                weight, size, release
+            )
+        };
+        assert!(from_json(&doc("1.0", "0.0", "1.0")).is_ok());
+        let err = from_json(&doc("1.0", "-0.5", "1.0")).unwrap_err();
+        assert!(err.message.contains("release must be finite"), "{err}");
+        let err = from_json(&doc("1.0", "1e999", "1.0")).unwrap_err();
+        assert!(err.message.contains("release must be finite"), "{err}");
+        let err = from_json(&doc("-2.0", "0.0", "1.0")).unwrap_err();
+        assert!(err.message.contains("size must be finite"), "{err}");
+        let err = from_json(&doc("1.0", "0.0", "-1.0")).unwrap_err();
+        assert!(err.message.contains("weight must be finite"), "{err}");
+    }
+
+    #[test]
+    fn value_render_parse_roundtrip() {
+        let v = Value::Obj(vec![
+            ("name".into(), Value::Str("online/\"smoke\"".into())),
+            ("pivots".into(), Value::Num(42.0)),
+            ("warm".into(), Value::Bool(true)),
+            (
+                "rates".into(),
+                Value::Arr(vec![Value::Num(0.25), Value::Num(0.5)]),
+            ),
+            ("empty".into(), Value::Arr(vec![])),
+            ("nothing".into(), Value::Null),
+        ]);
+        let back = parse_json(&v.render()).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back.lookup("pivots"), Some(&Value::Num(42.0)));
+        assert_eq!(back.lookup("missing"), None);
     }
 
     #[test]

@@ -10,12 +10,14 @@
 //! | [`lp`] | `coflow-lp` | the from-scratch simplex LP solver |
 //! | [`algo`] | `coflow-core` | coflow models + the paper's four algorithms |
 //! | [`sim`] | `coflow-sim` | fluid and packet simulators (§4.1) |
+//! | [`engine`] | `coflow-engine` | event-driven online scheduler with warm-started epoch re-solves |
 //! | [`workloads`] | `coflow-workloads` | seeded random instance generators |
 //!
 //! See `README.md` for a tour of the workspace, how to run the
 //! experiment binaries, and the vendored dependency policy.
 
 pub use coflow_core as algo;
+pub use coflow_engine as engine;
 pub use coflow_lp as lp;
 pub use coflow_net as net;
 pub use coflow_sim as sim;
@@ -35,7 +37,12 @@ pub mod prelude {
     pub use coflow_core::order::{lp_order, Priority};
     pub use coflow_core::packet::free::{route_and_schedule, PacketFreeConfig};
     pub use coflow_core::packet::jobshop::{schedule_given_paths, PacketConfig};
+    pub use coflow_core::residual::{residual_instance, Residual};
     pub use coflow_core::{metrics, Coflow, FlowSpec, Instance, Metrics};
+    pub use coflow_engine::{
+        run as run_online, ArrivalTrace, EngineConfig, EngineOutcome, EpochTrigger, Fifo, Greedy,
+        LpOrder, OnlinePolicy, WeightedFair,
+    };
     pub use coflow_sim::fluid::{simulate, AllocPolicy, SimConfig};
     pub use coflow_sim::packetsim::simulate_packets;
 }
