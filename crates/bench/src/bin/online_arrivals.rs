@@ -95,7 +95,7 @@ fn parse_args() -> Args {
     a
 }
 
-fn lp_policy(seed: u64, warm: bool) -> LpOrder {
+fn lp_cfgs(seed: u64) -> (FreePathsLpConfig, FreeRoundingConfig) {
     let lp_cfg = FreePathsLpConfig {
         solver: coflow_lp::SolverOptions::for_experiments(),
         ..Default::default()
@@ -105,10 +105,27 @@ fn lp_policy(seed: u64, warm: bool) -> LpOrder {
         selection: PathSelection::LoadAware,
         ..Default::default()
     };
+    (lp_cfg, round_cfg)
+}
+
+fn lp_policy(seed: u64, warm: bool) -> LpOrder {
+    let (lp_cfg, round_cfg) = lp_cfgs(seed);
     if warm {
         LpOrder::new(lp_cfg, round_cfg)
     } else {
         LpOrder::cold(lp_cfg, round_cfg)
+    }
+}
+
+/// The column-generation policies of the pooled-vs-cold-pool A/B: one
+/// keeps its path pool (and warm chain) across epochs, the other clears
+/// both every epoch.
+fn lp_colgen_policy(seed: u64, pooled: bool) -> LpOrder {
+    let (lp_cfg, round_cfg) = lp_cfgs(seed);
+    if pooled {
+        LpOrder::colgen(lp_cfg, round_cfg)
+    } else {
+        LpOrder::colgen_cold_pool(lp_cfg, round_cfg)
     }
 }
 
@@ -137,6 +154,8 @@ fn main() {
     let mut cold_pivots_total = 0usize;
     let mut warm_ms_total = 0.0;
     let mut cold_ms_total = 0.0;
+    let mut pooled: Vec<EngineMetrics> = Vec::new();
+    let mut coldpool: Vec<EngineMetrics> = Vec::new();
 
     for (ri, &rate) in args.rates.iter().enumerate() {
         let instances: Vec<_> = (0..args.trials)
@@ -186,6 +205,15 @@ fn main() {
             }
             // The warm-vs-cold A/B for the LP policy.
             lp_cold.push(run(inst, &mut lp_policy(seed, false), &cfg).engine);
+            // The pooled-vs-cold-pool A/B for the column-generation mode
+            // (both feasibility-checked like the main policies).
+            for (pooled_mode, sink) in [(true, &mut pooled), (false, &mut coldpool)] {
+                let out = run(inst, &mut lp_colgen_policy(seed, pooled_mode), &cfg);
+                let routed = inst.with_paths(&out.paths);
+                let violations = out.schedule.check(&routed, 1e-6, 1e-6);
+                assert!(violations.is_empty(), "colgen lp: {violations:?}");
+                sink.push(out.engine);
+            }
         }
 
         let warm = &per_policy[0].1;
@@ -252,6 +280,29 @@ fn main() {
         "warm-started re-solves must need fewer total pivots than cold"
     );
 
+    // Pooled vs cold-pool column generation, aggregated over all rates.
+    let agg = |ms: &[EngineMetrics]| {
+        (
+            total(ms, |m| m.total_pivots as f64) as usize,
+            total(ms, |m| m.total_columns_generated as f64) as usize,
+            total(ms, |m| m.total_columns as f64) as usize,
+            total(ms, |m| m.total_resolve_ms),
+        )
+    };
+    let (pooled_pivots, pooled_generated, pooled_columns, pooled_ms) = agg(&pooled);
+    let (cp_pivots, cp_generated, cp_columns, cp_ms) = agg(&coldpool);
+    // No directional assert on the column totals: the two runs follow
+    // different trajectories (a different optimal vertex changes routing
+    // commitments, hence residuals, hence pricing demand), so only the
+    // within-trajectory comparison — tested deterministically in
+    // `crates/engine/tests/online_props.rs` — is an invariant. The pivot
+    // total is the headline: pooled masters start from both the previous
+    // basis and the previously generated columns.
+    println!(
+        "colgen epoch re-solves: pooled {pooled_pivots} pivots / {pooled_generated} generated columns \
+         vs cold-pool {cp_pivots} / {cp_generated} ({pooled_ms:.0} ms vs {cp_ms:.0} ms)"
+    );
+
     let doc = Value::Obj(vec![
         ("schema".into(), Value::Str("coflow-online-bench/v1".into())),
         (
@@ -281,6 +332,37 @@ fn main() {
                 ),
                 ("warm_total_ms".into(), Value::Num(warm_ms_total)),
                 ("cold_total_ms".into(), Value::Num(cold_ms_total)),
+            ]),
+        ),
+        (
+            "pooled_vs_cold_pool".into(),
+            Value::Obj(vec![
+                (
+                    "pooled_total_pivots".into(),
+                    Value::Num(pooled_pivots as f64),
+                ),
+                (
+                    "cold_pool_total_pivots".into(),
+                    Value::Num(cp_pivots as f64),
+                ),
+                (
+                    "pooled_columns_generated".into(),
+                    Value::Num(pooled_generated as f64),
+                ),
+                (
+                    "cold_pool_columns_generated".into(),
+                    Value::Num(cp_generated as f64),
+                ),
+                (
+                    "pooled_total_columns".into(),
+                    Value::Num(pooled_columns as f64),
+                ),
+                (
+                    "cold_pool_total_columns".into(),
+                    Value::Num(cp_columns as f64),
+                ),
+                ("pooled_total_ms".into(), Value::Num(pooled_ms)),
+                ("cold_pool_total_ms".into(), Value::Num(cp_ms)),
             ]),
         ),
     ]);

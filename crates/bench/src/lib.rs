@@ -190,29 +190,56 @@ impl PointSummary {
     }
 }
 
-/// Runs `instances` as parallel trials of one figure point.
-///
-/// Trials are split into **contiguous chunks, one per worker**, and each
-/// chunk threads one [`WarmChain`] through its trials in order, so
-/// consecutive same-shape LP solves can warm-start off each other
-/// (`diag.warm_used` counts how many trials accepted the basis). The
-/// chunking is static — not work-stealing — so which trials share a chain
-/// is a pure function of `(instances, threads)`: an accepted warm start
-/// may land the simplex on a different (equally optimal) vertex, and
-/// dynamic scheduling would make the produced CSVs depend on thread
-/// timing. Chaining is also *adaptive*: once a chunk sees its warm basis
-/// rejected — the measured outcome for independent random instances, whose
-/// identically-named variables describe different candidate paths (see
-/// `sweep_warm_vs_cold` in `results/BENCH_lp.json`) — it stops attempting
-/// and runs its remaining trials cold, so a non-transferring sweep pays
-/// for at most one rejected mapping per chunk. Sequences that *do*
-/// transfer (growing budgets over one instance, online residuals) keep
-/// the chain alive for every solve.
+/// Whether a sweep's per-worker trial chunks attempt cross-instance warm
+/// starts (see [`run_point_with`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum WarmPolicy {
+    /// Never attempt a warm start: the measured verdict for sweeps of
+    /// *independent* random instances (`sweep_warm_vs_cold` in
+    /// `results/BENCH_lp.json`) is that every cross-instance basis mapping
+    /// is rejected — identically-named variables describe different
+    /// candidate paths — so even the single rejected mapping per worker
+    /// the adaptive mode pays is pure waste. The default.
+    #[default]
+    Off,
+    /// Thread one [`WarmChain`] through each worker's chunk, adaptively:
+    /// stop attempting after the first rejected mapping. For sweeps whose
+    /// consecutive trials genuinely share structure.
+    Adaptive,
+}
+
+/// Runs `instances` as parallel trials of one figure point with the
+/// default [`WarmPolicy::Off`] (independent-instance semantics — every
+/// trial solves cold and `diag.warm_attempted` is asserted zero).
 pub fn run_point(
     label: &str,
     instances: &[Instance],
     lp_cfg: &FreePathsLpConfig,
     threads: usize,
+) -> PointSummary {
+    run_point_with(label, instances, lp_cfg, threads, WarmPolicy::Off)
+}
+
+/// [`run_point`] with an explicit [`WarmPolicy`].
+///
+/// Trials are split into **contiguous chunks, one per worker**; under
+/// [`WarmPolicy::Adaptive`] each chunk threads one [`WarmChain`] through
+/// its trials in order, so consecutive same-shape LP solves can warm-start
+/// off each other (`diag.warm_used` counts how many trials accepted the
+/// basis). The chunking is static — not work-stealing — so which trials
+/// share a chain is a pure function of `(instances, threads)`: an accepted
+/// warm start may land the simplex on a different (equally optimal)
+/// vertex, and dynamic scheduling would make the produced CSVs depend on
+/// thread timing. Chaining is *adaptive*: once a chunk sees its warm basis
+/// rejected, it stops attempting and runs its remaining trials cold, so a
+/// non-transferring sweep pays for at most one rejected mapping per chunk.
+/// [`WarmPolicy::Off`] skips even that, running every trial cold.
+pub fn run_point_with(
+    label: &str,
+    instances: &[Instance],
+    lp_cfg: &FreePathsLpConfig,
+    threads: usize,
+    warm: WarmPolicy,
 ) -> PointSummary {
     let workers = threads.max(1).min(instances.len().max(1));
     let per_chunk = instances.len().div_ceil(workers.max(1)).max(1);
@@ -229,11 +256,19 @@ pub fn run_point(
                 .iter()
                 .enumerate()
                 .map(|(k, inst)| {
+                    let seed = 1000 + (start + k) as u64;
+                    if warm == WarmPolicy::Off {
+                        let out = run_trial(inst, lp_cfg, seed);
+                        assert_eq!(
+                            out.1.warm_attempted, 0,
+                            "WarmPolicy::Off trials must never attempt a warm start"
+                        );
+                        return out;
+                    }
                     if gave_up {
                         chain.reset();
                     }
-                    let out =
-                        run_trial_chained(inst, lp_cfg, 1000 + (start + k) as u64, &mut chain);
+                    let out = run_trial_chained(inst, lp_cfg, seed, &mut chain);
                     if out.1.warm_attempted > out.1.warm_used {
                         gave_up = true;
                     }
@@ -540,6 +575,35 @@ mod tests {
             assert_eq!(cold_diag.warm_attempted, 0);
         }
         assert_eq!(attempted, 2, "every trial after the first attempts warm");
+    }
+
+    /// The default sweep policy runs every trial cold: no warm start is
+    /// ever attempted (independent instances never transfer a basis, so
+    /// even one rejected mapping per worker is waste).
+    #[test]
+    fn warm_policy_off_never_attempts() {
+        let instances: Vec<Instance> = (0..3).map(small_instance).collect();
+        let p = run_point("off", &instances, &FreePathsLpConfig::default(), 2);
+        assert_eq!(p.diag.warm_attempted, 0);
+        assert_eq!(p.diag.warm_used, 0);
+        assert_eq!(p.trials, 3);
+    }
+
+    /// The adaptive policy still threads chains for sweeps that want it.
+    #[test]
+    fn warm_policy_adaptive_attempts_within_chunks() {
+        let instances: Vec<Instance> = (0..3).map(small_instance).collect();
+        let p = run_point_with(
+            "adaptive",
+            &instances,
+            &FreePathsLpConfig::default(),
+            1,
+            WarmPolicy::Adaptive,
+        );
+        assert!(
+            p.diag.warm_attempted >= 1,
+            "one chunk must attempt at least once"
+        );
     }
 
     #[test]

@@ -23,8 +23,51 @@
 use crate::circuit::lp_given::CircuitLpSolution;
 use crate::intervals::IntervalGrid;
 use crate::model::Instance;
-use coflow_lp::{Cmp, LpError, Model, SolverOptions, VarId, WarmChain};
-use coflow_net::{paths as netpaths, EdgeId, Path};
+use coflow_lp::{
+    solve_colgen, Cmp, ColGenStats, ColumnPool, LpError, Model, RowId, SolverOptions, VarId,
+    WarmChain,
+};
+use coflow_net::{paths as netpaths, pricing, EdgeId, Path};
+
+/// How the path formulation materializes its columns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ColumnMode {
+    /// Enumerate the full candidate set up front
+    /// ([`coflow_net::paths::candidate_paths`]) — the historical behavior
+    /// and the cross-check oracle for the delayed mode.
+    #[default]
+    Eager,
+    /// Delayed column generation: seed the restricted master with each
+    /// flow's shortest path only and price further paths on demand against
+    /// the master's capacity-row duals (see
+    /// [`solve_free_paths_lp_colgen_on_grid`]).
+    Delayed {
+        /// Cap on restricted-master solve rounds (safety net; generation
+        /// normally converges in a handful of rounds).
+        max_rounds: usize,
+    },
+}
+
+impl ColumnMode {
+    /// Default pricing-round budget of [`ColumnMode::delayed`] (a safety
+    /// net far above observed round counts, which are single-digit).
+    pub const DEFAULT_MAX_ROUNDS: usize = 200;
+
+    /// The delayed mode with its default round budget.
+    pub fn delayed() -> Self {
+        ColumnMode::Delayed {
+            max_rounds: Self::DEFAULT_MAX_ROUNDS,
+        }
+    }
+}
+
+/// A persistent pool of generated candidate paths, grouped by flat flow
+/// index. Threading one pool through a sequence of related solves (growing
+/// grids, online epochs) seeds each restricted master with every path an
+/// earlier solve paid a pricing round to discover — and keeps the
+/// `(flow, path)` → variable-name mapping stable, so warm-started bases
+/// keep mapping too.
+pub type PathPool = ColumnPool<Path>;
 
 /// Configuration for the §2.2 LP.
 #[derive(Clone, Debug)]
@@ -36,6 +79,12 @@ pub struct FreePathsLpConfig {
     pub path_slack: usize,
     /// For the path formulation: cap on candidate paths per flow.
     pub max_paths: usize,
+    /// Column strategy of the path formulation (eager enumeration vs
+    /// delayed generation). The delayed mode prices over the same
+    /// hop-bounded path space (`shortest + path_slack`), so the two modes
+    /// optimize the same polytope whenever the eager enumeration is
+    /// complete (its `max_paths` cap not hit).
+    pub columns: ColumnMode,
     /// Simplex options.
     pub solver: SolverOptions,
 }
@@ -46,6 +95,7 @@ impl Default for FreePathsLpConfig {
             eps: crate::FREE_PATHS_EPS,
             path_slack: 0,
             max_paths: 32,
+            columns: ColumnMode::default(),
             solver: SolverOptions::default(),
         }
     }
@@ -285,12 +335,22 @@ pub fn solve_free_paths_lp_paths(
 /// larger horizon keeps the smaller grid's boundaries as a prefix), so
 /// threading one [`WarmChain`] through a growing sequence reuses each
 /// optimal basis instead of cold-starting every solve.
+///
+/// With [`ColumnMode::Delayed`] the solve runs through
+/// [`solve_free_paths_lp_colgen_on_grid`] with a solve-local [`PathPool`];
+/// sequences that want cross-solve column reuse call the pooled entry point
+/// directly.
 pub fn solve_free_paths_lp_paths_on_grid(
     instance: &Instance,
     cfg: &FreePathsLpConfig,
     grid: IntervalGrid,
     chain: &mut WarmChain,
 ) -> Result<FreeLpSolution, LpError> {
+    if let ColumnMode::Delayed { .. } = cfg.columns {
+        let mut pool = PathPool::new();
+        return solve_free_paths_lp_colgen_on_grid(instance, cfg, grid, chain, &mut pool)
+            .map(|(sol, _)| sol);
+    }
     let nl = grid.count();
     let nf = instance.flow_count();
     let g = &instance.graph;
@@ -428,6 +488,252 @@ pub fn solve_free_paths_lp_paths_on_grid(
         },
         routing,
     })
+}
+
+/// Solves the path-based §2.2 LP by **delayed column generation**: the
+/// restricted master is seeded with one shortest path per flow (plus every
+/// path already interned in `pool`), and further paths are generated on
+/// demand by a hop-bounded shortest-path oracle over the master's
+/// capacity-row duals ([`coflow_net::pricing::cheapest_path_hop_bounded`]).
+///
+/// The reduced cost of a candidate column `x_{f,p,ℓ}` is
+/// `−y_sum(f) − τ_ℓ·y_cmp(f) + Σ_{e∈p} (−y_cap(e,ℓ))·(σ_f/len_ℓ)`: the
+/// first two terms are path-independent, and the capacity duals of `Le`
+/// rows are nonpositive at optimality, so the most negative column per
+/// `(flow, interval)` is exactly a cheapest path under nonnegative edge
+/// prices — a Dijkstra/Bellman–Ford call instead of enumeration. The hop
+/// budget mirrors the eager enumeration (`shortest + path_slack`), so both
+/// modes optimize the same polytope whenever the eager candidate set is
+/// complete, and their objectives agree to solver tolerance.
+///
+/// `pool` persists generated paths across calls: a growing-grid sequence or
+/// an online epoch sequence seeds each master with everything discovered so
+/// far, and because variable names are keyed by the pool's **stable**
+/// per-flow path indices, the previous solve's [`coflow_lp::Basis`] keeps
+/// mapping onto the next master (warm starts and column reuse compose).
+///
+/// Returns the solution together with the [`ColGenStats`] of this call.
+///
+/// # Panics
+/// If some flow has no path between its endpoints (disconnected instance).
+pub fn solve_free_paths_lp_colgen_on_grid(
+    instance: &Instance,
+    cfg: &FreePathsLpConfig,
+    grid: IntervalGrid,
+    chain: &mut WarmChain,
+    pool: &mut PathPool,
+) -> Result<(FreeLpSolution, ColGenStats), LpError> {
+    let max_rounds = match cfg.columns {
+        ColumnMode::Delayed { max_rounds } => max_rounds,
+        ColumnMode::Eager => ColumnMode::DEFAULT_MAX_ROUNDS,
+    };
+    let nl = grid.count();
+    let nf = instance.flow_count();
+    let g = &instance.graph;
+    let ne = g.edge_count();
+    let mut m = Model::new();
+
+    let c_cof: Vec<VarId> = instance
+        .coflows
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            m.add_var(
+                c.weight,
+                c.earliest_release().max(0.0),
+                f64::INFINITY,
+                format!("C{i}"),
+            )
+        })
+        .collect();
+
+    // Per-flow static data gathered up front: rows are created complete
+    // (columns only ever attach to existing rows), seed columns after.
+    let mut c_flow = Vec::with_capacity(nf);
+    let mut sum_row = Vec::with_capacity(nf);
+    let mut cmp_row = Vec::with_capacity(nf);
+    let mut first_l = Vec::with_capacity(nf);
+    let mut hop_budget = Vec::with_capacity(nf);
+    // Flows whose path is prescribed (committed) never price.
+    let mut prescribed = vec![false; nf];
+
+    for (id, flat, spec) in instance.flows() {
+        let cf = m.add_var(0.0, spec.release, f64::INFINITY, format!("c{flat}"));
+        c_flow.push(cf);
+        first_l.push(grid.first_usable(spec.release));
+        sum_row.push(m.add_row_named(Cmp::Eq, 1.0, &[], format!("sum{flat}")));
+        cmp_row.push(m.add_row_named(Cmp::Le, 0.0, &[(cf, -1.0)], format!("cmp{flat}")));
+        m.add_row_named(
+            Cmp::Le,
+            0.0,
+            &[(cf, 1.0), (c_cof[id.coflow as usize], -1.0)],
+            format!("prec{flat}"),
+        );
+        match &spec.path {
+            Some(p) => {
+                prescribed[flat] = true;
+                hop_budget.push(p.len());
+                pool.insert_with(flat, pricing::path_signature(p), || p.clone());
+            }
+            None => {
+                let sp = netpaths::bfs_shortest_path(g, spec.src, spec.dst)
+                    .unwrap_or_else(|| panic!("flow {flat} has no path (disconnected?)"));
+                hop_budget.push(sp.len() + cfg.path_slack);
+                pool.insert_with(flat, pricing::path_signature(&sp), || sp);
+            }
+        }
+    }
+
+    // (21) capacity rows for every (edge, interval) — created empty so
+    // generated columns can attach and so every potential binding
+    // constraint exposes a dual for the pricing oracle. Rows no column
+    // touches are dropped by presolve at solve time.
+    let cap_row: Vec<RowId> = (0..ne * nl)
+        .map(|k| {
+            let (ei, l) = (k / nl, k % nl);
+            m.add_row_named(
+                Cmp::Le,
+                g.capacity(EdgeId(ei as u32)),
+                &[],
+                format!("cap{ei}:{l}"),
+            )
+        })
+        .collect();
+
+    // One column per (flow, pooled path, usable interval); names are keyed
+    // by the pool's stable path index. `add_path_columns` is shared between
+    // seeding and pricing injection and returns the created variables per
+    // interval (`first..nl`).
+    let add_path_columns = |m: &mut Model,
+                            flat: usize,
+                            pi: u32,
+                            p: &Path,
+                            spec_size: f64,
+                            first: usize|
+     -> Vec<VarId> {
+        (first..nl)
+            .map(|l| {
+                let mut terms: Vec<(RowId, f64)> = Vec::with_capacity(2 + p.len());
+                terms.push((sum_row[flat], 1.0));
+                terms.push((cmp_row[flat], grid.lower(l)));
+                if spec_size > 0.0 {
+                    let coeff = spec_size / grid.length(l);
+                    for &e in p.edges.iter() {
+                        terms.push((cap_row[e.index() * nl + l], coeff));
+                    }
+                }
+                m.add_column(0.0, 0.0, 1.0, format!("x{flat}:{pi}:{l}"), &terms)
+            })
+            .collect()
+    };
+
+    // Column bookkeeping: per flow, the `(pool index, vars over first..nl)`
+    // of every path that has columns in the master, in insertion order.
+    let mut xcols: Vec<Vec<(u32, Vec<VarId>)>> = vec![Vec::new(); nf];
+
+    // Seed: for prescribed flows only the committed path; otherwise every
+    // pooled path (≥ the shortest interned above).
+    for (_, flat, spec) in instance.flows() {
+        if prescribed[flat] {
+            let p = spec.path.as_ref().unwrap();
+            let (pi, _) = pool.insert_with(flat, pricing::path_signature(p), || p.clone());
+            let vars = add_path_columns(&mut m, flat, pi, p, spec.size, first_l[flat]);
+            xcols[flat].push((pi, vars));
+        } else {
+            // Clone out of the pool to keep the borrow checker honest; the
+            // per-flow seed sets are tiny.
+            let seeds: Vec<(u32, Path)> = pool
+                .group(flat)
+                .iter()
+                .enumerate()
+                .map(|(pi, p)| (pi as u32, p.clone()))
+                .collect();
+            for (pi, p) in seeds {
+                let vars = add_path_columns(&mut m, flat, pi, &p, spec.size, first_l[flat]);
+                xcols[flat].push((pi, vars));
+            }
+        }
+    }
+
+    // Pricing tolerance: a column must beat the simplex's own optimality
+    // tolerance to be worth injecting; anything closer to zero is dual
+    // noise on an already-optimal master.
+    let price_tol = cfg.solver.tol.max(1e-9);
+
+    let (sol, stats) = solve_colgen(&mut m, &cfg.solver, chain, max_rounds, |sol, m| {
+        let mut added = 0usize;
+        for (_, flat, spec) in instance.flows() {
+            if prescribed[flat] || spec.size <= 0.0 {
+                // Prescribed flows cannot reroute; zero-size flows put no
+                // load on capacity rows, so every path column is identical
+                // and the seed already covers them.
+                continue;
+            }
+            let y_sum = sol.dual(sum_row[flat]);
+            let y_cmp = sol.dual(cmp_row[flat]);
+            for l in first_l[flat]..nl {
+                let base = -y_sum - grid.lower(l) * y_cmp;
+                if base >= -price_tol {
+                    // Edge prices are nonnegative, so no path can price
+                    // below `base`: skip the search outright.
+                    continue;
+                }
+                let coeff = spec.size / grid.length(l);
+                let price = |e: EdgeId| (-sol.dual(cap_row[e.index() * nl + l])).max(0.0) * coeff;
+                let Some((p, w)) = pricing::cheapest_path_hop_bounded(
+                    g,
+                    spec.src,
+                    spec.dst,
+                    hop_budget[flat],
+                    price,
+                ) else {
+                    continue;
+                };
+                if base + w < -price_tol {
+                    let sig = pricing::path_signature(&p);
+                    let (pi, fresh) = pool.insert_with(flat, sig, || p.clone());
+                    if fresh {
+                        let vars = add_path_columns(m, flat, pi, &p, spec.size, first_l[flat]);
+                        added += vars.len();
+                        xcols[flat].push((pi, vars));
+                    }
+                }
+            }
+        }
+        added
+    })?;
+
+    // ---- Extraction (mirrors the eager builder's shape). ----
+    let mut xs = vec![vec![0.0; nl]; nf];
+    let mut routing = Vec::with_capacity(nf);
+    for (_, flat, _) in instance.flows() {
+        let mut paths = Vec::with_capacity(xcols[flat].len());
+        let mut w = Vec::with_capacity(xcols[flat].len());
+        for (pi, vars) in &xcols[flat] {
+            paths.push(pool.group(flat)[*pi as usize].clone());
+            let mut row = vec![0.0; nl];
+            for (l, &v) in (first_l[flat]..nl).zip(vars) {
+                row[l] = sol.value(v);
+                xs[flat][l] += row[l];
+            }
+            w.push(row);
+        }
+        routing.push(FlowRouting::PathWeights { paths, w });
+    }
+
+    let free = FreeLpSolution {
+        base: CircuitLpSolution {
+            grid,
+            x: xs,
+            flow_completion: c_flow.iter().map(|&v| sol.value(v)).collect(),
+            coflow_completion: c_cof.iter().map(|&v| sol.value(v)).collect(),
+            objective: sol.objective,
+            iterations: stats.total_iterations,
+            stats: sol.stats,
+        },
+        routing,
+    };
+    Ok((free, stats))
 }
 
 #[cfg(test)]
@@ -586,6 +892,157 @@ mod tests {
             chain.stats().total_iterations,
             cold_total
         );
+    }
+
+    /// Delayed column generation must reproduce the eager objective when
+    /// the eager enumeration is complete, while materializing no more
+    /// columns than the eager model.
+    #[test]
+    fn colgen_matches_eager_on_triangle() {
+        let inst = triangle_inst();
+        let cfg = FreePathsLpConfig {
+            path_slack: 1,
+            ..Default::default()
+        };
+        let eager = solve_free_paths_lp_paths(&inst, &cfg).unwrap();
+        let cfg_cg = FreePathsLpConfig {
+            columns: ColumnMode::delayed(),
+            ..cfg
+        };
+        let grid = IntervalGrid::cover(cfg_cg.eps, inst.horizon());
+        let mut pool = PathPool::new();
+        let (cg, stats) = solve_free_paths_lp_colgen_on_grid(
+            &inst,
+            &cfg_cg,
+            grid,
+            &mut WarmChain::new(),
+            &mut pool,
+        )
+        .unwrap();
+        assert!(
+            (cg.base.objective - eager.base.objective).abs() < 1e-6,
+            "colgen {} vs eager {}",
+            cg.base.objective,
+            eager.base.objective
+        );
+        assert!(stats.rounds >= 1);
+        assert_eq!(stats.final_cols, stats.seeded_cols + stats.generated_cols);
+        // The dispatching entry point gives the same result.
+        let dispatched = solve_free_paths_lp_paths(&inst, &cfg_cg).unwrap();
+        assert!((dispatched.base.objective - eager.base.objective).abs() < 1e-6);
+    }
+
+    /// Contention on a fat-tree forces pricing to actually generate
+    /// columns beyond the shortest-path seeds, and the optimum still
+    /// matches eager (all equal-cost paths enumerated => eager complete).
+    #[test]
+    fn colgen_generates_columns_under_fat_tree_contention() {
+        let t = topo::fat_tree(4, 1.0);
+        // Many flows between the same pods so one shortest path saturates.
+        let mut flows = Vec::new();
+        for i in 0..4 {
+            flows.push(FlowSpec::new(t.hosts[i], t.hosts[15 - i], 4.0, 0.0));
+        }
+        let inst = Instance::new(t.graph.clone(), vec![Coflow::new(1.0, flows)]);
+        let cfg = FreePathsLpConfig::default();
+        let eager = solve_free_paths_lp_paths(&inst, &cfg).unwrap();
+        let cfg_cg = FreePathsLpConfig {
+            columns: ColumnMode::delayed(),
+            ..cfg
+        };
+        let grid = IntervalGrid::cover(cfg_cg.eps, inst.horizon());
+        let mut pool = PathPool::new();
+        let (cg, stats) = solve_free_paths_lp_colgen_on_grid(
+            &inst,
+            &cfg_cg,
+            grid,
+            &mut WarmChain::new(),
+            &mut pool,
+        )
+        .unwrap();
+        assert!(
+            (cg.base.objective - eager.base.objective).abs() < 1e-6,
+            "colgen {} vs eager {}",
+            cg.base.objective,
+            eager.base.objective
+        );
+        assert!(
+            stats.generated_cols > 0,
+            "contention must force column generation"
+        );
+        assert!(pool.len() > inst.flow_count(), "pool holds generated paths");
+    }
+
+    /// Growing grids threaded through one chain + one pool: objectives
+    /// match cold eager solves, warm starts are taken, and the later solves
+    /// are seeded with the earlier solves' generated columns.
+    #[test]
+    fn colgen_pool_reuse_across_growing_grids() {
+        let inst = triangle_inst();
+        let cfg = FreePathsLpConfig {
+            path_slack: 1,
+            columns: ColumnMode::delayed(),
+            ..Default::default()
+        };
+        let h = inst.horizon();
+        let mut chain = WarmChain::new();
+        let mut pool = PathPool::new();
+        let mut gen_per_solve = Vec::new();
+        for s in [1.0, 2.0, 4.0] {
+            let grid = IntervalGrid::cover(cfg.eps, h * s);
+            let (cg, stats) =
+                solve_free_paths_lp_colgen_on_grid(&inst, &cfg, grid, &mut chain, &mut pool)
+                    .unwrap();
+            gen_per_solve.push(stats.generated_cols);
+            let eager_cfg = FreePathsLpConfig {
+                columns: ColumnMode::Eager,
+                ..cfg.clone()
+            };
+            let grid = IntervalGrid::cover(cfg.eps, h * s);
+            let eager =
+                solve_free_paths_lp_paths_on_grid(&inst, &eager_cfg, grid, &mut WarmChain::new())
+                    .unwrap();
+            assert!(
+                (cg.base.objective - eager.base.objective).abs() < 1e-6,
+                "scale {s}: colgen {} vs eager {}",
+                cg.base.objective,
+                eager.base.objective
+            );
+        }
+        assert!(chain.stats().warm_used > 0, "masters must warm-start");
+        // Whatever paths the first solve generated seed the later ones.
+        assert_eq!(
+            &gen_per_solve[1..],
+            &[0, 0],
+            "pooled columns must make later solves generation-free"
+        );
+    }
+
+    #[test]
+    fn colgen_respects_prescribed_paths() {
+        let t = topo::triangle();
+        let (x, y) = (t.hosts[0], t.hosts[1]);
+        let p = coflow_net::paths::bfs_shortest_path(&t.graph, x, y).unwrap();
+        let inst = Instance::new(
+            t.graph,
+            vec![Coflow::new(
+                1.0,
+                vec![FlowSpec::with_path(x, y, 1.0, 0.0, p.clone())],
+            )],
+        );
+        let cfg = FreePathsLpConfig {
+            columns: ColumnMode::delayed(),
+            path_slack: 1,
+            ..Default::default()
+        };
+        let lp = solve_free_paths_lp_paths(&inst, &cfg).unwrap();
+        match &lp.routing[0] {
+            FlowRouting::PathWeights { paths, .. } => {
+                assert_eq!(paths.len(), 1);
+                assert_eq!(paths[0], p);
+            }
+            _ => panic!("expected path weights"),
+        }
     }
 
     #[test]

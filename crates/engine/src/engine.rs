@@ -203,6 +203,7 @@ pub fn run_trace(
                     live_flows,
                     resolve_ms,
                     solve: policy.last_solve(),
+                    colgen: policy.last_colgen(),
                 });
             } else {
                 plan = EpochPlan {

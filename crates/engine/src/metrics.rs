@@ -9,7 +9,7 @@
 
 use crate::policy::OnlinePolicy;
 use coflow_core::Metrics;
-use coflow_lp::SolveStats;
+use coflow_lp::{ColGenStats, SolveStats};
 use coflow_workloads::io::Value;
 
 /// One epoch boundary's record.
@@ -23,6 +23,9 @@ pub struct EpochRecord {
     pub resolve_ms: f64,
     /// LP statistics of the re-solve (`None` for solver-free policies).
     pub solve: Option<SolveStats>,
+    /// Column-generation statistics of the re-solve (`None` for
+    /// solver-free policies and eager column enumeration).
+    pub colgen: Option<ColGenStats>,
 }
 
 /// Aggregate engine metrics for one run.
@@ -50,6 +53,16 @@ pub struct EngineMetrics {
     pub warm_attempted: usize,
     /// Epoch re-solves whose warm basis was accepted.
     pub warm_used: usize,
+    /// Total columns the epoch re-solves materialized in their restricted
+    /// masters (seeded + generated; 0 for eager / solver-free policies).
+    pub total_columns: usize,
+    /// Columns injected by pricing across all epoch re-solves. With a
+    /// cross-epoch [`PathPool`](coflow_core::circuit::lp_free::PathPool)
+    /// later epochs are seeded with earlier epochs' discoveries, so this
+    /// total shrinks relative to a cold pool.
+    pub total_columns_generated: usize,
+    /// Restricted-master pricing rounds across all epoch re-solves.
+    pub total_colgen_rounds: usize,
     /// The per-epoch log.
     pub epoch_log: Vec<EpochRecord>,
 }
@@ -63,6 +76,8 @@ impl EngineMetrics {
         epoch_log: &[EpochRecord],
     ) -> Self {
         let solves: Vec<&SolveStats> = epoch_log.iter().filter_map(|e| e.solve.as_ref()).collect();
+        let colgens: Vec<&ColGenStats> =
+            epoch_log.iter().filter_map(|e| e.colgen.as_ref()).collect();
         Self {
             policy: policy.name().to_string(),
             coflow_completion: m.coflow_completion.clone(),
@@ -75,6 +90,9 @@ impl EngineMetrics {
             total_phase1_pivots: solves.iter().map(|s| s.phase1_iterations).sum(),
             warm_attempted: solves.iter().filter(|s| s.warm_attempted).count(),
             warm_used: solves.iter().filter(|s| s.warm_used).count(),
+            total_columns: colgens.iter().map(|c| c.final_cols).sum(),
+            total_columns_generated: colgens.iter().map(|c| c.generated_cols).sum(),
+            total_colgen_rounds: colgens.iter().map(|c| c.rounds).sum(),
             epoch_log: epoch_log.to_vec(),
         }
     }
@@ -117,6 +135,18 @@ impl EngineMetrics {
             ("epochs".into(), Value::Num(self.epochs as f64)),
             ("events".into(), Value::Num(self.events as f64)),
             ("total_resolve_ms".into(), Value::Num(self.total_resolve_ms)),
+            (
+                "total_columns".into(),
+                Value::Num(self.total_columns as f64),
+            ),
+            (
+                "total_columns_generated".into(),
+                Value::Num(self.total_columns_generated as f64),
+            ),
+            (
+                "total_colgen_rounds".into(),
+                Value::Num(self.total_colgen_rounds as f64),
+            ),
             ("total_pivots".into(), Value::Num(self.total_pivots as f64)),
             (
                 "total_phase1_pivots".into(),
@@ -140,6 +170,22 @@ impl EngineMetrics {
                             ];
                             if let Some(s) = &e.solve {
                                 pairs.push(("solve".into(), solve_json(s)));
+                            }
+                            if let Some(c) = &e.colgen {
+                                pairs.push((
+                                    "colgen".into(),
+                                    Value::Obj(vec![
+                                        ("rounds".into(), Value::Num(c.rounds as f64)),
+                                        ("seeded_cols".into(), Value::Num(c.seeded_cols as f64)),
+                                        (
+                                            "generated_cols".into(),
+                                            Value::Num(c.generated_cols as f64),
+                                        ),
+                                        ("final_cols".into(), Value::Num(c.final_cols as f64)),
+                                        ("pricing_ms".into(), Value::Num(c.pricing_ms)),
+                                        ("master_ms".into(), Value::Num(c.master_ms)),
+                                    ]),
+                                ));
                             }
                             Value::Obj(pairs)
                         })
@@ -169,6 +215,9 @@ mod tests {
             total_phase1_pivots: 30,
             warm_attempted: 2,
             warm_used: 2,
+            total_columns: 60,
+            total_columns_generated: 12,
+            total_colgen_rounds: 5,
             epoch_log: vec![EpochRecord {
                 time: 0.0,
                 live_flows: 4,
@@ -177,6 +226,13 @@ mod tests {
                     iterations: 40,
                     warm_attempted: true,
                     warm_used: true,
+                    ..Default::default()
+                }),
+                colgen: Some(ColGenStats {
+                    rounds: 3,
+                    seeded_cols: 16,
+                    generated_cols: 12,
+                    final_cols: 28,
                     ..Default::default()
                 }),
             }],

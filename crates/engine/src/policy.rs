@@ -16,12 +16,15 @@
 //! * [`WeightedFair`] — weighted max–min fair sharing by coflow weight;
 //! * [`Fifo`] — serve coflows in admission order.
 
-use coflow_core::circuit::lp_free::{solve_free_paths_lp_paths_on_grid, FreePathsLpConfig};
+use coflow_core::circuit::lp_free::{
+    solve_free_paths_lp_colgen_on_grid, solve_free_paths_lp_paths_on_grid, ColumnMode,
+    FreePathsLpConfig, PathPool,
+};
 use coflow_core::circuit::round_free::{round_free_paths, FreeRoundingConfig};
 use coflow_core::order::lp_order;
 use coflow_core::residual::Residual;
 use coflow_core::{Instance, IntervalGrid};
-use coflow_lp::{ChainStats, SolveStats, WarmChain};
+use coflow_lp::{ChainStats, ColGenStats, SolveStats, WarmChain};
 use coflow_net::{paths as netpaths, Path};
 
 /// What a policy sees at an epoch boundary.
@@ -77,6 +80,13 @@ pub trait OnlinePolicy {
     /// Aggregate warm-chain statistics across all re-solves so far
     /// (`None` for solver-free policies).
     fn chain_stats(&self) -> Option<ChainStats> {
+        None
+    }
+
+    /// Column-generation statistics of the last [`OnlinePolicy::plan`]
+    /// call's LP re-solve (`None` for solver-free policies and eager
+    /// column enumeration).
+    fn last_colgen(&self) -> Option<ColGenStats> {
         None
     }
 }
@@ -209,16 +219,31 @@ impl OnlinePolicy for WeightedFair {
 /// [`WarmChain`], so each re-solve warm-starts from the previous basis —
 /// set [`LpOrder::warm`] to `false` to force cold re-solves (for A/B
 /// measurements).
+///
+/// With [`ColumnMode::Delayed`] in `lp_cfg.columns` the re-solves run by
+/// column generation and the policy keeps one [`PathPool`] **across
+/// epochs**: residual flat indices are stable (admission appends, frozen
+/// flows keep their slot), so epoch `k+1`'s restricted master is seeded
+/// with every path epochs `0..k` paid pricing rounds to discover — the
+/// column-side analogue of the warm-started basis. Set
+/// [`LpOrder::pool_reuse`] to `false` to clear the pool (and the chain)
+/// every epoch, the cold baseline the pooled mode is measured against.
 #[derive(Clone, Debug)]
 pub struct LpOrder {
-    /// LP configuration (grid ε, candidate-path budget, solver options).
+    /// LP configuration (grid ε, candidate-path budget, column mode,
+    /// solver options).
     pub lp_cfg: FreePathsLpConfig,
     /// Rounding configuration (α, displacement, seed, selection).
     pub round_cfg: FreeRoundingConfig,
     /// Warm-start consecutive epoch re-solves (default `true`).
     pub warm: bool,
+    /// Keep the generated-column pool across epochs (default `true`;
+    /// only meaningful with [`ColumnMode::Delayed`]).
+    pub pool_reuse: bool,
     chain: WarmChain,
+    pool: PathPool,
     last: Option<SolveStats>,
+    last_colgen: Option<ColGenStats>,
 }
 
 impl Default for LpOrder {
@@ -234,8 +259,11 @@ impl LpOrder {
             lp_cfg,
             round_cfg,
             warm: true,
+            pool_reuse: true,
             chain: WarmChain::new(),
+            pool: PathPool::new(),
             last: None,
+            last_colgen: None,
         }
     }
 
@@ -246,6 +274,32 @@ impl LpOrder {
             warm: false,
             ..Self::new(lp_cfg, round_cfg)
         }
+    }
+
+    /// Column-generation mode with cross-epoch pool (and basis) reuse.
+    pub fn colgen(lp_cfg: FreePathsLpConfig, round_cfg: FreeRoundingConfig) -> Self {
+        Self::new(
+            FreePathsLpConfig {
+                columns: ColumnMode::delayed(),
+                ..lp_cfg
+            },
+            round_cfg,
+        )
+    }
+
+    /// Column-generation mode that clears the pool *and* the chain every
+    /// epoch: the fully cold baseline for the pooled A/B.
+    pub fn colgen_cold_pool(lp_cfg: FreePathsLpConfig, round_cfg: FreeRoundingConfig) -> Self {
+        Self {
+            warm: false,
+            pool_reuse: false,
+            ..Self::colgen(lp_cfg, round_cfg)
+        }
+    }
+
+    /// Total paths currently interned in the cross-epoch pool.
+    pub fn pooled_paths(&self) -> usize {
+        self.pool.len()
     }
 }
 
@@ -267,8 +321,28 @@ impl OnlinePolicy for LpOrder {
             self.chain.reset();
         }
         let grid = IntervalGrid::cover(self.lp_cfg.eps, inst.horizon());
-        let lp = solve_free_paths_lp_paths_on_grid(inst, &self.lp_cfg, grid, &mut self.chain)
-            .expect("residual LP is feasible by construction");
+        let lp = match self.lp_cfg.columns {
+            ColumnMode::Eager => {
+                self.last_colgen = None;
+                solve_free_paths_lp_paths_on_grid(inst, &self.lp_cfg, grid, &mut self.chain)
+                    .expect("residual LP is feasible by construction")
+            }
+            ColumnMode::Delayed { .. } => {
+                if !self.pool_reuse {
+                    self.pool.clear();
+                }
+                let (lp, cg) = solve_free_paths_lp_colgen_on_grid(
+                    inst,
+                    &self.lp_cfg,
+                    grid,
+                    &mut self.chain,
+                    &mut self.pool,
+                )
+                .expect("residual LP is feasible by construction");
+                self.last_colgen = Some(cg);
+                lp
+            }
+        };
         self.last = Some(lp.base.stats);
         let rounding = round_free_paths(inst, &lp, &self.round_cfg);
         let routes = residual
@@ -297,6 +371,10 @@ impl OnlinePolicy for LpOrder {
 
     fn chain_stats(&self) -> Option<ChainStats> {
         Some(self.chain.stats())
+    }
+
+    fn last_colgen(&self) -> Option<ColGenStats> {
+        self.last_colgen
     }
 }
 

@@ -141,3 +141,67 @@ proptest! {
         }
     }
 }
+
+/// Column-generation epoch re-solves with a cross-epoch pool: the realized
+/// schedule stays feasible, colgen metrics land in the engine log, and the
+/// pooled run never generates more columns than the cold-pool baseline
+/// (later epochs are seeded with earlier epochs' discoveries).
+#[test]
+fn colgen_pooled_epochs_feasible_and_reuse_columns() {
+    let topo = coflow_net::topo::fat_tree(4, 1.0);
+    let inst = generate(
+        &topo,
+        &GenConfig {
+            n_coflows: 4,
+            width: 3,
+            size_mean: 3.0,
+            arrival_rate: 0.5,
+            jitter_rate: 0.0,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    let mk = || {
+        (
+            FreePathsLpConfig::default(),
+            FreeRoundingConfig {
+                seed: 7,
+                ..Default::default()
+            },
+        )
+    };
+    let (lc, rc) = mk();
+    let mut pooled_policy = LpOrder::colgen(lc, rc);
+    let pooled = run(&inst, &mut pooled_policy, &EngineConfig::default());
+    let (lc, rc) = mk();
+    let coldpool = run(
+        &inst,
+        &mut LpOrder::colgen_cold_pool(lc, rc),
+        &EngineConfig::default(),
+    );
+
+    for out in [&pooled, &coldpool] {
+        let routed = inst.with_paths(&out.paths);
+        let violations = out.schedule.check(&routed, 1e-6, 1e-6);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+    assert!(
+        pooled.engine.total_columns > 0,
+        "colgen stats must be logged"
+    );
+    assert!(pooled
+        .engine
+        .epoch_log
+        .iter()
+        .all(|e| e.solve.is_none() || e.colgen.is_some()));
+    assert!(
+        pooled.engine.total_columns_generated <= coldpool.engine.total_columns_generated,
+        "pooled epochs must not price more columns than cold pools ({} vs {})",
+        pooled.engine.total_columns_generated,
+        coldpool.engine.total_columns_generated
+    );
+    assert!(
+        pooled_policy.pooled_paths() > 0,
+        "the cross-epoch pool must retain generated paths"
+    );
+}

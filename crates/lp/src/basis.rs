@@ -52,6 +52,16 @@ pub struct Basis {
     /// and harmless otherwise: a mis-mapped slack just fails the warm
     /// start's feasibility validation and triggers a cold start.
     pub(crate) basic_slack_rows: std::collections::HashSet<u32>,
+    /// Original indices of the rows that made it into the snapshot's
+    /// *working* problem (survived presolve). A related model's row that is
+    /// **not** in this set — presolved away back then (empty or singleton,
+    /// e.g. a column-generation capacity row no column touched yet), or
+    /// genuinely new — was satisfied strictly at the old optimum, so its
+    /// slack is implicitly basic: the warm-start mapping seeds those slacks
+    /// to keep the implied point exactly at the old optimum instead of
+    /// letting the basis completion cover such rows with structural
+    /// columns and scramble it.
+    pub(crate) kept_rows: std::collections::HashSet<u32>,
     /// Row count of the model this snapshot was taken from (diagnostics).
     pub(crate) rows: usize,
 }
@@ -110,6 +120,14 @@ pub struct SolveStats {
     /// The warm basis was accepted (primal-feasible after mapping); when
     /// false despite `warm_attempted`, the solver cold-started.
     pub warm_used: bool,
+    /// Milliseconds spent scanning reduced costs / maintaining devex
+    /// weights (the pricing side of each pivot).
+    pub pricing_ms: f64,
+    /// Milliseconds spent in FTRAN/BTRAN solves against the factorization
+    /// (duals, entering-column images, basic-value recomputation).
+    pub ftran_btran_ms: f64,
+    /// Milliseconds spent (re)factorizing the basis.
+    pub factor_ms: f64,
 }
 
 impl SolveStats {

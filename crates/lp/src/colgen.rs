@@ -1,0 +1,377 @@
+//! Delayed column generation: restricted masters, dual-priced oracles, and
+//! a persistent column pool.
+//!
+//! The paper's path-formulation LPs (§2.2 (15)–(23), §3.2 (25)–(32)) range
+//! over *all* candidate paths per flow × interval. Materializing that set
+//! eagerly is the single biggest wall-clock cost in the repo: the simplex
+//! prices hundreds of thousands of columns that never enter the basis.
+//! Column generation is the textbook fix — solve a *restricted master* over
+//! a small column subset, then ask a *pricing oracle* (a shortest-path
+//! computation under the master's row duals) for the most-negative-
+//! reduced-cost column not yet present, inject it, and re-solve until no
+//! improving column exists. Because the master only ever *grows* and every
+//! column keeps a stable name, each re-solve warm-starts from the previous
+//! optimal basis through the ordinary [`WarmChain`] machinery.
+//!
+//! This module hosts the LP-generic pieces:
+//!
+//! * [`solve_colgen`] — the restricted-master loop. It is oracle-agnostic:
+//!   the caller supplies a closure that reads the current [`Solution`]'s
+//!   row duals and appends improving columns via [`Model::add_column`],
+//!   returning how many it added (0 terminates the loop).
+//! * [`ColumnPool`] — a persistent, generic interning pool: columns are
+//!   deduplicated by a caller-chosen `u64` signature within a *group*
+//!   (one group per flow at the call sites), and every interned item gets
+//!   a **stable index** within its group. Call sites derive variable names
+//!   from `(group, stable index)`, so rebuilding a master from the same
+//!   pool — the next solve of a growing sequence, or the next epoch of the
+//!   online engine — reproduces every column's name and the previous
+//!   [`Basis`](crate::Basis) snapshot still maps onto it.
+//! * [`ColGenStats`] — per-run accounting: rounds, columns generated vs
+//!   seeded, oracle time vs master (simplex) time.
+//!
+//! What this module deliberately does *not* know about: graphs, paths,
+//! intervals. The oracles live next to their formulations
+//! (`coflow_net::pricing` for the Dijkstra/Bellman–Ford machinery,
+//! `coflow_core` for the LP-specific reduced-cost assembly).
+
+use crate::basis::SolveStats;
+use crate::model::{LpError, Model, Solution, SolverOptions};
+use crate::WarmChain;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A persistent interning pool for generated columns.
+///
+/// Items (e.g. [`Path`](../coflow_net/struct.Path.html)s) are deduplicated
+/// by `(group, signature)` and receive a stable per-group index in
+/// insertion order. The pool outlives individual solves: threading one pool
+/// through a sequence of related masters (growing grids, online epochs)
+/// means later solves are *seeded* with every column earlier solves paid an
+/// oracle call to discover.
+#[derive(Clone, Debug)]
+pub struct ColumnPool<T> {
+    groups: Vec<PoolGroup<T>>,
+}
+
+#[derive(Clone, Debug)]
+struct PoolGroup<T> {
+    by_sig: HashMap<u64, u32>,
+    items: Vec<T>,
+}
+
+impl<T> Default for PoolGroup<T> {
+    fn default() -> Self {
+        Self {
+            by_sig: HashMap::new(),
+            items: Vec::new(),
+        }
+    }
+}
+
+impl<T> Default for ColumnPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ColumnPool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self { groups: Vec::new() }
+    }
+
+    /// Number of groups ever touched.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total items across all groups.
+    pub fn len(&self) -> usize {
+        self.groups.iter().map(|g| g.items.len()).sum()
+    }
+
+    /// True when no item has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.groups.iter().all(|g| g.items.is_empty())
+    }
+
+    /// The items of `group` in stable (insertion) order; empty for groups
+    /// never touched.
+    pub fn group(&self, group: usize) -> &[T] {
+        self.groups.get(group).map_or(&[], |g| &g.items)
+    }
+
+    /// True when `(group, signature)` is already interned.
+    pub fn contains(&self, group: usize, signature: u64) -> bool {
+        self.groups
+            .get(group)
+            .is_some_and(|g| g.by_sig.contains_key(&signature))
+    }
+
+    /// Interns an item: returns its stable index within `group` and whether
+    /// it was newly inserted (`make` runs only on insertion).
+    pub fn insert_with(
+        &mut self,
+        group: usize,
+        signature: u64,
+        make: impl FnOnce() -> T,
+    ) -> (u32, bool) {
+        if group >= self.groups.len() {
+            self.groups.resize_with(group + 1, PoolGroup::default);
+        }
+        let g = &mut self.groups[group];
+        if let Some(&idx) = g.by_sig.get(&signature) {
+            return (idx, false);
+        }
+        let idx = g.items.len() as u32;
+        g.by_sig.insert(signature, idx);
+        g.items.push(make());
+        (idx, true)
+    }
+
+    /// Drops every interned item (groups stay allocated).
+    pub fn clear(&mut self) {
+        for g in &mut self.groups {
+            g.by_sig.clear();
+            g.items.clear();
+        }
+    }
+}
+
+/// Accounting of one [`solve_colgen`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ColGenStats {
+    /// Restricted-master solves performed (≥ 1).
+    pub rounds: usize,
+    /// Structural columns the initial master was seeded with.
+    pub seeded_cols: usize,
+    /// Columns the pricing oracle injected across all rounds.
+    pub generated_cols: usize,
+    /// Structural columns of the final master (`seeded + generated`).
+    pub final_cols: usize,
+    /// Total simplex pivots across all master solves.
+    pub total_iterations: usize,
+    /// Wall time spent inside the master solves, in milliseconds.
+    pub master_ms: f64,
+    /// Wall time spent inside the pricing oracle, in milliseconds.
+    pub pricing_ms: f64,
+    /// True when the loop stopped because the oracle found nothing
+    /// (optimality over the full column set is certified); false when it
+    /// stopped at `max_rounds` (the solution is only the *restricted*
+    /// optimum).
+    pub converged: bool,
+    /// The final master solve's statistics.
+    pub last: SolveStats,
+}
+
+/// Solves `model` by delayed column generation.
+///
+/// `model` is the seeded restricted master (rows complete, columns
+/// restricted); `price` inspects the current optimal [`Solution`] — its
+/// `duals` in particular — and appends improving columns to the model via
+/// [`Model::add_column`], returning how many it added. The loop re-solves
+/// (warm-started through `chain`, since the master only grows and names are
+/// stable) until the oracle adds nothing or `max_rounds` is reached, and
+/// returns the last solution together with [`ColGenStats`].
+///
+/// Correctness contract for `price`:
+/// * it must only **add columns** (never rows — asserted) and never add a
+///   column that is already present, or the loop cannot terminate;
+/// * returning 0 asserts that no column of the full formulation has a
+///   negative reduced cost, i.e. the restricted optimum is the full
+///   optimum.
+///
+/// # Panics
+/// If `price` changes the model's row count.
+pub fn solve_colgen(
+    model: &mut Model,
+    opts: &SolverOptions,
+    chain: &mut WarmChain,
+    max_rounds: usize,
+    mut price: impl FnMut(&Solution, &mut Model) -> usize,
+) -> Result<(Solution, ColGenStats), LpError> {
+    assert!(max_rounds >= 1, "need at least one master solve");
+    let mut stats = ColGenStats {
+        seeded_cols: model.num_vars(),
+        ..Default::default()
+    };
+    loop {
+        stats.rounds += 1;
+        let t0 = Instant::now();
+        let sol = chain.solve(model, opts)?;
+        stats.master_ms += t0.elapsed().as_secs_f64() * 1e3;
+        stats.total_iterations += sol.stats.iterations;
+        stats.last = sol.stats;
+        // Stop *before* pricing when the round budget is exhausted, so the
+        // returned solution is always optimal for the returned master.
+        if stats.rounds >= max_rounds {
+            stats.final_cols = model.num_vars();
+            return Ok((sol, stats));
+        }
+        let rows_before = model.num_rows();
+        let t1 = Instant::now();
+        let added = price(&sol, model);
+        stats.pricing_ms += t1.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            model.num_rows(),
+            rows_before,
+            "pricing oracles may only add columns"
+        );
+        stats.generated_cols += added;
+        if added == 0 {
+            stats.converged = true;
+            stats.final_cols = model.num_vars();
+            return Ok((sol, stats));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Cmp;
+
+    #[test]
+    fn pool_dedups_by_signature_with_stable_indices() {
+        let mut pool: ColumnPool<Vec<u32>> = ColumnPool::new();
+        let (a, fresh_a) = pool.insert_with(0, 0xFEED, || vec![1, 2]);
+        let (b, fresh_b) = pool.insert_with(0, 0xBEEF, || vec![3]);
+        let (a2, fresh_a2) = pool.insert_with(0, 0xFEED, || panic!("must not rebuild"));
+        assert!(fresh_a && fresh_b && !fresh_a2);
+        assert_eq!((a, b, a2), (0, 1, 0));
+        assert_eq!(pool.group(0), &[vec![1, 2], vec![3]]);
+        // Same signature in another group is a distinct entry.
+        let (c, fresh_c) = pool.insert_with(3, 0xFEED, || vec![9]);
+        assert!(fresh_c);
+        assert_eq!(c, 0);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.group_count(), 4);
+        assert!(pool.group(1).is_empty());
+        assert!(pool.contains(0, 0xBEEF) && !pool.contains(1, 0xBEEF));
+        pool.clear();
+        assert!(pool.is_empty());
+    }
+
+    /// Transportation LP solved by column generation must match the eager
+    /// full-column solve exactly, while generating only the columns it
+    /// needs.
+    #[test]
+    fn colgen_matches_eager_on_transport() {
+        let n = 8usize;
+        let cost = |i: usize, j: usize| ((i * 7 + j * 13) % 10) as f64 + 1.0;
+        let supply = |i: usize| 1.0 + (i % 3) as f64;
+        let demand_cap: f64 = (0..n).map(supply).sum::<f64>() / n as f64 + 1.0;
+
+        // Eager: all n² columns.
+        let mut full = Model::new();
+        let mut vars = vec![vec![]; n];
+        for (i, row) in vars.iter_mut().enumerate() {
+            for j in 0..n {
+                row.push(full.add_nonneg(cost(i, j), format!("x{i}_{j}")));
+            }
+        }
+        for (i, row) in vars.iter().enumerate() {
+            let terms: Vec<_> = row.iter().map(|&v| (v, 1.0)).collect();
+            full.add_row(Cmp::Eq, supply(i), &terms);
+        }
+        for j in 0..n {
+            let terms: Vec<_> = (0..n).map(|i| (vars[i][j], 1.0)).collect();
+            full.add_row(Cmp::Le, demand_cap, &terms);
+        }
+        let eager = full.solve().unwrap();
+
+        // Restricted master: rows first, then a sparse diagonal seed.
+        let mut m = Model::new();
+        let supply_rows: Vec<_> = (0..n).map(|i| m.add_row(Cmp::Eq, supply(i), &[])).collect();
+        let demand_rows: Vec<_> = (0..n)
+            .map(|_| m.add_row(Cmp::Le, demand_cap, &[]))
+            .collect();
+        let mut present = std::collections::HashSet::new();
+        for i in 0..n {
+            for j in [i, (i + n / 2) % n] {
+                m.add_column(
+                    cost(i, j),
+                    0.0,
+                    f64::INFINITY,
+                    format!("x{i}_{j}"),
+                    &[(supply_rows[i], 1.0), (demand_rows[j], 1.0)],
+                );
+                present.insert((i, j));
+            }
+        }
+
+        let mut chain = WarmChain::new();
+        let (sol, stats) = solve_colgen(
+            &mut m,
+            &SolverOptions::default(),
+            &mut chain,
+            100,
+            |sol, m| {
+                let mut added = 0;
+                for i in 0..n {
+                    for j in 0..n {
+                        if present.contains(&(i, j)) {
+                            continue;
+                        }
+                        let d = cost(i, j) - sol.dual(supply_rows[i]) - sol.dual(demand_rows[j]);
+                        if d < -1e-9 {
+                            m.add_column(
+                                cost(i, j),
+                                0.0,
+                                f64::INFINITY,
+                                format!("x{i}_{j}"),
+                                &[(supply_rows[i], 1.0), (demand_rows[j], 1.0)],
+                            );
+                            present.insert((i, j));
+                            added += 1;
+                        }
+                    }
+                }
+                added
+            },
+        )
+        .unwrap();
+
+        assert!(
+            (sol.objective - eager.objective).abs() < 1e-7,
+            "colgen {} vs eager {}",
+            sol.objective,
+            eager.objective
+        );
+        assert_eq!(stats.seeded_cols, 2 * n);
+        assert_eq!(stats.final_cols, stats.seeded_cols + stats.generated_cols);
+        assert!(
+            stats.final_cols < n * n,
+            "colgen must not materialize the full column set ({} vs {})",
+            stats.final_cols,
+            n * n
+        );
+        assert!(stats.rounds >= 2, "pricing must have fired");
+        assert_eq!(chain.stats().solves, stats.rounds);
+    }
+
+    /// Hitting the round cap returns the current restricted optimum (still
+    /// a valid LP solution of the *restricted* master).
+    #[test]
+    fn round_cap_returns_restricted_optimum() {
+        let mut m = Model::new();
+        let r = m.add_row(Cmp::Ge, 1.0, &[]);
+        m.add_column(2.0, 0.0, f64::INFINITY, "a", &[(r, 1.0)]);
+        let mut calls = 0usize;
+        let (sol, stats) = solve_colgen(
+            &mut m,
+            &SolverOptions::default(),
+            &mut WarmChain::new(),
+            1,
+            |_, _| {
+                calls += 1;
+                1
+            },
+        )
+        .unwrap();
+        assert_eq!(calls, 0, "round cap must stop before pricing");
+        assert_eq!(stats.rounds, 1);
+        assert!((sol.objective - 2.0).abs() < 1e-9);
+    }
+}

@@ -20,7 +20,11 @@
 //! * [`dense`] — an independent, deliberately simple full-tableau simplex
 //!   used as a cross-checking oracle in tests (never in production paths);
 //! * [`presolve`] — fixed-variable elimination, empty-row checks, and
-//!   singleton-row bound tightening.
+//!   singleton-row bound tightening;
+//! * [`colgen`] — delayed column generation: the [`solve_colgen`]
+//!   restricted-master loop (warm-started through a [`WarmChain`]) and the
+//!   persistent [`ColumnPool`] that keeps generated columns reusable across
+//!   related solves (growing sequences, online epochs).
 //!
 //! The solver returns primal values, dual row prices, the objective, and
 //! per-solve [`SolveStats`]; optimality of every solve is asserted in debug
@@ -45,6 +49,7 @@
 
 pub mod backend;
 pub mod basis;
+pub mod colgen;
 pub mod dense;
 pub(crate) mod factor;
 pub mod model;
@@ -54,6 +59,7 @@ pub(crate) mod sparse_lu;
 
 pub use backend::{backend_for, Backend, LpBackend};
 pub use basis::{Basis, ChainStats, SolveStats, WarmChain};
+pub use colgen::{solve_colgen, ColGenStats, ColumnPool};
 pub use model::{Cmp, LpError, Model, Pricing, RowId, Solution, SolverOptions, Status, VarId};
 
 /// Default feasibility / optimality tolerance.

@@ -308,6 +308,48 @@ impl Model {
         id
     }
 
+    /// Appends a new variable together with its coefficients in *existing*
+    /// rows — the column-generation dual of [`Model::add_row`]. Duplicate
+    /// `(row, coef)` terms are summed and exact cancellations dropped, so
+    /// stored columns have unique rows, mirroring the row-side guarantee.
+    ///
+    /// # Panics
+    /// If a row id is invalid or a coefficient is not finite (bounds/cost
+    /// are validated by [`Model::add_var`]).
+    pub fn add_column(
+        &mut self,
+        cost: f64,
+        lb: f64,
+        ub: f64,
+        name: impl Into<String>,
+        terms: &[(RowId, f64)],
+    ) -> VarId {
+        let v = self.add_var(cost, lb, ub, name);
+        let mut col: Vec<(u32, f64)> = Vec::with_capacity(terms.len());
+        for &(r, c) in terms {
+            assert!(c.is_finite(), "coefficient must be finite");
+            assert!(r.index() < self.rows.len(), "unknown row {r:?}");
+            if c != 0.0 {
+                col.push((r.0, c));
+            }
+        }
+        col.sort_unstable_by_key(|&(r, _)| r);
+        let mut i = 0;
+        while i < col.len() {
+            let (r, mut a) = col[i];
+            let mut k = i + 1;
+            while k < col.len() && col[k].0 == r {
+                a += col[k].1;
+                k += 1;
+            }
+            if a != 0.0 {
+                self.triplets.push((r, v.0, a));
+            }
+            i = k;
+        }
+        v
+    }
+
     /// `Σ terms <= rhs`.
     pub fn le(&mut self, terms: &[(VarId, f64)], rhs: f64) -> RowId {
         self.add_row(Cmp::Le, rhs, terms)
@@ -448,12 +490,15 @@ pub struct Solution {
     pub objective: f64,
     /// Primal values, indexed by [`VarId`].
     pub values: Vec<f64>,
-    /// Dual prices, indexed by [`RowId`]. Sign convention: for `min`
-    /// problems, `Le` rows have nonpositive... — duals are raw simplex
-    /// multipliers `y = c_B B⁻¹`; use for diagnostics only. Rows that
-    /// presolve eliminates (singleton rows rewritten into variable bounds,
-    /// rows whose support is entirely fixed) report a dual of `0.0`, not
-    /// the multiplier of the bound they became.
+    /// Dual prices, indexed by [`RowId`]: raw simplex multipliers
+    /// `y = c_B B⁻¹` (for `min` problems, binding `Le` rows are
+    /// nonpositive, binding `Ge` rows nonnegative). Singleton rows that
+    /// presolve rewrites into variable bounds are **dual-postsolved**:
+    /// when the implied bound is active they report the bound's multiplier
+    /// (so pricing consumers — delayed column generation — see them bind);
+    /// empty/redundant/fixed-support rows report `0.0`, which is their
+    /// exact dual. Degenerate optima have non-unique duals; these are the
+    /// ones complementary to the returned vertex.
     pub duals: Vec<f64>,
     /// Total simplex pivots across both phases (mirror of
     /// `stats.iterations`, kept for convenience).

@@ -25,6 +25,28 @@
 
 use crate::model::{Cmp, LpError, Model};
 
+/// A dropped singleton row, recorded for **dual postsolve**: if the bound
+/// it implied is active at the optimum, the row's dual is the variable's
+/// (otherwise unattributed) reduced cost divided by the row coefficient —
+/// without this, binding singleton rows would report dual 0 and consumers
+/// that price against the duals (delayed column generation) would never
+/// see the constraint bind.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SingletonBound {
+    /// Original row index.
+    pub row: u32,
+    /// The row's single free variable (original index).
+    pub var: u32,
+    /// The row coefficient on that variable.
+    pub coef: f64,
+    /// The row implied a lower bound on the variable.
+    pub lower: bool,
+    /// The row implied an upper bound on the variable.
+    pub upper: bool,
+    /// The implied bound value (`rhs' / coef`).
+    pub value: f64,
+}
+
 /// Outcome of presolve: a mapping onto a reduced variable set plus adjusted
 /// right-hand sides and tightened bounds.
 #[derive(Clone, Debug)]
@@ -47,6 +69,12 @@ pub struct Presolved {
     pub ub: Vec<f64>,
     /// Number of singleton rows converted into bound updates (diagnostics).
     pub singleton_rows: usize,
+    /// Number of multi-variable rows dropped as redundant — their extreme
+    /// activity over the tightened variable boxes cannot violate the bound
+    /// (diagnostics).
+    pub redundant_rows: usize,
+    /// Dropped singleton rows, in drop order, for dual postsolve.
+    pub(crate) singleton_bounds: Vec<SingletonBound>,
 }
 
 /// Tolerance for declaring an empty row inconsistent or bounds crossed.
@@ -95,6 +123,7 @@ pub fn presolve(m: &Model) -> Result<Presolved, LpError> {
 
     let mut live = vec![true; nr];
     let mut singleton_rows = 0usize;
+    let mut singleton_bounds: Vec<SingletonBound> = Vec::new();
 
     // Work queue over rows; every row is examined at least once, and again
     // whenever one of its variables becomes fixed.
@@ -178,6 +207,14 @@ pub fn presolve(m: &Model) -> Result<Presolved, LpError> {
                 if new_ub.is_finite() && new_ub < ub[j] {
                     ub[j] = new_ub.max(lb[j]);
                 }
+                singleton_bounds.push(SingletonBound {
+                    row: r as u32,
+                    var: c,
+                    coef: a,
+                    lower: new_lb.is_finite(),
+                    upper: new_ub.is_finite(),
+                    value: bound,
+                });
                 live[r] = false;
                 singleton_rows += 1;
                 if ub[j] - lb[j] <= 0.0 {
@@ -185,6 +222,50 @@ pub fn presolve(m: &Model) -> Result<Presolved, LpError> {
                 }
             }
             _ => {}
+        }
+    }
+
+    // Redundant-row elimination: an inequality whose extreme activity over
+    // the (tightened) free-variable boxes cannot violate its bound never
+    // binds — its dual is 0 and its slack would sit basic forever — so it
+    // is dropped before it inflates the working basis. This is the
+    // presolve-level form of the redundant-capacity-row pruning the eager
+    // LP builders do at build time, and it is what keeps delayed-column-
+    // generation masters small: their capacity rows are created for every
+    // (edge, interval) but only the bindable ones survive. One pass after
+    // the fixpoint suffices (bounds only tighten there, and tightening
+    // can only make more rows redundant, never fewer — rows examined here
+    // use the final bounds).
+    let mut redundant_rows = 0usize;
+    for r in 0..nr {
+        if !live[r] || free_count[r] < 2 {
+            continue;
+        }
+        let (mut lo, mut hi) = (0.0_f64, 0.0_f64);
+        for &(c, a) in &row_terms[r] {
+            let j = c as usize;
+            if fixed[j] {
+                continue;
+            }
+            // Coefficients are nonzero by the builder's contract, so
+            // `a * ±inf` cannot produce NaN.
+            let (alo, ahi) = if a > 0.0 {
+                (a * lb[j], a * ub[j])
+            } else {
+                (a * ub[j], a * lb[j])
+            };
+            lo += alo;
+            hi += ahi;
+        }
+        let tol = ROW_TOL * (1.0 + rhs_adjust[r].abs());
+        let drop = match m.rows[r].cmp {
+            Cmp::Le => hi <= rhs_adjust[r] + tol,
+            Cmp::Ge => lo >= rhs_adjust[r] - tol,
+            Cmp::Eq => false,
+        };
+        if drop {
+            live[r] = false;
+            redundant_rows += 1;
         }
     }
 
@@ -208,7 +289,54 @@ pub fn presolve(m: &Model) -> Result<Presolved, LpError> {
         lb,
         ub,
         singleton_rows,
+        redundant_rows,
+        singleton_bounds,
     })
+}
+
+/// **Dual postsolve** for dropped singleton rows: rewrites `duals` in
+/// place so a singleton row whose implied bound is *active* at the optimum
+/// reports the bound's multiplier (the variable's reduced cost divided by
+/// the row coefficient) instead of 0. Rows whose bound is inactive keep a
+/// 0 dual (complementary slackness). When several dropped rows imply the
+/// same active bound, the first one recorded receives the full multiplier
+/// — a valid KKT decomposition.
+///
+/// This is what makes the reported duals usable for *pricing*: delayed
+/// column generation must see a capacity row bind even when only one
+/// current column crosses it (the singleton case presolve rewrites away).
+pub(crate) fn postsolve_singleton_duals(m: &Model, pre: &Presolved, tol: f64, duals: &mut [f64]) {
+    if pre.singleton_bounds.is_empty() {
+        return;
+    }
+    // Unattributed reduced cost per original variable under the kept-row
+    // duals: `c_j − Σ_{kept r} y_r a_rj`.
+    let mut rc: Vec<f64> = m.cols.iter().map(|c| c.cost).collect();
+    for &(r, c, a) in &m.triplets {
+        if pre.keep_row[r as usize] {
+            rc[c as usize] -= duals[r as usize] * a;
+        }
+    }
+    let tol = tol.max(1e-9);
+    for s in &pre.singleton_bounds {
+        let j = s.var as usize;
+        let d = rc[j];
+        let btol = tol * 10.0 * (1.0 + s.value.abs());
+        // `d > 0` means the lower bound binds (min problem), `d < 0` the
+        // upper; the row is eligible when it implied that side at exactly
+        // the final working bound.
+        let eligible = if d > tol {
+            s.lower && (s.value - pre.lb[j]).abs() <= btol
+        } else if d < -tol {
+            s.upper && (s.value - pre.ub[j]).abs() <= btol
+        } else {
+            false
+        };
+        if eligible {
+            duals[s.row as usize] = d / s.coef;
+            rc[j] = 0.0;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -360,5 +488,73 @@ mod tests {
         let p = presolve(&m).unwrap();
         assert!(p.keep_row[0]);
         assert_eq!(p.singleton_rows, 0);
+    }
+
+    /// A binding singleton row must report the bound multiplier as its
+    /// dual after postsolve — and match the dual the same constraint gets
+    /// when it survives presolve as a two-variable row.
+    #[test]
+    fn singleton_row_dual_postsolved() {
+        // min -x with 2x <= 2 (singleton: x <= 1, binding). KKT:
+        // -1 - 2y = 0 => y = -0.5.
+        let mut m = Model::new();
+        let x = m.add_var(-1.0, 0.0, 5.0, "x");
+        let r = m.le(&[(x, 2.0)], 2.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.value(x) - 1.0).abs() < 1e-9);
+        assert!((sol.dual(r) - (-0.5)).abs() < 1e-9, "dual {}", sol.dual(r));
+
+        // The kept-row variant (second variable stops the singleton
+        // rewrite) must agree on the shared row's dual.
+        let mut m2 = Model::new();
+        let x = m2.add_var(-1.0, 0.0, 5.0, "x");
+        let y = m2.add_nonneg(1.0, "y");
+        let r2 = m2.le(&[(x, 2.0), (y, 1.0)], 2.0);
+        let sol2 = m2.solve().unwrap();
+        assert!(
+            (sol2.dual(r2) - (-0.5)).abs() < 1e-9,
+            "dual {}",
+            sol2.dual(r2)
+        );
+
+        // A *loose* singleton row keeps dual 0 (complementary slackness).
+        let mut m3 = Model::new();
+        let x = m3.add_unit(-1.0, "x");
+        let r3 = m3.le(&[(x, 1.0)], 10.0);
+        let sol3 = m3.solve().unwrap();
+        assert_eq!(sol3.dual(r3), 0.0);
+    }
+
+    #[test]
+    fn redundant_le_row_dropped() {
+        // x + y <= 5 with x, y in [0,1]: max activity 2 — never binds.
+        let mut m = Model::new();
+        let x = m.add_unit(-1.0, "x");
+        let y = m.add_unit(-2.0, "y");
+        m.le(&[(x, 1.0), (y, 1.0)], 5.0);
+        m.le(&[(x, 1.0), (y, 1.0)], 1.5); // bindable: kept
+        let p = presolve(&m).unwrap();
+        assert!(!p.keep_row[0] && p.keep_row[1]);
+        assert_eq!(p.redundant_rows, 1);
+        let sol = m.solve().unwrap();
+        assert!((sol.objective + 2.5).abs() < 1e-7, "obj {}", sol.objective);
+    }
+
+    #[test]
+    fn redundant_ge_row_dropped_infinite_not() {
+        let mut m = Model::new();
+        let x = m.add_unit(1.0, "x");
+        let y = m.add_unit(1.0, "y");
+        m.ge(&[(x, 1.0), (y, 1.0)], -1.0); // min activity 0 >= -1: redundant
+        let p = presolve(&m).unwrap();
+        assert!(!p.keep_row[0]);
+        // An unbounded-above variable keeps its Le row non-redundant.
+        let mut m = Model::new();
+        let x = m.add_nonneg(1.0, "x");
+        let y = m.add_unit(1.0, "y");
+        m.le(&[(x, 1.0), (y, 1.0)], 100.0);
+        let p = presolve(&m).unwrap();
+        assert!(p.keep_row[0]);
+        assert_eq!(p.redundant_rows, 0);
     }
 }

@@ -145,12 +145,16 @@ impl State {
         if self.m == 0 {
             return Ok(());
         }
+        let t0 = std::time::Instant::now();
         let cols: Vec<SparseCol> = self.basis.iter().map(|&j| self.sparse_col(j)).collect();
         self.stats.basis_nnz = cols.iter().map(|c| c.len()).sum();
         f.refactor(self.m, &cols)?;
         self.stats.refactorizations += 1;
         self.stats.factor_nnz = f.factor_nnz();
+        self.stats.factor_ms += t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = std::time::Instant::now();
         self.recompute_basic_values(f, tol)?;
+        self.stats.ftran_btran_ms += t1.elapsed().as_secs_f64() * 1e3;
         self.since_refactor = 0;
         Ok(())
     }
@@ -249,7 +253,10 @@ fn run_phase<F: Factorization>(
         }
         local_iters += 1;
 
+        let t_dual = std::time::Instant::now();
         st.duals(f, costs, &mut y);
+        let t_scan = std::time::Instant::now();
+        st.stats.ftran_btran_ms += (t_scan - t_dual).as_secs_f64() * 1e3;
 
         // --- Pricing: pick an entering variable (devex: maximize d²/γ). ---
         let mut enter: Option<(usize, f64, f64)> = None; // (var, reduced cost, score)
@@ -314,6 +321,7 @@ fn run_phase<F: Factorization>(
                 }
             }
         }
+        st.stats.pricing_ms += t_scan.elapsed().as_secs_f64() * 1e3;
         let Some((j_in, _d_in, _)) = enter else {
             return Ok(PhaseEnd::Optimal);
         };
@@ -331,7 +339,9 @@ fn run_phase<F: Factorization>(
             -1.0
         };
 
+        let t_ftran = std::time::Instant::now();
         st.ftran_col(f, j_in, &mut w);
+        st.stats.ftran_btran_ms += t_ftran.elapsed().as_secs_f64() * 1e3;
         let wmax = w.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
 
         // --- Two-pass Harris ratio test (bounded variables). ---
@@ -455,6 +465,7 @@ fn run_phase<F: Factorization>(
         // restriction keeps the update `O(nnz(window))` instead of
         // `O(nnz(A))`. Unscanned columns keep slightly stale weights —
         // devex is approximate by design.
+        let t_devex = std::time::Instant::now();
         let alpha_q = w[r_lv];
         if alpha_q.abs() > 1e-12 {
             f.binv_row(r_lv, &mut rho);
@@ -488,6 +499,7 @@ fn run_phase<F: Factorization>(
                 gamma.fill(1.0);
             }
         }
+        st.stats.pricing_ms += t_devex.elapsed().as_secs_f64() * 1e3;
 
         // Move the point.
         for (r, &wr) in w.iter().enumerate() {
@@ -585,11 +597,13 @@ pub(crate) fn solve_presolved<F: Factorization + Default>(
             warm_attempted: warm.is_some(),
             ..Default::default()
         };
+        let mut duals = vec![0.0; model.num_rows()];
+        crate::presolve::postsolve_singleton_duals(model, pre, opts.tol, &mut duals);
         return Ok((
             Solution {
                 objective,
                 values,
-                duals: vec![0.0; model.num_rows()],
+                duals,
                 iterations: 0,
                 phase1_iterations: 0,
                 status: Status::Optimal,
@@ -808,6 +822,7 @@ pub(crate) fn solve_presolved<F: Factorization + Default>(
     for (new_r, &old_r) in kept_rows.iter().enumerate() {
         duals[old_r as usize] = y[new_r];
     }
+    crate::presolve::postsolve_singleton_duals(model, pre, opts.tol, &mut duals);
     let objective = model.objective_of(&values);
 
     // ---- Snapshot the final basis (by name) if requested. ----
@@ -842,6 +857,7 @@ pub(crate) fn solve_presolved<F: Factorization + Default>(
                 }
             }
         }
+        snap.kept_rows = kept_rows.iter().copied().collect();
         snap
     });
 
@@ -993,6 +1009,17 @@ fn try_warm_start<F: Factorization>(
             };
             if hit {
                 cand.push(n_struct + si);
+                continue;
+            }
+            // Rows absent from the snapshot's working problem — presolved
+            // away back then (a colgen capacity row no column touched yet)
+            // or genuinely new in a grown model — were satisfied strictly
+            // at the old optimum, so their slack is implicitly basic.
+            // Seeding it keeps the mapped basis's implied point exactly at
+            // the old optimum; without it the completion may cover such a
+            // row with a structural column and scramble every basic value.
+            if !snap.kept_rows.contains(&old_r) {
+                cand.push(n_struct + si);
             }
         }
     }
@@ -1056,6 +1083,7 @@ fn try_warm_start<F: Factorization>(
     // implied value came out negative.
     let mut r = vec![0.0; m];
     for _pass in 0..2 {
+        let t0 = std::time::Instant::now();
         let cols: Vec<SparseCol> = st.basis.iter().map(|&j| st.sparse_col(j)).collect();
         st.stats.basis_nnz = cols.iter().map(|c| c.len()).sum();
         if f.refactor(m, &cols).is_err() {
@@ -1063,6 +1091,7 @@ fn try_warm_start<F: Factorization>(
         }
         st.stats.refactorizations += 1;
         st.stats.factor_nnz = f.factor_nnz();
+        st.stats.factor_ms += t0.elapsed().as_secs_f64() * 1e3;
         r.copy_from_slice(&st.b);
         for j in 0..st.nvars() {
             if st.vstat[j] == VStat::Basic {

@@ -16,6 +16,9 @@
 //! * [`paths`] — BFS shortest paths, Dijkstra, *widest* ("thickest") path
 //!   search as used by the paper's flow-decomposition routine (§4.2), and
 //!   bounded simple-path enumeration for path-based LP formulations;
+//! * [`pricing`] — dual-priced path oracles for delayed column generation:
+//!   hop-bounded Bellman–Ford and one-to-all Dijkstra under nonnegative
+//!   per-edge prices, plus path interning signatures;
 //! * [`flow`] — per-edge flow fields, Edmonds–Karp max-flow, and the
 //!   flow-decomposition theorem (§2.2, citing Ahuja–Magnanti–Orlin) realized
 //!   as thickest-path peeling;
@@ -28,6 +31,7 @@
 pub mod flow;
 pub mod graph;
 pub mod paths;
+pub mod pricing;
 pub mod timexp;
 pub mod topo;
 

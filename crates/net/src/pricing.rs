@@ -1,0 +1,301 @@
+//! Dual-priced path search for column generation.
+//!
+//! The pricing step of a path-formulation column generation asks: *given
+//! nonnegative per-edge prices derived from the restricted master's row
+//! duals, which admissible path has the lowest total price?* Two searches
+//! cover the repo's formulations:
+//!
+//! * [`cheapest_path_hop_bounded`] — minimum-price path with at most
+//!   `max_hops` edges (Bellman–Ford layered DP). The hop bound matters for
+//!   exactness against the eager builders: the §2.2 path LP enumerates
+//!   candidates up to `shortest + slack` hops, so the oracle must search
+//!   the *same* path space or column generation could price its way to a
+//!   different (larger) polytope and a different objective.
+//! * [`dijkstra_tree`] — one-to-all Dijkstra returning distances and a
+//!   predecessor forest, for formulations with many admissible sinks (the
+//!   §3.2 time-expanded LP prices a path toward *every* destination copy
+//!   and picks the best after adding the arrival-time cost). Edges are
+//!   excluded by pricing them `f64::INFINITY`.
+//!
+//! Both searches are deterministic under cost ties (fixed edge-id
+//! iteration order, strict-improvement relaxation): degenerate duals —
+//! ubiquitous in interval-indexed coflow LPs, where most links price to
+//! exactly zero — must not make generated columns depend on hash order.
+
+use crate::graph::{EdgeId, Graph, NodeId, Path};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// FNV-1a hash of a path's edge sequence: the interning signature used by
+/// `coflow_lp::ColumnPool` at the call sites. Distinct edge sequences get
+/// distinct signatures with overwhelming probability; the empty path maps
+/// to the FNV offset basis.
+pub fn path_signature(p: &Path) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for e in p.edges.iter() {
+        for b in e.0.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Minimum-price walk from `src` to `dst` using at most `max_hops` edges,
+/// where `price(e) >= 0`. Returns the path and its total price, or `None`
+/// when `dst` is unreachable within the hop budget.
+///
+/// Exact layered DP (Bellman–Ford over hop counts), so it remains correct
+/// where plain Dijkstra is not: the cheapest unconstrained path may exceed
+/// the hop budget while a pricier short path fits. Ties are broken toward
+/// fewer hops, then by the fixed edge iteration order — deterministic, and
+/// the minimal-hop minimum-cost walk is always simple (a cycle under
+/// nonnegative prices could be removed without raising the cost, and
+/// removing it strictly lowers the hop count).
+///
+/// # Panics
+/// In debug builds, if `price` returns a negative value.
+pub fn cheapest_path_hop_bounded(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    max_hops: usize,
+    price: impl Fn(EdgeId) -> f64,
+) -> Option<(Path, f64)> {
+    if src == dst {
+        return Some((Path::empty(), 0.0));
+    }
+    let nv = g.node_count();
+    // dist[h][v] = min price over walks src -> v with *exactly* h edges.
+    let mut dist = vec![vec![f64::INFINITY; nv]; max_hops + 1];
+    let mut pred: Vec<Vec<Option<EdgeId>>> = vec![vec![None; nv]; max_hops + 1];
+    dist[0][src.index()] = 0.0;
+    for h in 1..=max_hops {
+        let (lower, upper) = dist.split_at_mut(h);
+        let prev = &lower[h - 1];
+        let cur = &mut upper[0];
+        for u in g.nodes() {
+            let du = prev[u.index()];
+            if du.is_infinite() {
+                continue;
+            }
+            for &e in g.out_edges(u) {
+                let w = price(e);
+                debug_assert!(w >= 0.0, "pricing requires nonnegative edge prices");
+                let v = g.edge_dst(e);
+                let nd = du + w;
+                if nd < cur[v.index()] {
+                    cur[v.index()] = nd;
+                    pred[h][v.index()] = Some(e);
+                }
+            }
+        }
+    }
+    // Best arrival: minimum cost, ties toward fewer hops.
+    let mut best: Option<(usize, f64)> = None;
+    for (h, row) in dist.iter().enumerate() {
+        let d = row[dst.index()];
+        if d.is_finite() && best.is_none_or(|(_, bd)| d < bd) {
+            best = Some((h, d));
+        }
+    }
+    let (mut h, cost) = best?;
+    let mut edges = Vec::with_capacity(h);
+    let mut cur = dst;
+    while h > 0 {
+        let e = pred[h][cur.index()].expect("broken hop-DP predecessor chain");
+        edges.push(e);
+        cur = g.edge_src(e);
+        h -= 1;
+    }
+    debug_assert_eq!(cur, src);
+    edges.reverse();
+    Some((Path::new(edges), cost))
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    key: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by key; ties by node id for determinism.
+        self.key
+            .partial_cmp(&other.key)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+/// One-to-all Dijkstra under nonnegative prices: returns per-node distances
+/// (`f64::INFINITY` = unreachable) and the predecessor edge of each settled
+/// node. Pricing an edge `f64::INFINITY` excludes it. Use
+/// [`path_from_preds`] to extract the path to any reached sink.
+pub fn dijkstra_tree(
+    g: &Graph,
+    src: NodeId,
+    price: impl Fn(EdgeId) -> f64,
+) -> (Vec<f64>, Vec<Option<EdgeId>>) {
+    let nv = g.node_count();
+    let mut dist = vec![f64::INFINITY; nv];
+    let mut pred: Vec<Option<EdgeId>> = vec![None; nv];
+    let mut done = vec![false; nv];
+    dist[src.index()] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem {
+        key: 0.0,
+        node: src,
+    });
+    while let Some(HeapItem { key, node: u }) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        let du = -key;
+        for &e in g.out_edges(u) {
+            let w = price(e);
+            debug_assert!(w >= 0.0, "pricing requires nonnegative edge prices");
+            let v = g.edge_dst(e);
+            let nd = du + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                pred[v.index()] = Some(e);
+                heap.push(HeapItem { key: -nd, node: v });
+            }
+        }
+    }
+    (dist, pred)
+}
+
+/// Reconstructs the path `src -> dst` from a [`dijkstra_tree`] predecessor
+/// forest. Returns `None` when `dst` was never reached.
+pub fn path_from_preds(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    pred: &[Option<EdgeId>],
+) -> Option<Path> {
+    let mut edges = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let e = pred[cur.index()]?;
+        edges.push(e);
+        cur = g.edge_src(e);
+    }
+    edges.reverse();
+    Some(Path::new(edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo;
+
+    /// Zero duals everywhere: the oracle must return a shortest-hop path
+    /// (any tie), deterministically.
+    #[test]
+    fn zero_dual_links_pick_shortest_hops_deterministically() {
+        let t = topo::fat_tree(4, 1.0);
+        let (a, b) = (t.hosts[0], t.hosts[15]);
+        let first = cheapest_path_hop_bounded(&t.graph, a, b, 6, |_| 0.0).unwrap();
+        assert_eq!(first.1, 0.0);
+        assert_eq!(first.0.len(), 6, "inter-pod shortest path has 6 hops");
+        assert!(t.graph.is_simple_path(&first.0, a, b));
+        for _ in 0..5 {
+            let again = cheapest_path_hop_bounded(&t.graph, a, b, 6, |_| 0.0).unwrap();
+            assert_eq!(again.0, first.0, "ties must break deterministically");
+        }
+    }
+
+    /// Degenerate ties: two exactly-equal-cost routes; the oracle returns
+    /// one of them, with the right cost, stably.
+    #[test]
+    fn degenerate_tie_is_stable_and_costed() {
+        // 0 -> {1, 2} -> 3, both routes cost 1.0 + 1.0.
+        let mut g = crate::graph::Graph::with_nodes(4);
+        use crate::graph::NodeId as N;
+        let e01 = g.add_edge(N(0), N(1), 1.0);
+        g.add_edge(N(0), N(2), 1.0);
+        g.add_edge(N(1), N(3), 1.0);
+        let e23 = g.add_edge(N(2), N(3), 1.0);
+        let (p, c) = cheapest_path_hop_bounded(&g, N(0), N(3), 4, |_| 1.0).unwrap();
+        assert_eq!(c, 2.0);
+        assert_eq!(p.len(), 2);
+        assert_eq!(
+            p.edges[0], e01,
+            "edge-order tie-break must pick the first branch"
+        );
+        assert!(!p.edges.contains(&e23));
+    }
+
+    /// The hop bound is binding: a cheap long route must be rejected in
+    /// favor of the pricier short one, and plain shortest-path reasoning
+    /// (Dijkstra) would get this wrong.
+    #[test]
+    fn hop_bound_rejects_cheap_long_route() {
+        let mut g = crate::graph::Graph::with_nodes(5);
+        use crate::graph::NodeId as N;
+        let direct = g.add_edge(N(0), N(4), 1.0); // price 5
+        g.add_edge(N(0), N(1), 1.0); // free detour, 4 hops
+        g.add_edge(N(1), N(2), 1.0);
+        g.add_edge(N(2), N(3), 1.0);
+        g.add_edge(N(3), N(4), 1.0);
+        let price = move |e: EdgeId| if e == direct { 5.0 } else { 0.0 };
+        let (p, c) = cheapest_path_hop_bounded(&g, N(0), N(4), 4, price).unwrap();
+        assert_eq!((p.len(), c), (4, 0.0), "within budget the detour wins");
+        let (p, c) = cheapest_path_hop_bounded(&g, N(0), N(4), 2, price).unwrap();
+        assert_eq!((p.len(), c), (1, 5.0), "hop bound forces the direct edge");
+        assert!(cheapest_path_hop_bounded(&g, N(0), N(4), 0, price).is_none());
+    }
+
+    #[test]
+    fn same_node_is_the_empty_path() {
+        let t = topo::triangle();
+        let (p, c) =
+            cheapest_path_hop_bounded(&t.graph, t.hosts[0], t.hosts[0], 3, |_| 1.0).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn dijkstra_tree_reaches_everything_and_reconstructs() {
+        let t = topo::fat_tree(4, 1.0);
+        let (dist, pred) = dijkstra_tree(&t.graph, t.hosts[0], |_| 1.0);
+        for &h in &t.hosts[1..] {
+            assert!(dist[h.index()].is_finite());
+            let p = path_from_preds(&t.graph, t.hosts[0], h, &pred).unwrap();
+            assert_eq!(p.len() as f64, dist[h.index()]);
+            assert!(t.graph.is_simple_path(&p, t.hosts[0], h));
+        }
+    }
+
+    #[test]
+    fn infinite_price_excludes_edges() {
+        let mut g = crate::graph::Graph::with_nodes(2);
+        use crate::graph::NodeId as N;
+        g.add_edge(N(0), N(1), 1.0);
+        let (dist, pred) = dijkstra_tree(&g, N(0), |_| f64::INFINITY);
+        assert!(dist[1].is_infinite());
+        assert!(path_from_preds(&g, N(0), N(1), &pred).is_none());
+    }
+
+    #[test]
+    fn signatures_distinguish_paths() {
+        let t = topo::fat_tree(4, 1.0);
+        let ps = crate::paths::candidate_paths(&t.graph, t.hosts[0], t.hosts[15], 0, 16);
+        assert_eq!(ps.len(), 4);
+        let sigs: std::collections::HashSet<u64> = ps.iter().map(path_signature).collect();
+        assert_eq!(sigs.len(), ps.len(), "distinct paths, distinct signatures");
+        assert_eq!(path_signature(&ps[0]), path_signature(&ps[0].clone()));
+    }
+}

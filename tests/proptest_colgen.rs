@@ -1,0 +1,123 @@
+//! Property tests for delayed column generation: on random small
+//! topologies the restricted-master loop must reproduce the eager
+//! full-enumeration optimum and feed the downstream pipeline a solution
+//! whose rounded schedule passes the capacity/release/volume checker.
+
+use coflow::algo::intervals::IntervalGrid;
+use coflow::lp::WarmChain;
+use coflow::prelude::*;
+use coflow::workloads::gen::{generate, GenConfig};
+use proptest::prelude::*;
+
+fn cfg(n: usize, w: usize, seed: u64) -> GenConfig {
+    GenConfig {
+        n_coflows: n,
+        width: w,
+        size_mean: 3.0,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Small topologies whose candidate-path sets the eager enumeration covers
+/// completely (so both modes optimize the same polytope).
+fn small_topo(pick: usize) -> coflow::net::topo::Topology {
+    match pick % 3 {
+        0 => coflow::net::topo::fat_tree(4, 1.0),
+        1 => coflow::net::topo::grid(3, 3, 1.0),
+        _ => coflow::net::topo::ring(6, 1.0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Column generation and eager enumeration agree on the LP optimum
+    /// (±1e-6) on random instances over random small topologies, the
+    /// colgen master never materializes more columns than the eager
+    /// model, and the rounded colgen solution passes the schedule
+    /// checker (capacity, release, volume).
+    #[test]
+    fn colgen_matches_eager_and_rounds_feasibly(
+        topo_pick in 0usize..3,
+        n in 1usize..4,
+        w in 1usize..4,
+        slack in 0usize..2,
+        seed in 0u64..500,
+    ) {
+        let topo = small_topo(topo_pick);
+        let inst = generate(&topo, &cfg(n, w, seed));
+        prop_assert!(inst.validate().is_empty());
+
+        // `max_paths` far above any small-topology path count keeps the
+        // eager enumeration complete — the precondition for equality.
+        let eager_cfg = FreePathsLpConfig {
+            path_slack: slack,
+            max_paths: 64,
+            ..Default::default()
+        };
+        let eager = solve_free_paths_lp_paths(&inst, &eager_cfg).unwrap();
+
+        let cg_cfg = FreePathsLpConfig {
+            columns: ColumnMode::delayed(),
+            ..eager_cfg
+        };
+        let grid = IntervalGrid::cover(cg_cfg.eps, inst.horizon());
+        let mut pool = PathPool::new();
+        let (cg, stats) = solve_free_paths_lp_colgen_on_grid(
+            &inst,
+            &cg_cfg,
+            grid,
+            &mut WarmChain::new(),
+            &mut pool,
+        )
+        .unwrap();
+
+        prop_assert!(
+            (cg.base.objective - eager.base.objective).abs()
+                <= 1e-6 * (1.0 + eager.base.objective.abs()),
+            "colgen {} vs eager {} (topo {topo_pick}, slack {slack})",
+            cg.base.objective,
+            eager.base.objective
+        );
+        prop_assert!(stats.final_cols <= eager.base.stats.cols.max(1));
+
+        // The colgen solution drives the paper pipeline end to end: the
+        // rounded schedule must satisfy capacity, releases, and volumes.
+        let r = round_free_paths(&inst, &cg, &FreeRoundingConfig { seed, ..Default::default() });
+        let routed = inst.with_paths(&r.paths);
+        let violations = r.rounded.schedule.check(&routed, 1e-6, 1e-6);
+        prop_assert!(violations.is_empty(), "rounded colgen schedule: {violations:?}");
+        // Lemma 5 at ε = 1: LP*/2 lower-bounds any feasible schedule.
+        prop_assert!(
+            cg.base.objective / 2.0 <= r.rounded.metrics.weighted_sum + 1e-6,
+            "LB {} vs realized {}",
+            cg.base.objective / 2.0,
+            r.rounded.metrics.weighted_sum
+        );
+    }
+
+    /// Pool-threaded colgen re-solves of the *same* instance stay at the
+    /// eager optimum and re-price nothing on the second pass.
+    #[test]
+    fn pooled_resolve_is_generation_free(seed in 0u64..200) {
+        let topo = coflow::net::topo::fat_tree(4, 1.0);
+        let inst = generate(&topo, &cfg(2, 3, seed));
+        let cg_cfg = FreePathsLpConfig {
+            columns: ColumnMode::delayed(),
+            ..Default::default()
+        };
+        let mut pool = PathPool::new();
+        let mut chain = WarmChain::new();
+        let grid = IntervalGrid::cover(cg_cfg.eps, inst.horizon());
+        let (first, _) =
+            solve_free_paths_lp_colgen_on_grid(&inst, &cg_cfg, grid, &mut chain, &mut pool)
+                .unwrap();
+        let grid = IntervalGrid::cover(cg_cfg.eps, inst.horizon());
+        let (second, stats) =
+            solve_free_paths_lp_colgen_on_grid(&inst, &cg_cfg, grid, &mut chain, &mut pool)
+                .unwrap();
+        prop_assert!(stats.generated_cols == 0, "pool must seed everything");
+        prop_assert!((first.base.objective - second.base.objective).abs() < 1e-9);
+    }
+}
