@@ -12,12 +12,17 @@
 //! reports the median **and** the min; `--quick` /
 //! `COFLOW_BENCH_QUICK=1` drops from 7 to the 3-sample floor for CI runs.
 
+// Experiment binaries fail fast by design: unwrap/expect on I/O and
+// solver results is the intended error handling here.
+#![allow(clippy::unwrap_used)]
+
 use coflow_core::circuit::lp_free::{
     solve_free_paths_lp_colgen_on_grid, solve_free_paths_lp_paths,
     solve_free_paths_lp_paths_on_grid, ColumnMode, FreePathsLpConfig, PathPool,
 };
 use coflow_core::intervals::IntervalGrid;
 use coflow_core::model::Instance;
+use coflow_core::tol;
 use coflow_lp::{
     solve_colgen, Backend, Cmp, ColGenStats, Model, Pricing, RowId, SolveStats, SolverOptions,
     WarmChain,
@@ -44,7 +49,7 @@ fn transport(n: usize) -> Model {
         m.add_row(Cmp::Eq, transport_supply(i), &terms);
     }
     for j in 0..n {
-        let terms: Vec<_> = (0..n).map(|i| (vars[i][j], 1.0)).collect();
+        let terms: Vec<_> = vars.iter().map(|row| (row[j], 1.0)).collect();
         m.add_row(Cmp::Le, transport_demand_cap(n), &terms);
     }
     m
@@ -111,7 +116,7 @@ fn transport_colgen(n: usize, opts: &SolverOptions) -> (SolveStats, ColGenStats,
                     continue;
                 }
                 let d = transport_cost(i, j) - yi - sol.dual(demand_rows[j]);
-                if d < -1e-9 && best.is_none_or(|(_, b)| d < b) {
+                if d < -tol::DUAL_EPS && best.is_none_or(|(_, b)| d < b) {
                     best = Some((j, d));
                 }
             }
@@ -550,7 +555,7 @@ fn bench_snapshot(_c: &mut Criterion) {
     // also be a measured wall-clock win.
     for r in &colgen_rows {
         assert!(
-            r.objective_delta <= 1e-6 * (1.0 + r.eager_objective.abs()),
+            r.objective_delta <= tol::OBJ_REL_EPS * (1.0 + r.eager_objective.abs()),
             "{}: colgen objective drifted by {:.3e} (eager {})",
             r.name,
             r.objective_delta,

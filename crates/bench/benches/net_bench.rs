@@ -2,6 +2,10 @@
 //! enumeration, max-flow and flow decomposition on evaluation-scale
 //! topologies.
 
+// Experiment binaries fail fast by design: unwrap/expect on I/O and
+// solver results is the intended error handling here.
+#![allow(clippy::unwrap_used)]
+
 use coflow_net::flow::{decompose_flow, max_flow};
 use coflow_net::{paths, topo};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

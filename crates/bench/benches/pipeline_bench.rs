@@ -2,6 +2,10 @@
 //! every Figure 3 / Figure 4 data point (LP solve + rounding + 4 simulated
 //! schemes).
 
+// Experiment binaries fail fast by design: unwrap/expect on I/O and
+// solver results is the intended error handling here.
+#![allow(clippy::unwrap_used)]
+
 use coflow_bench::run_trial;
 use coflow_core::circuit::lp_free::FreePathsLpConfig;
 use coflow_lp::SolverOptions;

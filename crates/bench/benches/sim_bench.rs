@@ -1,6 +1,10 @@
 //! Criterion microbenchmarks for the simulators: fluid event loop
 //! throughput under both allocation policies, and the packet stepper.
 
+// Experiment binaries fail fast by design: unwrap/expect on I/O and
+// solver results is the intended error handling here.
+#![allow(clippy::unwrap_used)]
+
 use coflow_core::baselines::{baseline_random, BaselineConfig};
 use coflow_core::order::Priority;
 use coflow_net::topo;

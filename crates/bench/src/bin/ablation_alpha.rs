@@ -8,6 +8,10 @@
 //! cargo run --release -p coflow-bench --bin ablation_alpha [--trials N]
 //! ```
 
+// Experiment binaries fail fast by design: unwrap/expect on I/O and
+// solver results is the intended error handling here.
+#![allow(clippy::unwrap_used)]
+
 use coflow_bench::{print_table, write_csv, CommonArgs};
 use coflow_core::bounds;
 use coflow_core::circuit::lp_given::{solve_given_paths_lp, GivenPathsLpConfig};

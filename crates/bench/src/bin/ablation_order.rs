@@ -10,6 +10,10 @@
 //! cargo run --release -p coflow-bench --bin ablation_order [--trials N]
 //! ```
 
+// Experiment binaries fail fast by design: unwrap/expect on I/O and
+// solver results is the intended error handling here.
+#![allow(clippy::unwrap_used)]
+
 use coflow_bench::{print_table, run_parallel, write_csv, CommonArgs};
 use coflow_core::baselines;
 use coflow_core::circuit::lp_free::{solve_free_paths_lp_paths, FreePathsLpConfig};

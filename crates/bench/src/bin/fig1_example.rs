@@ -9,6 +9,10 @@
 //! cargo run --release -p coflow-bench --bin fig1_example
 //! ```
 
+// Experiment binaries fail fast by design: unwrap/expect on I/O and
+// solver results is the intended error handling here.
+#![allow(clippy::unwrap_used)]
+
 use coflow_bench::print_table;
 use coflow_core::circuit::lp_free::{solve_free_paths_lp_paths, FreePathsLpConfig};
 use coflow_core::circuit::round_free::{round_free_paths, FreeRoundingConfig};

@@ -12,6 +12,10 @@
 //! cargo run --release -p coflow-bench --bin fig3_width [--k 8] [--trials 10]
 //! ```
 
+// Experiment binaries fail fast by design: unwrap/expect on I/O and
+// solver results is the intended error handling here.
+#![allow(clippy::unwrap_used)]
+
 use coflow_bench::{
     print_improvements, print_table, run_point, write_csv, CommonArgs, PointSummary, SCHEME_NAMES,
 };

@@ -19,6 +19,10 @@
 //! [`OnlinePolicy`]: coflow_engine::OnlinePolicy
 //! [`WarmChain`]: coflow_lp::WarmChain
 
+// Experiment binaries fail fast by design: unwrap/expect on I/O and
+// solver results is the intended error handling here.
+#![allow(clippy::unwrap_used)]
+
 use coflow_bench::print_table;
 use coflow_core::circuit::lp_free::FreePathsLpConfig;
 use coflow_core::circuit::round_free::{FreeRoundingConfig, PathSelection};
@@ -170,7 +174,7 @@ fn main() {
                         jitter_rate: 2.0,
                         // Keyed by sweep position, not the rate value:
                         // nearby rates must not collide to one seed.
-                        seed: 0x0_11E_0000 + (ri as u64) * 10_000 + trial as u64,
+                        seed: 0x011E_0000 + (ri as u64) * 10_000 + trial as u64,
                         ..Default::default()
                     },
                 )

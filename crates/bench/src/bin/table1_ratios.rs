@@ -11,6 +11,10 @@
 //! cargo run --release -p coflow-bench --bin table1_ratios [--trials N]
 //! ```
 
+// Experiment binaries fail fast by design: unwrap/expect on I/O and
+// solver results is the intended error handling here.
+#![allow(clippy::unwrap_used)]
+
 use coflow_bench::{print_table, write_csv, CommonArgs};
 use coflow_core::bounds;
 use coflow_core::circuit::lp_free::{solve_free_paths_lp_paths, FreePathsLpConfig};

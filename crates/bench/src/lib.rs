@@ -17,6 +17,9 @@
 //! Trials run in parallel with `std::thread::scope` (the LP solve dominates
 //! wall time).
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 use coflow_core::baselines::{self, BaselineConfig, Scheme};
 use coflow_core::bounds;
 use coflow_core::circuit::lp_free::{solve_free_paths_lp_paths_on_grid, FreePathsLpConfig};
@@ -106,6 +109,7 @@ pub fn run_trial_chained(
     let t0 = Instant::now();
     let grid = IntervalGrid::cover(lp_cfg.eps, instance.horizon());
     let lp = solve_free_paths_lp_paths_on_grid(instance, lp_cfg, grid, chain)
+        // lint: allow(no_panic) — harness crate: generated instances are always feasible
         .expect("free-paths LP must be feasible on valid instances");
     let solve_ms = t0.elapsed().as_secs_f64() * 1e3;
     let rounding = round_free_paths(
@@ -289,6 +293,7 @@ pub fn run_point_with(
             let o = outs
                 .iter()
                 .find(|o| o.scheme == name)
+                // lint: allow(no_panic) — harness crate: every trial runs every scheme
                 .expect("scheme missing");
             avg += o.avg_completion;
             wsum += o.weighted_sum;
@@ -363,18 +368,21 @@ pub fn run_parallel_with<T: Sync, R: Send, S>(
                         break;
                     }
                     let r = f(&mut state, i, &items[i]);
+                    // lint: allow(no_panic) — harness crate: propagate a worker panic
                     **slots[i].lock().expect("worker panicked holding slot lock") = Some(r);
                 }
             });
         }
     });
     out.into_iter()
+        // lint: allow(no_panic) — harness crate: a dead worker is a harness bug
         .map(|o| o.expect("worker died before filling slot"))
         .collect()
 }
 
 /// Prints an aligned table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    // lint: allow(no_print) — this helper IS the experiment binaries' console output
     println!("\n{title}");
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
@@ -390,12 +398,15 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         s
     };
     let header: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    // lint: allow(no_print) — this helper IS the experiment binaries' console output
     println!("{}", line(&header));
+    // lint: allow(no_print) — this helper IS the experiment binaries' console output
     println!(
         "{}",
         "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
     );
     for row in rows {
+        // lint: allow(no_print) — this helper IS the experiment binaries' console output
         println!("{}", line(row));
     }
 }
@@ -466,14 +477,17 @@ impl CommonArgs {
         while i < argv.len() {
             match argv[i].as_str() {
                 "--k" => {
+                    // lint: allow(no_panic) — CLI arg parsing: fail fast with usage text
                     a.k = argv[i + 1].parse().expect("--k <even int>");
                     i += 2;
                 }
                 "--trials" => {
+                    // lint: allow(no_panic) — CLI arg parsing: fail fast with usage text
                     a.trials = argv[i + 1].parse().expect("--trials <int>");
                     i += 2;
                 }
                 "--threads" => {
+                    // lint: allow(no_panic) — CLI arg parsing: fail fast with usage text
                     a.threads = argv[i + 1].parse().expect("--threads <int>");
                     i += 2;
                 }
@@ -485,6 +499,7 @@ impl CommonArgs {
                     a.out = None;
                     i += 1;
                 }
+                // lint: allow(no_panic) — CLI arg parsing: fail fast with usage text
                 other => panic!("unknown argument {other}"),
             }
         }
@@ -493,8 +508,11 @@ impl CommonArgs {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
+    use coflow_core::tol;
     use coflow_net::topo;
     use coflow_workloads::gen::{generate, GenConfig};
 
@@ -524,7 +542,7 @@ mod tests {
         // Lower bound must not exceed any scheme's weighted cost.
         for o in &outs {
             assert!(
-                diag.lower_bound <= o.weighted_sum + 1e-6,
+                diag.lower_bound <= o.weighted_sum + tol::FEAS_EPS,
                 "{}: LB {} > cost {}",
                 o.scheme,
                 diag.lower_bound,
@@ -540,7 +558,11 @@ mod tests {
         assert_eq!(p.trials, 2);
         assert_eq!(p.schemes.len(), 4);
         assert!(p.avg_of("LP-Based") > 0.0);
-        assert!(p.ratio_to_baseline("Baseline") == 1.0);
+        assert!(tol::rel_eq(
+            p.ratio_to_baseline("Baseline"),
+            1.0,
+            tol::OBJ_REL_EPS
+        ));
     }
 
     /// Chained trials must reproduce unchained results (warm starts are a
@@ -556,7 +578,11 @@ mod tests {
                 run_trial_chained(inst, &lp_cfg, 1000 + i as u64, &mut chain);
             let (cold_outs, cold_diag) = run_trial(inst, &lp_cfg, 1000 + i as u64);
             assert!(
-                (warm_diag.lp_objective - cold_diag.lp_objective).abs() < 1e-6,
+                tol::rel_eq(
+                    warm_diag.lp_objective,
+                    cold_diag.lp_objective,
+                    tol::OBJ_REL_EPS
+                ),
                 "trial {i}: warm obj {} vs cold {}",
                 warm_diag.lp_objective,
                 cold_diag.lp_objective
@@ -564,7 +590,7 @@ mod tests {
             for (w, c) in warm_outs.iter().zip(&cold_outs) {
                 assert_eq!(w.scheme, c.scheme);
                 assert!(
-                    (w.avg_completion - c.avg_completion).abs() < 1e-6,
+                    tol::rel_eq(w.avg_completion, c.avg_completion, tol::OBJ_REL_EPS),
                     "{}: warm {} vs cold {}",
                     w.scheme,
                     w.avg_completion,

@@ -57,6 +57,8 @@ pub fn trivial_lower_bound(instance: &crate::model::Instance) -> f64 {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::model::{Coflow, FlowSpec, Instance};

@@ -189,8 +189,8 @@ pub fn solve_free_paths_lp_edges_on_grid(
             })
             .collect();
 
-        for l in first..nl {
-            x[flat][l] = Some(m.add_unit(0.0, format!("x{flat}:{l}")));
+        for (l, slot) in x[flat].iter_mut().enumerate().skip(first) {
+            *slot = Some(m.add_unit(0.0, format!("x{flat}:{l}")));
         }
         let mut yrow: Vec<Vec<VarId>> = vec![Vec::new(); nl];
         for (l, row) in yrow.iter_mut().enumerate().take(nl).skip(first) {
@@ -201,10 +201,14 @@ pub fn solve_free_paths_lp_edges_on_grid(
         }
 
         // (15) fractions sum to one.
+        #[allow(clippy::unwrap_used)]
+        // lint: allow(no_panic) — x[flat][l] is Some for every l >= first (loop above)
         let terms: Vec<_> = (first..nl).map(|l| (x[flat][l].unwrap(), 1.0)).collect();
         m.add_row_named(Cmp::Eq, 1.0, &terms, format!("sum{flat}"));
         // (16) completion definition.
+        #[allow(clippy::unwrap_used)]
         let mut terms: Vec<_> = (first..nl)
+            // lint: allow(no_panic) — x[flat][l] is Some for every l >= first (loop above)
             .map(|l| (x[flat][l].unwrap(), grid.lower(l)))
             .collect();
         terms.push((cf, -1.0));
@@ -233,8 +237,12 @@ pub fn solve_free_paths_lp_edges_on_grid(
             for v in g.nodes() {
                 let mut terms = std::mem::take(&mut per_node[v.index()]);
                 if v == spec.src {
+                    #[allow(clippy::unwrap_used)]
+                    // lint: allow(no_panic) — x[flat][l] is Some for l >= first
                     terms.push((x[flat][l].unwrap(), -demand_coeff));
                 } else if v == spec.dst {
+                    #[allow(clippy::unwrap_used)]
+                    // lint: allow(no_panic) — x[flat][l] is Some for l >= first
                     terms.push((x[flat][l].unwrap(), demand_coeff));
                 } else if terms.is_empty() {
                     continue;
@@ -247,6 +255,7 @@ pub fn solve_free_paths_lp_edges_on_grid(
     }
 
     // (21) capacity per edge and interval.
+    #[allow(clippy::needless_range_loop)]
     for l in 0..nl {
         let mut per_edge: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); ne];
         for flat in 0..nf {
@@ -426,6 +435,7 @@ pub fn solve_free_paths_lp_paths_on_grid(
 
     // (21) capacity per edge and interval.
     let ne = g.edge_count();
+    #[allow(clippy::needless_range_loop)]
     for l in 0..nl {
         let len = grid.length(l);
         let mut per_edge: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); ne];
@@ -576,8 +586,9 @@ pub fn solve_free_paths_lp_colgen_on_grid(
                 pool.insert_with(flat, pricing::path_signature(p), || p.clone());
             }
             None => {
-                let sp = netpaths::bfs_shortest_path(g, spec.src, spec.dst)
-                    .unwrap_or_else(|| panic!("flow {flat} has no path (disconnected?)"));
+                let sp = netpaths::bfs_shortest_path(g, spec.src, spec.dst).ok_or_else(|| {
+                    LpError::Numerical(format!("flow {flat} has no path (disconnected?)"))
+                })?;
                 hop_budget.push(sp.len() + cfg.path_slack);
                 pool.insert_with(flat, pricing::path_signature(&sp), || sp);
             }
@@ -635,6 +646,8 @@ pub fn solve_free_paths_lp_colgen_on_grid(
     // pooled path (≥ the shortest interned above).
     for (_, flat, spec) in instance.flows() {
         if prescribed[flat] {
+            #[allow(clippy::unwrap_used)]
+            // lint: allow(no_panic) — prescribed[flat] is set only when spec.path is Some
             let p = spec.path.as_ref().unwrap();
             let (pi, _) = pool.insert_with(flat, pricing::path_signature(p), || p.clone());
             let vars = add_path_columns(&mut m, flat, pi, p, spec.size, first_l[flat]);
@@ -658,7 +671,7 @@ pub fn solve_free_paths_lp_colgen_on_grid(
     // Pricing tolerance: a column must beat the simplex's own optimality
     // tolerance to be worth injecting; anything closer to zero is dual
     // noise on an already-optimal master.
-    let price_tol = cfg.solver.tol.max(1e-9);
+    let price_tol = cfg.solver.tol.max(crate::tol::DUAL_EPS);
 
     let (sol, stats) = solve_colgen(&mut m, &cfg.solver, chain, max_rounds, |sol, m| {
         let mut added = 0usize;
@@ -737,6 +750,8 @@ pub fn solve_free_paths_lp_colgen_on_grid(
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::model::{Coflow, FlowSpec, Instance};

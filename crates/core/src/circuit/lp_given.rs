@@ -147,7 +147,11 @@ pub fn solve_given_paths_lp_on_grid(
     for (id, flat, spec) in instance.flows() {
         let mut lb = spec.release;
         if cfg.strengthen {
-            let bottleneck = instance.graph.path_bottleneck(spec.path.as_ref().unwrap());
+            let path = spec
+                .path
+                .as_ref()
+                .ok_or_else(|| LpError::Numerical(format!("flow {flat} has no prescribed path")))?;
+            let bottleneck = instance.graph.path_bottleneck(path);
             if bottleneck.is_finite() && bottleneck > 0.0 {
                 lb += spec.size / bottleneck;
             }
@@ -155,14 +159,18 @@ pub fn solve_given_paths_lp_on_grid(
         let cf = m.add_var(0.0, lb, f64::INFINITY, format!("c{flat}"));
         c_flow.push(cf);
         let first = grid.first_usable(spec.release);
-        for l in first..nl {
-            x[flat][l] = Some(m.add_unit(0.0, format!("x{flat}:{l}")));
+        for (l, slot) in x[flat].iter_mut().enumerate().skip(first) {
+            *slot = Some(m.add_unit(0.0, format!("x{flat}:{l}")));
         }
         // (4) completion fractions sum to one.
+        #[allow(clippy::unwrap_used)]
+        // lint: allow(no_panic) — x[flat][l] is Some for every l >= first (loop above)
         let terms: Vec<_> = (first..nl).map(|l| (x[flat][l].unwrap(), 1.0)).collect();
         m.add_row_named(coflow_lp::Cmp::Eq, 1.0, &terms, format!("sum{flat}"));
         // (5) completion definition.
+        #[allow(clippy::unwrap_used)]
         let mut terms: Vec<_> = (first..nl)
+            // lint: allow(no_panic) — x[flat][l] is Some for every l >= first (loop above)
             .map(|l| (x[flat][l].unwrap(), grid.lower(l)))
             .collect();
         terms.push((cf, -1.0));
@@ -183,7 +191,11 @@ pub fn solve_given_paths_lp_on_grid(
         if spec.size <= 0.0 {
             continue;
         }
-        for &e in spec.path.as_ref().unwrap().edges.iter() {
+        let path = spec
+            .path
+            .as_ref()
+            .ok_or_else(|| LpError::Numerical(format!("flow {flat} has no prescribed path")))?;
+        for &e in path.edges.iter() {
             edge_flows[e.index()].push((flat, spec.size));
         }
     }
@@ -192,6 +204,7 @@ pub fn solve_given_paths_lp_on_grid(
             continue;
         }
         let cap = g.capacity(coflow_net::EdgeId(ei as u32));
+        #[allow(clippy::needless_range_loop)]
         for l in 0..nl {
             let len = grid.length(l);
             let terms: Vec<_> = users
@@ -229,6 +242,8 @@ pub fn solve_given_paths_lp_on_grid(
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::model::{Coflow, FlowSpec, Instance};

@@ -28,7 +28,10 @@ impl IntervalGrid {
         );
         let mut boundaries = vec![0.0, 1.0];
         let growth = 1.0 + eps;
+        #[allow(clippy::unwrap_used)]
+        // lint: allow(no_panic) — boundaries starts with two elements and only grows
         while *boundaries.last().unwrap() < horizon {
+            // lint: allow(no_panic) — boundaries starts with two elements and only grows
             let next = boundaries.last().unwrap() * growth;
             boundaries.push(next);
         }
@@ -63,10 +66,7 @@ impl IntervalGrid {
     pub fn index_of(&self, t: f64) -> usize {
         assert!(t >= 0.0, "negative time {t}");
         // boundaries are strictly increasing from index 1 on.
-        match self
-            .boundaries
-            .binary_search_by(|b| b.partial_cmp(&t).unwrap())
-        {
+        match self.boundaries.binary_search_by(|b| b.total_cmp(&t)) {
             Ok(0) => 0,
             // t equals τ_i exactly: belongs to interval i-1 = (τ_{i-1}, τ_i].
             Ok(i) => (i - 1).min(self.count() - 1),
@@ -93,6 +93,8 @@ impl IntervalGrid {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -21,6 +21,9 @@
 //! [`schedule::PacketSchedule`] (store-and-forward moves), each with a
 //! feasibility checker enforcing the §1.1/§3 constraints.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod bounds;
 pub mod circuit;
@@ -32,6 +35,7 @@ pub mod packet;
 pub mod residual;
 pub mod schedule;
 pub mod switch;
+pub mod tol;
 
 pub use intervals::IntervalGrid;
 pub use model::{Coflow, FlowId, FlowSpec, Instance};

@@ -72,6 +72,8 @@ pub fn metrics(instance: &Instance, flow_completion: &[f64]) -> Metrics {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::model::{Coflow, FlowSpec, Instance};

@@ -72,6 +72,8 @@ pub fn lp_order(instance: &Instance, lp: &CircuitLpSolution) -> Priority {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::intervals::IntervalGrid;

@@ -113,6 +113,8 @@ pub fn route_and_schedule(
             None => netpaths::candidate_paths(g, spec.src, spec.dst, cfg.path_slack, cfg.max_paths),
         };
         assert!(!ps.is_empty(), "packet {flat}: endpoints disconnected");
+        #[allow(clippy::unwrap_used)]
+        // lint: allow(no_panic) — ps is non-empty (asserted just above)
         let shortest = ps.iter().map(Path::len).min().unwrap() as f64;
         let earliest_done = spec.release.ceil() + shortest;
         let cf = m.add_var(
@@ -243,6 +245,8 @@ pub fn route_and_schedule(
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::model::{Coflow, FlowSpec, Instance};

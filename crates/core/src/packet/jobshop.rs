@@ -103,6 +103,8 @@ pub fn schedule_given_paths(
     let mut c_flow = Vec::with_capacity(nf);
     let mut x: Vec<Vec<Option<VarId>>> = vec![vec![None; nl]; nf];
     for (id, flat, spec) in instance.flows() {
+        #[allow(clippy::unwrap_used)]
+        // lint: allow(no_panic) — the job-shop pipeline requires prescribed paths
         let plen = spec.path.as_ref().unwrap().len() as f64;
         // Dilation: completion >= release + path length (each edge takes a
         // step). The earliest usable interval must end at or after that.
@@ -115,12 +117,16 @@ pub fn schedule_given_paths(
         );
         c_flow.push(cf);
         let first = grid.first_usable(earliest_done);
-        for l in first..nl {
-            x[flat][l] = Some(m.add_unit(0.0, format!("x{flat}:{l}")));
+        for (l, slot) in x[flat].iter_mut().enumerate().skip(first) {
+            *slot = Some(m.add_unit(0.0, format!("x{flat}:{l}")));
         }
+        #[allow(clippy::unwrap_used)]
+        // lint: allow(no_panic) — x[flat][l] is Some for every l >= first (loop above)
         let terms: Vec<_> = (first..nl).map(|l| (x[flat][l].unwrap(), 1.0)).collect();
         m.eq(&terms, 1.0);
+        #[allow(clippy::unwrap_used)]
         let mut terms: Vec<_> = (first..nl)
+            // lint: allow(no_panic) — x[flat][l] is Some for every l >= first (loop above)
             .map(|l| (x[flat][l].unwrap(), grid.lower(l)))
             .collect();
         terms.push((cf, -1.0));
@@ -132,6 +138,8 @@ pub fn schedule_given_paths(
     // packets that finish by τ_{ℓ+1} and traverse e number at most τ_{ℓ+1}.
     let mut users: Vec<Vec<usize>> = vec![Vec::new(); g.edge_count()];
     for (_, flat, spec) in instance.flows() {
+        #[allow(clippy::unwrap_used)]
+        // lint: allow(no_panic) — the job-shop pipeline requires prescribed paths
         for &e in spec.path.as_ref().unwrap().edges.iter() {
             users[e.index()].push(flat);
         }
@@ -177,11 +185,13 @@ pub fn schedule_given_paths(
         half[flat] = h;
     }
 
+    #[allow(clippy::unwrap_used)]
     let (schedule, blocks) = schedule_blocks(instance, &half, |flat| {
         instance
             .flow(instance.id_of_flat(flat))
             .path
             .clone()
+            // lint: allow(no_panic) — the job-shop pipeline requires prescribed paths
             .unwrap()
     });
     let completions = schedule.completion_times(instance);
@@ -259,6 +269,8 @@ pub(crate) fn schedule_blocks<F: Fn(usize) -> coflow_net::Path>(
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::model::{Coflow, FlowSpec, Instance};

@@ -70,6 +70,7 @@ pub fn packet_lp_lower_bound_warm(
     // Per flow: z variables on expanded edges (skip edges out of the
     // destination and edges before the release), arrival bookkeeping.
     let nf = instance.flow_count();
+    // lint: allow(hash_order) — per-flow var maps are lookup-only, never iterated
     let mut z: Vec<std::collections::HashMap<u32, VarId>> = Vec::with_capacity(nf);
     let mut c_flow = Vec::with_capacity(nf);
 
@@ -79,6 +80,7 @@ pub fn packet_lp_lower_bound_warm(
             rel < horizon,
             "horizon {horizon} too small for release {rel} of packet {flat}"
         );
+        // lint: allow(hash_order) — lookup-only index from edge id to variable
         let mut vars = std::collections::HashMap::new();
         for e in tx.graph.edges() {
             let (u, v) = tx.graph.endpoints(e);
@@ -120,6 +122,7 @@ pub fn packet_lp_lower_bound_warm(
                     }
                 }
                 let rhs = if v == spec.src && t == rel { 1.0 } else { 0.0 };
+                // lint: allow(float_cmp) — rhs is exactly 0.0 or 1.0 by construction
                 if !terms.is_empty() || rhs != 0.0 {
                     m.add_row_named(
                         coflow_lp::Cmp::Eq,
@@ -283,6 +286,7 @@ pub fn packet_lp_lower_bound_colgen(
         tu >= releases[flat] && bu != spec.dst && !(bv == spec.src && bu != spec.src)
     };
     let arrival_of = |p: &coflow_net::Path| -> usize {
+        // lint: allow(no_panic) — generated packet paths always have at least one edge
         let last = txg.edge_dst(*p.edges.last().expect("packet paths are nonempty"));
         tx.split(last).1
     };
@@ -335,10 +339,12 @@ pub fn packet_lp_lower_bound_colgen(
     // Seed: every pooled path, plus (at least) the earliest-arrival path
     // found by a zero-dual search, plus the big-M relief column.
     let mut relief = Vec::with_capacity(nf);
+    #[allow(clippy::needless_range_loop)]
     for flat in 0..nf {
         if pool.group(flat).is_empty() {
-            let (p, _) = price_search(flat, &|_| 0.0, 1.0)
-                .unwrap_or_else(|| panic!("packet {flat}: destination unreachable in horizon"));
+            let (p, _) = price_search(flat, &|_| 0.0, 1.0).ok_or_else(|| {
+                LpError::Numerical(format!("packet {flat}: destination unreachable in horizon"))
+            })?;
             pool.insert_with(flat, pricing::path_signature(&p), || p);
         }
         let seeds: Vec<(u32, coflow_net::Path)> = pool
@@ -396,6 +402,8 @@ pub fn packet_lp_lower_bound_colgen(
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::model::{Coflow, FlowSpec, Instance};

@@ -98,6 +98,8 @@ pub fn residual_instance(
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use coflow_net::{topo, NodeId};

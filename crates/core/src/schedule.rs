@@ -78,26 +78,42 @@ pub struct CircuitSchedule {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Violation {
     /// A flow's path is missing or not a simple src→dst path.
-    BadPath { flat: usize },
+    BadPath {
+        /// Flat index of the offending flow.
+        flat: usize,
+    },
     /// Segments overlap or are unordered for a flow.
-    BadSegments { flat: usize },
+    BadSegments {
+        /// Flat index of the offending flow.
+        flat: usize,
+    },
     /// A segment starts before the flow's release time.
     ReleaseViolated {
+        /// Flat index of the offending flow.
         flat: usize,
+        /// Start time of the offending segment.
         start: f64,
+        /// The flow's release time.
         release: f64,
     },
     /// Delivered volume differs from the demand by more than tolerance.
     WrongVolume {
+        /// Flat index of the offending flow.
         flat: usize,
+        /// Volume the schedule actually delivers.
         delivered: f64,
+        /// Volume the flow demands.
         size: f64,
     },
     /// An edge is over capacity at some time.
     OverCapacity {
+        /// The overloaded edge.
         edge: EdgeId,
+        /// A time at which the overload occurs.
         time: f64,
+        /// Aggregate bandwidth scheduled across the edge at `time`.
         load: f64,
+        /// The edge's capacity.
         cap: f64,
     },
 }
@@ -212,12 +228,14 @@ impl CircuitSchedule {
             }
             let e = EdgeId(ei as u32);
             let cap = g.capacity(e);
-            events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            events.sort_by(|a, b| a.0.total_cmp(&b.0));
             let mut load = 0.0;
             let mut i = 0;
             while i < events.len() {
                 let t = events[i].0;
-                // Apply all events at identical time together.
+                // Apply all events at identical time together (exact equality:
+                // we group events carrying the same stored value, not a tolerance).
+                #[allow(clippy::float_cmp)]
                 while i < events.len() && events[i].0 == t {
                     load += events[i].1;
                     i += 1;
@@ -266,11 +284,22 @@ pub struct PacketSchedule {
 #[derive(Clone, Debug, PartialEq)]
 pub enum PacketViolation {
     /// Moves don't form a contiguous src→dst walk in time order.
-    BadRoute { flat: usize },
+    BadRoute {
+        /// Flat index of the offending packet.
+        flat: usize,
+    },
     /// First move departs before the packet's (integer-rounded-up) release.
-    ReleaseViolated { flat: usize },
+    ReleaseViolated {
+        /// Flat index of the offending packet.
+        flat: usize,
+    },
     /// Two packets cross the same edge in the same step.
-    EdgeConflict { edge: EdgeId, step: u64 },
+    EdgeConflict {
+        /// The doubly-used edge.
+        edge: EdgeId,
+        /// The step at which both packets cross it.
+        step: u64,
+    },
 }
 
 impl PacketSchedule {
@@ -294,8 +323,8 @@ impl PacketSchedule {
         let mut v = Vec::new();
         let g = &instance.graph;
         assert_eq!(self.packets.len(), instance.flow_count());
-        use std::collections::HashMap;
-        let mut usage: HashMap<(u32, u64), usize> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut usage: BTreeMap<(u64, u32), usize> = BTreeMap::new();
 
         for (_, flat, spec) in instance.flows() {
             let moves = &self.packets[flat];
@@ -323,30 +352,30 @@ impl PacketSchedule {
                 }
                 prev_depart = Some(m.depart);
                 at = g.edge_dst(m.edge);
-                *usage.entry((m.edge.0, m.depart)).or_insert(0) += 1;
+                *usage.entry((m.depart, m.edge.0)).or_insert(0) += 1;
             }
             if !ok || at != spec.dst {
                 v.push(PacketViolation::BadRoute { flat });
             }
         }
-        let mut conflicts: Vec<_> = usage
-            .into_iter()
-            .filter(|&(_, count)| count > 1)
-            .map(|((e, s), _)| PacketViolation::EdgeConflict {
-                edge: EdgeId(e),
-                step: s,
-            })
-            .collect();
-        conflicts.sort_by_key(|c| match c {
-            PacketViolation::EdgeConflict { edge, step } => (*step, edge.0),
-            _ => unreachable!(),
-        });
-        v.extend(conflicts);
+        // BTreeMap iteration is ordered by (step, edge), so conflicts come out
+        // sorted without a post-pass.
+        v.extend(
+            usage
+                .into_iter()
+                .filter(|&(_, count)| count > 1)
+                .map(|((s, e), _)| PacketViolation::EdgeConflict {
+                    edge: EdgeId(e),
+                    step: s,
+                }),
+        );
         v
     }
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::model::{Coflow, FlowSpec, Instance};

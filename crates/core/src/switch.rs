@@ -41,7 +41,10 @@ pub fn switch_instance(
                     );
                     let src = t.hosts[s];
                     let dst = t.hosts[d];
+                    #[allow(clippy::unwrap_used)]
+                    // lint: allow(no_panic) — every host in the synthetic fabric has an uplink
                     let up = g.find_edge(src, g.edge_dst(g.out_edges(src)[0])).unwrap();
+                    // lint: allow(no_panic) — every host in the synthetic fabric has a downlink
                     let down = g.in_edges(dst).first().copied().expect("egress edge");
                     let path = Path::new(vec![up, down]);
                     debug_assert!(g.is_simple_path(&path, src, dst));
@@ -66,6 +69,8 @@ pub fn schedule_switch(
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

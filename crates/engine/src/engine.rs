@@ -240,6 +240,7 @@ pub fn run_trace(
                     order.iter().copied().filter(|&f| is_active(f)).collect();
                 // Defensive: active flows the plan omitted go last, in flat
                 // order (they will be ranked properly at the next epoch).
+                // lint: allow(hash_order) — membership test only, never iterated
                 let in_plan: std::collections::HashSet<usize> = active.iter().copied().collect();
                 active.extend((0..nf).filter(|&f| is_active(f) && !in_plan.contains(&f)));
                 greedy_fill(&paths_flat, &active, &mut rates, &mut residual_cap);
@@ -281,7 +282,9 @@ pub fn run_trace(
         let mut tick = None;
         if cfg.trigger.period.is_some() && (live_admitted || next_arrival.is_some()) {
             tick = cfg.trigger.next_tick(t);
-            next_t = next_t.min(tick.unwrap());
+            if let Some(tk) = tick {
+                next_t = next_t.min(tk);
+            }
         }
         if !next_t.is_finite() {
             // Last resort: idle until the next arrival and force an epoch

@@ -29,6 +29,9 @@
 //!   [`coflow_lp::SolveStats`], serialized through
 //!   [`coflow_workloads::io::Value`].
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod epoch;
 pub mod metrics;
@@ -44,6 +47,8 @@ pub use policy::{
 pub use trace::ArrivalTrace;
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use coflow_core::{Coflow, FlowSpec, Instance};

@@ -197,6 +197,8 @@ impl EngineMetrics {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use coflow_workloads::io::parse_json;

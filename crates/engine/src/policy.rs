@@ -103,6 +103,7 @@ fn route_missing(view: &EpochView<'_>) -> Vec<(usize, Path)> {
             .flow(view.residual.instance.id_of_flat(rflat));
         if view.paths[oflat].is_none() && spec.size > 0.0 {
             let p = netpaths::bfs_shortest_path(g, spec.src, spec.dst)
+                // lint: allow(no_panic) — instance validation checked reachability at admission
                 .expect("instance validated: destination reachable");
             routes.push((oflat, p));
         }
@@ -325,6 +326,7 @@ impl OnlinePolicy for LpOrder {
             ColumnMode::Eager => {
                 self.last_colgen = None;
                 solve_free_paths_lp_paths_on_grid(inst, &self.lp_cfg, grid, &mut self.chain)
+                    // lint: allow(no_panic) — residual instances always admit a feasible LP
                     .expect("residual LP is feasible by construction")
             }
             ColumnMode::Delayed { .. } => {
@@ -338,6 +340,7 @@ impl OnlinePolicy for LpOrder {
                     &mut self.chain,
                     &mut self.pool,
                 )
+                // lint: allow(no_panic) — residual instances always admit a feasible LP
                 .expect("residual LP is feasible by construction");
                 self.last_colgen = Some(cg);
                 lp
@@ -379,6 +382,8 @@ impl OnlinePolicy for LpOrder {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use coflow_core::residual::residual_instance;

@@ -36,12 +36,13 @@ impl ArrivalTrace {
     /// # Panics
     /// If a time is negative or non-finite, or an index repeats.
     pub fn from_events(mut events: Vec<(f64, usize)>) -> Self {
+        // lint: allow(hash_order) — duplicate-detection set, never iterated
         let mut seen = std::collections::HashSet::new();
         for &(t, i) in &events {
             assert!(t >= 0.0 && t.is_finite(), "bad arrival time {t}");
             assert!(seen.insert(i), "coflow {i} arrives twice");
         }
-        events.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         Self { events }
     }
 
@@ -62,6 +63,8 @@ impl ArrivalTrace {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use coflow_core::{Coflow, FlowSpec};

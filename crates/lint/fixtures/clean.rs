@@ -1,0 +1,44 @@
+// lint-fixture-expect:
+// A clean library file: the engine must report nothing at all.
+
+//! Module docs.
+
+use std::collections::BTreeMap;
+
+/// Nearly-equal within `eps` (stands in for `coflow_core::tol::approx_eq`).
+fn approx_eq(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}
+
+/// Sums deterministic map contents; errors instead of panicking.
+fn sum(m: &BTreeMap<u32, f64>) -> Result<f64, String> {
+    let mut acc = 0.0;
+    for (_, v) in m.iter() {
+        if !v.is_finite() {
+            return Err("non-finite value".to_string());
+        }
+        acc += v;
+    }
+    Ok(acc)
+}
+
+/// Strings and comments containing `x.unwrap()` or `a == 0.0` are ignored,
+/// and so is this: `panic!("in a doc comment")`.
+fn doc_noise() -> &'static str {
+    "x.unwrap(); a == 0.0; println!(\"hi\")"
+}
+
+fn drive(m: &BTreeMap<u32, f64>) -> bool {
+    let s = sum(m).unwrap_or(0.0);
+    approx_eq(s, 0.0, 1e-9) || !doc_noise().is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_do_anything() {
+        let v: Option<f64> = Some(1.0);
+        assert!(v.unwrap() == 1.0);
+        println!("test output is fine");
+    }
+}

@@ -1,0 +1,16 @@
+// lint-fixture-expect: float_cmp=3
+// Seeded L2 violations: raw float equality outside the tolerance module.
+
+fn seeded(x: f64, y: f64) -> bool {
+    let a = x == 0.0;
+    let b = y != 1e-6;
+    let c = x == f64::INFINITY;
+    a && b && c
+}
+
+fn fine(n: usize, m: usize, t: (u32, u32)) -> bool {
+    // Integer and tuple-field comparisons must NOT be flagged.
+    let ints = n == m && t.0 == t.1;
+    let range = (0..n).len() == m;
+    ints && range
+}

@@ -1,0 +1,18 @@
+// lint-fixture-expect: hash_order=2
+// Seeded L3 violations: hash-ordered collection imports in library code.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn seeded(m: &HashMap<u32, u32>, s: &HashSet<u32>) -> usize {
+    m.len() + s.len()
+}
+
+mod fine {
+    // BTree collections are deterministic and must NOT be flagged.
+    use std::collections::BTreeMap;
+
+    pub fn ok(m: &BTreeMap<u32, u32>) -> usize {
+        m.len()
+    }
+}

@@ -1,0 +1,13 @@
+// lint-fixture-expect: no_print=3
+// Seeded L4 violations: console output from library code.
+
+fn seeded(x: u32) -> u32 {
+    println!("x = {x}");
+    eprintln!("warning");
+    dbg!(x)
+}
+
+fn fine(x: u32) -> String {
+    // Formatting into values must NOT be flagged.
+    format!("x = {x}")
+}

@@ -1,0 +1,8 @@
+// lint-fixture-expect: crate_attrs=2, unsafe_code=1
+// lint-fixture-class: crate_root
+// Seeded L5 violations: a crate root missing both required attributes,
+// plus a non-allowlisted `unsafe` block.
+
+fn seeded(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,13 @@
+// lint-fixture-expect: bad_marker=1, no_panic=1
+// Marker behavior: a justified marker waives its site; a bare marker is
+// itself a violation and waives nothing.
+
+fn waived(xs: &[u32]) -> u32 {
+    // lint: allow(no_panic) — `xs` is non-empty by construction in new()
+    *xs.first().unwrap()
+}
+
+fn not_waived(xs: &[u32]) -> u32 {
+    // lint: allow(no_panic)
+    *xs.last().unwrap()
+}

@@ -125,6 +125,8 @@ pub fn backend_for(kind: Backend) -> &'static dyn LpBackend {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -23,7 +23,7 @@
 //! resulting point is primally infeasible, the solver silently falls back to
 //! its cold crash basis (recorded in [`SolveStats::warm_used`]).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Status of a variable in a basis snapshot.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -42,16 +42,16 @@ pub(crate) enum SnapStat {
 #[derive(Clone, Debug, Default)]
 pub struct Basis {
     /// Exceptional statuses by variable name (absent = at lower bound).
-    pub(crate) stat: HashMap<String, SnapStat>,
+    pub(crate) stat: BTreeMap<String, SnapStat>,
     /// Names of *rows* whose slack was basic (named rows only). Names
     /// survive arbitrary row reordering between related models.
-    pub(crate) basic_slacks: std::collections::HashSet<String>,
+    pub(crate) basic_slacks: std::collections::BTreeSet<String>,
     /// Original row indices whose slack was basic (recorded for every
     /// basic slack, named or not). Valid as long as the grown model keeps
     /// its predecessor's rows as a prefix — the common growth pattern —
     /// and harmless otherwise: a mis-mapped slack just fails the warm
     /// start's feasibility validation and triggers a cold start.
-    pub(crate) basic_slack_rows: std::collections::HashSet<u32>,
+    pub(crate) basic_slack_rows: std::collections::BTreeSet<u32>,
     /// Original indices of the rows that made it into the snapshot's
     /// *working* problem (survived presolve). A related model's row that is
     /// **not** in this set — presolved away back then (empty or singleton,
@@ -61,7 +61,7 @@ pub struct Basis {
     /// to keep the implied point exactly at the old optimum instead of
     /// letting the basis completion cover such rows with structural
     /// columns and scramble it.
-    pub(crate) kept_rows: std::collections::HashSet<u32>,
+    pub(crate) kept_rows: std::collections::BTreeSet<u32>,
     /// Row count of the model this snapshot was taken from (diagnostics).
     pub(crate) rows: usize,
 }

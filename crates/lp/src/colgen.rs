@@ -38,6 +38,7 @@
 use crate::basis::SolveStats;
 use crate::model::{LpError, Model, Solution, SolverOptions};
 use crate::WarmChain;
+// lint: allow(hash_order) — by_sig is a lookup-only dedup index, never iterated
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -228,6 +229,8 @@ pub fn solve_colgen(
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp, clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use crate::model::Cmp;

@@ -9,6 +9,7 @@
 //! with at most a few hundred rows/columns — tests only.
 
 use crate::model::{Cmp, LpError, Model, Solution, Status};
+use crate::nonzero;
 
 const TOL: f64 = 1e-9;
 
@@ -123,7 +124,7 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
             for i in 0..m {
                 if i != pr {
                     let f = t[i * w + pc];
-                    if f != 0.0 {
+                    if nonzero(f) {
                         for j in 0..w {
                             t[i * w + j] -= f * t[pr * w + j];
                         }
@@ -131,7 +132,7 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
                 }
             }
             let f = obj[pc];
-            if f != 0.0 {
+            if nonzero(f) {
                 for j in 0..w {
                     obj[j] -= f * t[pr * w + j];
                 }
@@ -226,7 +227,7 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
     for i in 0..m {
         let b = basis[i];
         let f = obj[b];
-        if f != 0.0 {
+        if nonzero(f) {
             for j in 0..w {
                 obj[j] -= f * t[i * w + j];
             }
@@ -257,6 +258,8 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use crate::{LpError, Model};
 

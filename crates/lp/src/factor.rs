@@ -16,6 +16,7 @@
 //! [`crate::sparse_lu`] (the production default).
 
 use crate::model::{LpError, SolverOptions};
+use crate::nonzero;
 use crate::sparse_lu::{LuFactors, SparseCol};
 
 /// Linear-algebra contract of a basis representation.
@@ -108,7 +109,7 @@ impl Factorization for DenseInverse {
                     continue;
                 }
                 let f = bmat[r * m + k];
-                if f == 0.0 {
+                if !nonzero(f) {
                     continue;
                 }
                 for c in 0..m {
@@ -132,7 +133,7 @@ impl Factorization for DenseInverse {
         // columns and right-hand sides are sparse.
         self.nz.clear();
         for (r, &v) in x.iter().enumerate() {
-            if v != 0.0 {
+            if nonzero(v) {
                 self.nz.push((r, v));
             }
         }
@@ -151,7 +152,7 @@ impl Factorization for DenseInverse {
         let m = self.m;
         self.nz.clear();
         for (r, &v) in x.iter().enumerate() {
-            if v != 0.0 {
+            if nonzero(v) {
                 self.nz.push((r, v));
             }
         }
@@ -186,7 +187,7 @@ impl Factorization for DenseInverse {
         for c in 0..m {
             let col = &mut self.binv[c * m..c * m + m];
             let t = col[r_leave] / piv;
-            if t == 0.0 {
+            if !nonzero(t) {
                 continue;
             }
             for (ci, wi) in col.iter_mut().zip(w) {
@@ -266,6 +267,8 @@ impl Factorization for SparseLuFactor {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -33,6 +33,12 @@
 //! [`Model::solve_with_basis`] / [`Model::solve_warm`] to reuse the
 //! previous optimal [`Basis`] instead of cold-starting.
 //!
+//! Numerical policy: tolerance-based comparisons go through [`LP_TOL`] (or
+//! an explicit [`SolverOptions::tol`]); *exact* zero tests — sparse kernels
+//! skipping structurally absent entries — go through [`nonzero`], the one
+//! sanctioned raw float comparison in this crate (see the workspace's
+//! `coflow-lint` rule L2).
+//!
 //! ```
 //! use coflow_lp::{Model, Cmp};
 //! // min -x - 2y  s.t.  x + y <= 4, y <= 2, 0 <= x,y
@@ -46,6 +52,9 @@
 //! assert!((sol.value(x) - 2.0).abs() < 1e-7);
 //! assert!((sol.value(y) - 2.0).abs() < 1e-7);
 //! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod backend;
 pub mod basis;
@@ -64,3 +73,19 @@ pub use model::{Cmp, LpError, Model, Pricing, RowId, Solution, SolverOptions, St
 
 /// Default feasibility / optimality tolerance.
 pub const LP_TOL: f64 = 1e-7;
+
+/// Exact structural-nonzero test for sparse kernels.
+///
+/// Sparse factorization, pricing, and residual updates skip entries that
+/// are *exactly* zero — a stored zero contributes nothing regardless of
+/// tolerance, and treating near-zeros as absent would silently drop real
+/// coefficients. This is deliberately an exact IEEE comparison, not a
+/// tolerance: it is the single place the crate is allowed to compare
+/// floats raw (everything tolerance-like goes through [`LP_TOL`] /
+/// [`SolverOptions::tol`](model::SolverOptions::tol)).
+#[inline]
+#[allow(clippy::float_cmp)]
+pub(crate) fn nonzero(x: f64) -> bool {
+    // lint: allow(float_cmp) — the one sanctioned exact comparison in this crate
+    x != 0.0
+}

@@ -2,6 +2,7 @@
 
 use crate::backend::{backend_for, Backend};
 use crate::basis::{Basis, SolveStats};
+use crate::nonzero;
 use crate::{dense, LP_TOL};
 use std::fmt;
 
@@ -278,7 +279,7 @@ impl Model {
         for &(v, c) in terms {
             assert!(c.is_finite(), "coefficient must be finite");
             assert!(v.index() < self.cols.len(), "unknown variable {v:?}");
-            if c != 0.0 {
+            if nonzero(c) {
                 self.triplets.push((id.0, v.0, c));
             }
         }
@@ -297,7 +298,7 @@ impl Model {
                     a += self.triplets[k].2;
                     k += 1;
                 }
-                if a != 0.0 {
+                if nonzero(a) {
                     self.triplets[w] = (r, c, a);
                     w += 1;
                 }
@@ -329,7 +330,7 @@ impl Model {
         for &(r, c) in terms {
             assert!(c.is_finite(), "coefficient must be finite");
             assert!(r.index() < self.rows.len(), "unknown row {r:?}");
-            if c != 0.0 {
+            if nonzero(c) {
                 col.push((r.0, c));
             }
         }
@@ -342,7 +343,7 @@ impl Model {
                 a += col[k].1;
                 k += 1;
             }
-            if a != 0.0 {
+            if nonzero(a) {
                 self.triplets.push((r, v.0, a));
             }
             i = k;
@@ -527,6 +528,8 @@ impl Solution {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp, clippy::needless_range_loop)]
 mod tests {
     use super::*;
 

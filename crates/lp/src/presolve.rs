@@ -181,7 +181,9 @@ pub fn presolve(m: &Model) -> Result<Presolved, LpError> {
                 let &(c, a) = row_terms[r]
                     .iter()
                     .find(|&&(c, _)| !fixed[c as usize])
-                    .expect("free_count says one free var");
+                    .ok_or_else(|| {
+                        LpError::Numerical("singleton row lost its free variable".into())
+                    })?;
                 let j = c as usize;
                 let bound = rhs_adjust[r] / a;
                 let (mut new_lb, mut new_ub) = (f64::NEG_INFINITY, f64::INFINITY);
@@ -197,6 +199,7 @@ pub fn presolve(m: &Model) -> Result<Presolved, LpError> {
                 if new_lb > ub[j] + tol || new_ub < lb[j] - tol {
                     return Err(LpError::Infeasible);
                 }
+                // lint: allow(float_cmp) — infinity is an exact overflow sentinel here
                 if new_lb == f64::INFINITY || new_ub == f64::NEG_INFINITY {
                     // Overflowed division: unsatisfiable direction.
                     return Err(LpError::Infeasible);
@@ -340,6 +343,8 @@ pub(crate) fn postsolve_singleton_duals(m: &Model, pre: &Presolved, tol: f64, du
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp, clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use crate::Model;

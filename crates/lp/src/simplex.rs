@@ -34,6 +34,7 @@
 use crate::basis::{Basis, SnapStat, SolveStats};
 use crate::factor::Factorization;
 use crate::model::{Cmp, LpError, Model, Solution, SolverOptions, Status};
+use crate::nonzero;
 use crate::presolve::Presolved;
 use crate::sparse_lu::{complete_basis, SparseCol};
 
@@ -167,17 +168,14 @@ impl State {
     ) -> Result<(), LpError> {
         let mut r = self.b.clone();
         for j in 0..self.nvars() {
-            if self.vstat[j] == VStat::Basic {
-                continue;
-            }
             // Snap nonbasic to its bound.
             let xb = match self.vstat[j] {
+                VStat::Basic => continue,
                 VStat::AtLower => self.lb[j],
                 VStat::AtUpper => self.ub[j],
-                VStat::Basic => unreachable!(),
             };
             self.x[j] = xb;
-            if xb != 0.0 {
+            if nonzero(xb) {
                 self.for_col(j, |row, v| r[row] -= v * xb);
             }
         }
@@ -270,16 +268,17 @@ fn run_phase<F: Factorization>(
             scanned = nv;
             scan_start = 0;
             for j in 0..nv {
-                let vs = st.vstat[j];
-                if vs == VStat::Basic || st.ub[j] - st.lb[j] <= 0.0 {
+                // Want d < -tol at lower bound, d > tol at upper bound.
+                let sign = match st.vstat[j] {
+                    VStat::Basic => continue,
+                    VStat::AtLower => -1.0,
+                    VStat::AtUpper => 1.0,
+                };
+                if st.ub[j] - st.lb[j] <= 0.0 {
                     continue;
                 }
                 let d = st.reduced_cost(j, costs, &y);
-                let viol = match vs {
-                    VStat::AtLower => -d,
-                    VStat::AtUpper => d,
-                    VStat::Basic => unreachable!(),
-                };
+                let viol = sign * d;
                 if viol > tol {
                     enter = Some((j, d, viol));
                     break;
@@ -294,19 +293,18 @@ fn run_phase<F: Factorization>(
                         j -= nv;
                     }
                     let vs = st.vstat[j];
-                    if vs == VStat::Basic {
-                        continue;
-                    }
+                    // Want d < -tol at lower bound, d > tol at upper bound.
+                    let sign = match vs {
+                        VStat::Basic => continue,
+                        VStat::AtLower => -1.0,
+                        VStat::AtUpper => 1.0,
+                    };
                     // Fixed variables (lb==ub) can never improve.
                     if st.ub[j] - st.lb[j] <= 0.0 {
                         continue;
                     }
                     let d = st.reduced_cost(j, costs, &y);
-                    let viol = match vs {
-                        VStat::AtLower => -d, // want d < -tol
-                        VStat::AtUpper => d,  // want d > tol
-                        VStat::Basic => unreachable!(),
-                    };
+                    let viol = sign * d;
                     if viol > tol {
                         let score = viol * viol / gamma[j];
                         match enter {
@@ -440,7 +438,7 @@ fn run_phase<F: Factorization>(
             // Bound flip: j_in moves to its opposite bound, basis unchanged.
             let t = t_flip;
             for (r, &wr) in w.iter().enumerate() {
-                if wr != 0.0 {
+                if nonzero(wr) {
                     let bj = st.basis[r];
                     st.x[bj] -= s * t * wr;
                 }
@@ -455,7 +453,9 @@ fn run_phase<F: Factorization>(
             continue;
         }
 
-        let (r_lv, _, exact) = leave.expect("bounded ratio test must select a row");
+        let (r_lv, _, exact) = leave.ok_or_else(|| {
+            LpError::Numerical("bounded ratio test selected no leaving row".into())
+        })?;
         let j_out = st.basis[r_lv];
         let t = exact.max(0.0);
 
@@ -484,7 +484,7 @@ fn run_phase<F: Factorization>(
                 }
                 let mut aj = 0.0;
                 st.for_col(j, |r, v| aj += rho[r] * v);
-                if aj != 0.0 {
+                if nonzero(aj) {
                     let cand = aj * aj * ratio2;
                     if cand > gamma[j] {
                         gamma[j] = cand;
@@ -503,15 +503,16 @@ fn run_phase<F: Factorization>(
 
         // Move the point.
         for (r, &wr) in w.iter().enumerate() {
-            if wr != 0.0 {
+            if nonzero(wr) {
                 let bj = st.basis[r];
                 st.x[bj] -= s * t * wr;
             }
         }
-        st.x[j_in] = match st.vstat[j_in] {
-            VStat::AtLower => st.lb[j_in] + t,
-            VStat::AtUpper => st.ub[j_in] - t,
-            VStat::Basic => unreachable!(),
+        // `s` encodes the entering bound: +1 from lower, -1 from upper.
+        st.x[j_in] = if s > 0.0 {
+            st.lb[j_in] + t
+        } else {
+            st.ub[j_in] - t
         };
         // Snap the leaving variable to the bound it hit.
         let swr = s * w[r_lv];
@@ -666,7 +667,8 @@ pub(crate) fn solve_presolved<F: Factorization + Default>(
                 values[p] = match model.rows[kept_rows[new_r] as usize].cmp {
                     Cmp::Le => 1.0,
                     Cmp::Ge => -1.0,
-                    Cmp::Eq => unreachable!(),
+                    // lint: allow(no_panic) — slack_of_row assigns no slack to Eq rows
+                    Cmp::Eq => unreachable!("Eq rows carry no slack column"),
                 };
                 fill[j] += 1;
             }
@@ -912,7 +914,7 @@ fn crash_basis<F: Factorization>(
     let mut resid = st.b.clone();
     for j in 0..n_expl {
         let xj = st.x[j];
-        if xj != 0.0 {
+        if nonzero(xj) {
             st.for_col(j, |r, v| resid[r] -= v * xj);
         }
     }
@@ -925,7 +927,8 @@ fn crash_basis<F: Factorization>(
                 let coef = match model.rows[kept_rows[r] as usize].cmp {
                     Cmp::Le => 1.0,
                     Cmp::Ge => -1.0,
-                    Cmp::Eq => unreachable!(),
+                    // lint: allow(no_panic) — slack_of_row assigns no slack to Eq rows
+                    Cmp::Eq => unreachable!("Eq rows carry no slack column"),
                 };
                 let val = res / coef;
                 if val >= 0.0 {
@@ -1094,16 +1097,13 @@ fn try_warm_start<F: Factorization>(
         st.stats.factor_ms += t0.elapsed().as_secs_f64() * 1e3;
         r.copy_from_slice(&st.b);
         for j in 0..st.nvars() {
-            if st.vstat[j] == VStat::Basic {
-                continue;
-            }
             let xb = match st.vstat[j] {
+                VStat::Basic => continue,
                 VStat::AtLower => st.lb[j],
                 VStat::AtUpper => st.ub[j],
-                VStat::Basic => unreachable!(),
             };
             st.x[j] = xb;
-            if xb != 0.0 {
+            if nonzero(xb) {
                 st.for_col(j, |row, v| r[row] -= v * xb);
             }
         }
@@ -1218,6 +1218,8 @@ fn splitmix_unit(mut x: u64) -> f64 {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use crate::{Backend, LpError, Model, SolverOptions};
 

@@ -24,6 +24,8 @@
 //! an `O(m)` pass per solve is noise next to the avoided `O(m²)` dense
 //! work.
 
+use crate::nonzero;
+
 /// A sparse column: `(row, value)` pairs (unordered, no duplicates).
 pub(crate) type SparseCol = Vec<(u32, f64)>;
 
@@ -68,7 +70,7 @@ pub(crate) fn eliminate(m: usize, cols: &[SparseCol]) -> Elimination {
     let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); m];
     for (c, col) in cols.iter().enumerate() {
         for &(r, v) in col {
-            if v != 0.0 {
+            if nonzero(v) {
                 rows[r as usize].push((c as u32, v));
             }
         }
@@ -138,7 +140,7 @@ pub(crate) fn eliminate(m: usize, cols: &[SparseCol]) -> Elimination {
                     return false;
                 }
                 match rows[r as usize].iter().find(|&&(cc, _)| cc == c as u32) {
-                    Some(&(_, v)) if v != 0.0 => {
+                    Some(&(_, v)) if nonzero(v) => {
                         colmax = colmax.max(v.abs());
                         entries.push((r, v));
                         true
@@ -206,7 +208,7 @@ pub(crate) fn eliminate(m: usize, cols: &[SparseCol]) -> Elimination {
                 .find(|&&(cc, _)| cc == pc as u32)
                 .map(|&(_, v)| v)
                 .unwrap_or(0.0);
-            if arc == 0.0 {
+            if !nonzero(arc) {
                 continue;
             }
             let f = arc / piv;
@@ -277,13 +279,16 @@ pub(crate) fn eliminate(m: usize, cols: &[SparseCol]) -> Elimination {
     e
 }
 
+/// One product-form update: `(position, 1/pivot, [(i, −w_i/pivot)])`.
+type Eta = (u32, f64, Vec<(u32, f64)>);
+
 /// Completed LU factors of a (square, nonsingular) basis, plus the eta file
 /// accumulated by product-form updates.
 pub(crate) struct LuFactors {
     m: usize,
     elim: Elimination,
-    /// Eta file: each entry is `(position, 1/pivot, [(i, −w_i/pivot)])`.
-    etas: Vec<(u32, f64, Vec<(u32, f64)>)>,
+    /// Eta file, in application order.
+    etas: Vec<Eta>,
     /// Nonzeros across the eta file.
     pub eta_nnz: usize,
     /// Scratch (step-indexed / row-indexed) for solves.
@@ -324,7 +329,7 @@ impl LuFactors {
         // Forward: L (in row space).
         for k in 0..self.m {
             let yk = x[e.rp[k] as usize];
-            if yk != 0.0 {
+            if nonzero(yk) {
                 for &(r, f) in &e.lcol[k] {
                     x[r as usize] -= f * yk;
                 }
@@ -336,7 +341,7 @@ impl LuFactors {
             let mut sum = x[e.rp[k] as usize];
             for &(c, v) in &e.urow[k] {
                 let contrib = out[e.step_of_col[c as usize] as usize];
-                if contrib != 0.0 {
+                if nonzero(contrib) {
                     sum -= v * contrib;
                 }
             }
@@ -350,7 +355,7 @@ impl LuFactors {
         // copy is done above — now apply the eta file in order.
         for (pos, d, entries) in &self.etas {
             let xr = x[*pos as usize];
-            if xr != 0.0 {
+            if nonzero(xr) {
                 x[*pos as usize] = d * xr;
                 for &(i, h) in entries {
                     x[i as usize] += h * xr;
@@ -380,7 +385,7 @@ impl LuFactors {
         for k in 0..self.m {
             w[k] /= e.diag[k];
             let wk = w[k];
-            if wk != 0.0 {
+            if nonzero(wk) {
                 for &(c, v) in &e.urow[k] {
                     w[e.step_of_col[c as usize] as usize] -= v * wk;
                 }
@@ -411,7 +416,7 @@ impl LuFactors {
         let d = 1.0 / piv;
         let mut entries: Vec<(u32, f64)> = Vec::new();
         for (i, &wi) in w.iter().enumerate() {
-            if i != r_leave && wi != 0.0 {
+            if i != r_leave && nonzero(wi) {
                 let h = -wi * d;
                 if h.abs() > 1e-14 {
                     entries.push((i as u32, h));
@@ -437,6 +442,8 @@ pub(crate) fn complete_basis(m: usize, candidates: &[SparseCol]) -> (Vec<bool>, 
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -6,6 +6,10 @@
 //! LPs have non-unique optima — but objectives must match and both points
 //! must be feasible).
 
+// Test-local pragmatism: index-based loops mirror the math notation of the
+// reference tableau, and the generated-LP tuples are verbose by nature.
+#![allow(clippy::needless_range_loop, clippy::type_complexity)]
+
 use coflow_lp::{Cmp, LpError, Model, SolverOptions, LP_TOL};
 use proptest::prelude::*;
 

@@ -168,6 +168,7 @@ pub fn max_flow(g: &Graph, src: NodeId, dst: NodeId) -> MaxFlow {
                     bottleneck = bottleneck.min(flow.get(e));
                     cur = g.edge_dst(e);
                 }
+                // lint: allow(no_panic) — BFS reached dst, so every hop has a predecessor
                 Pre::None => unreachable!("path reconstruction hit a gap"),
             }
         }
@@ -183,7 +184,8 @@ pub fn max_flow(g: &Graph, src: NodeId, dst: NodeId) -> MaxFlow {
                     flow.add(e, -bottleneck);
                     cur = g.edge_dst(e);
                 }
-                Pre::None => unreachable!(),
+                // lint: allow(no_panic) — BFS reached dst, so every hop has a predecessor
+                Pre::None => unreachable!("path reconstruction hit a gap"),
             }
         }
         value += bottleneck;
@@ -255,6 +257,8 @@ pub fn decompose_flow(g: &Graph, src: NodeId, dst: NodeId, f: &EdgeFlow) -> Flow
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp, clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use crate::topo;

@@ -236,13 +236,13 @@ impl Graph {
     /// Validates that `path` is a contiguous directed walk from `src` to
     /// `dst` using existing edges, with no repeated *nodes* (simple path).
     pub fn is_simple_path(&self, path: &Path, src: NodeId, dst: NodeId) -> bool {
-        if path.is_empty() {
+        let Some(&last) = path.edges.last() else {
             return src == dst;
-        }
+        };
         if self.edge_src(path.edges[0]) != src {
             return false;
         }
-        if self.edge_dst(*path.edges.last().unwrap()) != dst {
+        if self.edge_dst(last) != dst {
             return false;
         }
         let mut seen = vec![false; self.node_count()];
@@ -338,6 +338,8 @@ impl fmt::Debug for Path {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp, clippy::needless_range_loop)]
 mod tests {
     use super::*;
 

@@ -28,6 +28,9 @@
 //! Everything is deterministic given seeds and has no external native
 //! dependencies.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod flow;
 pub mod graph;
 pub mod paths;

@@ -62,6 +62,7 @@ fn reconstruct(g: &Graph, pred: &[Option<EdgeId>], src: NodeId, dst: NodeId) -> 
     let mut edges = Vec::new();
     let mut cur = dst;
     while cur != src {
+        // lint: allow(no_panic) — callers only reconstruct nodes the search reached
         let e = pred[cur.index()].expect("broken predecessor chain");
         edges.push(e);
         cur = g.edge_src(e);
@@ -333,6 +334,8 @@ pub fn candidate_paths(
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp, clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use crate::topo;

@@ -127,6 +127,8 @@ impl TimeExpandedGraph {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp, clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use crate::topo;

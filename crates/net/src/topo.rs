@@ -137,7 +137,7 @@ pub fn big_switch(n: usize, cap: f64) -> Topology {
 ///   expressed in Gb/s).
 pub fn fat_tree(k: usize, link_cap: f64) -> Topology {
     assert!(
-        k >= 2 && k % 2 == 0,
+        k >= 2 && k.is_multiple_of(2),
         "fat-tree requires even k >= 2, got {k}"
     );
     let half = k / 2;
@@ -284,6 +284,8 @@ pub fn random_host_pair<R: Rng>(t: &Topology, rng: &mut R) -> (NodeId, NodeId) {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp, clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use crate::paths;

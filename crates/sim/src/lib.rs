@@ -19,6 +19,9 @@
 //! [`coflow_core::PacketSchedule`] so tests can re-validate feasibility with
 //! the core checkers — the simulator cannot silently cheat.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod fluid;
 pub mod packetsim;
 

@@ -90,6 +90,8 @@ pub fn generate_packets(topo: &Topology, cfg: &GenConfig) -> Instance {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use coflow_net::topo;

@@ -410,6 +410,7 @@ impl Value {
     /// A non-negative integer strictly below `bound`.
     fn as_index(&self, ctx: &str, bound: usize) -> Result<usize, JsonError> {
         let x = self.as_f64(ctx)?;
+        // lint: allow(float_cmp) — fract() == 0.0 is the exact integrality test
         if x < 0.0 || x.fract() != 0.0 || !x.is_finite() {
             return Err(JsonError::new(format!(
                 "{ctx}: expected a non-negative integer, got {x}"
@@ -486,7 +487,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -526,7 +527,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         self.descend()?;
         let mut pairs = Vec::new();
         if self.peek() == Some(b'}') {
@@ -537,7 +538,7 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_ws();
             let key = self.string()?;
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             pairs.push((key, self.value()?));
             match self.peek() {
                 Some(b',') => self.pos += 1,
@@ -552,7 +553,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         self.descend()?;
         let mut items = Vec::new();
         if self.peek() == Some(b']') {
@@ -648,7 +649,8 @@ impl<'a> Parser<'a> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("malformed number"))?;
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| self.err("malformed number"))
@@ -666,6 +668,8 @@ fn utf8_len(first: u8) -> Option<usize> {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::gen::{generate, GenConfig};

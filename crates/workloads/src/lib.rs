@@ -14,6 +14,9 @@
 //! * [`io`] — JSON (de)serialization of instances for reproducibility
 //!   snapshots.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod gen;
 pub mod io;
 pub mod rng;

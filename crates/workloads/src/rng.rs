@@ -17,6 +17,7 @@ pub fn poisson<R: RngExt + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
         lambda >= 0.0 && lambda.is_finite(),
         "need lambda >= 0, got {lambda}"
     );
+    // lint: allow(float_cmp) — exact zero short-circuit, not a tolerance decision
     if lambda == 0.0 {
         return 0;
     }
@@ -55,6 +56,8 @@ pub fn exponential<R: RngExt + ?Sized>(rng: &mut R, rate: f64) -> f64 {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

@@ -131,6 +131,8 @@ pub fn host(topo: &Topology, i: usize) -> NodeId {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use coflow_net::topo;

@@ -11,6 +11,10 @@
 //! cargo run --release --example mapreduce_shuffle
 //! ```
 
+// Experiment binaries fail fast by design: unwrap/expect on I/O and
+// solver results is the intended error handling here.
+#![allow(clippy::unwrap_used)]
+
 use coflow::prelude::*;
 use coflow::workloads::suite::shuffle_mix;
 

@@ -12,6 +12,10 @@
 //! cargo run --release --example online_arrivals
 //! ```
 
+// Experiment binaries fail fast by design: unwrap/expect on I/O and
+// solver results is the intended error handling here.
+#![allow(clippy::unwrap_used)]
+
 use coflow::prelude::*;
 use coflow::workloads::gen::{generate, GenConfig};
 

@@ -8,6 +8,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Experiment binaries fail fast by design: unwrap/expect on I/O and
+// solver results is the intended error handling here.
+#![allow(clippy::unwrap_used)]
+
 use coflow::prelude::*;
 
 fn main() {

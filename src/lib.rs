@@ -16,6 +16,9 @@
 //! See `README.md` for a tour of the workspace, how to run the
 //! experiment binaries, and the vendored dependency policy.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub use coflow_core as algo;
 pub use coflow_engine as engine;
 pub use coflow_lp as lp;
@@ -49,6 +52,8 @@ pub mod prelude {
 }
 
 #[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::prelude::*;
 

@@ -5,6 +5,9 @@
 //! find a schedule no worse than the priority solution, and on this
 //! instance it actually reaches the optimum 7.
 
+// Tests fail fast by design: unwrap on known-good fixtures is intended.
+#![allow(clippy::unwrap_used)]
+
 use coflow::prelude::*;
 use coflow::workloads::suite::figure1_instance;
 
@@ -96,7 +99,7 @@ fn no_order_beats_7() {
         }
         for i in 0..k {
             heaps(k - 1, perm, visit);
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 perm.swap(i, k - 1);
             } else {
                 perm.swap(0, k - 1);
