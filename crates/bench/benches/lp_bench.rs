@@ -190,9 +190,11 @@ fn bench_raw_simplex(c: &mut Criterion) {
         if n >= 250 {
             g.sample_size(3);
         }
-        g.bench_with_input(BenchmarkId::new("transport", n), &n, |b, &n| {
+        // Build the model once: the sample loop should time the solve, not
+        // the O(n²) topology generation.
+        let m = transport(n);
+        g.bench_with_input(BenchmarkId::new("transport", n), &m, |b, m| {
             b.iter(|| {
-                let m = transport(n);
                 black_box(
                     m.solve_with(&production_opts())
                         .map(|s| s.objective)
@@ -235,6 +237,7 @@ fn fmt_stats(s: &SolveStats) -> String {
             "{{\"iterations\":{},\"phase1_iterations\":{},\"refactorizations\":{},",
             "\"factor_nnz\":{},\"basis_nnz\":{},\"fill_ratio\":{:.4},",
             "\"rows\":{},\"cols\":{},\"warm_attempted\":{},\"warm_used\":{},",
+            "\"allocs\":{},\"scratch_reuse\":{},",
             "\"pricing_ms\":{:.3},\"ftran_btran_ms\":{:.3},\"factor_ms\":{:.3}}}"
         ),
         s.iterations,
@@ -247,6 +250,8 @@ fn fmt_stats(s: &SolveStats) -> String {
         s.cols,
         s.warm_attempted,
         s.warm_used,
+        s.allocs,
+        s.scratch_reuse,
         s.pricing_ms,
         s.ftran_btran_ms,
         s.factor_ms,

@@ -307,6 +307,35 @@ fn main() {
          vs cold-pool {cp_pivots} / {cp_generated} ({pooled_ms:.0} ms vs {cp_ms:.0} ms)"
     );
 
+    // Steady-state allocation audit: one batch instance (every coflow
+    // arrives at t = 0, epochs are completion-triggered), pooled colgen
+    // policy. After the first epoch the LP keeps its shape, so every
+    // later re-solve must run inside retained scratch: allocs == 0 (the
+    // invariant `crates/engine/tests/online_props.rs` asserts; recorded
+    // here so the artifact carries the measured numbers).
+    let batch = generate(
+        &t,
+        &GenConfig {
+            n_coflows: args.coflows,
+            width: args.width,
+            size_mean: 3.0,
+            arrival_rate: 0.0,
+            jitter_rate: 0.0,
+            seed: 0x5EED,
+            ..Default::default()
+        },
+    );
+    let steady = run(&batch, &mut lp_colgen_policy(0, true), &cfg).engine;
+    let steady_solves: Vec<_> = steady.epoch_log.iter().filter_map(|e| e.solve).collect();
+    let allocs_after_first: usize = steady_solves.iter().skip(1).map(|s| s.allocs).sum();
+    let reuse_total: usize = steady_solves.iter().map(|s| s.scratch_reuse).sum();
+    println!(
+        "steady-state scratch: allocs per epoch {:?}, {} reuses total ({} allocs after first epoch)",
+        steady_solves.iter().map(|s| s.allocs).collect::<Vec<_>>(),
+        reuse_total,
+        allocs_after_first
+    );
+
     let doc = Value::Obj(vec![
         ("schema".into(), Value::Str("coflow-online-bench/v1".into())),
         (
@@ -367,6 +396,26 @@ fn main() {
                 ),
                 ("pooled_total_ms".into(), Value::Num(pooled_ms)),
                 ("cold_pool_total_ms".into(), Value::Num(cp_ms)),
+            ]),
+        ),
+        (
+            "steady_state_scratch".into(),
+            Value::Obj(vec![
+                ("epochs".into(), Value::Num(steady_solves.len() as f64)),
+                (
+                    "allocs_per_epoch".into(),
+                    Value::Arr(
+                        steady_solves
+                            .iter()
+                            .map(|s| Value::Num(s.allocs as f64))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "allocs_after_first_epoch".into(),
+                    Value::Num(allocs_after_first as f64),
+                ),
+                ("scratch_reuse_total".into(), Value::Num(reuse_total as f64)),
             ]),
         ),
     ]);

@@ -1,0 +1,286 @@
+//! Perf-regression gate over the committed bench artifacts.
+//!
+//! Usage:
+//! `perf_gate --baseline <old.json> --fresh <new.json> [--max-ratio 1.5] [--min-ms 5.0]`
+//!
+//! Compares the freshly regenerated `results/BENCH_lp.json` /
+//! `results/BENCH_online.json` against the committed baseline and fails
+//! (exit 1) if any matched timing series slowed down by more than
+//! `--max-ratio` (default 1.5×). Timings where **both** sides are under
+//! the `--min-ms` floor (default 5 ms) are reported but never fail the
+//! gate: at that scale the wall clock measures scheduler noise, not the
+//! solver.
+//!
+//! Extracted series per schema:
+//! * `coflow-lp-bench/v2` — `points[].wall_ms_median` keyed by point
+//!   name plus backend (the same point is measured under several
+//!   backends), and `colgen_vs_eager[].colgen_wall_ms` keyed by name.
+//!   Additionally enforces (fresh file only, no baseline needed) that
+//!   the acceptance points `transport/500` and `fat_tree_k8` keep
+//!   colgen at or below eager wall time (`speedup >= 1.0`).
+//! * `coflow-online-bench/v1` — `points[].policies[].total_resolve_ms`
+//!   keyed by `rate=<r>/<policy>`.
+//!
+//! Series present on only one side (new or retired benchmarks) are
+//! reported as informational and skipped.
+
+use std::process::ExitCode;
+
+use coflow_workloads::io::{parse_json, Value};
+
+struct Args {
+    baseline: String,
+    fresh: String,
+    max_ratio: f64,
+    min_ms: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut max_ratio = 1.5;
+    let mut min_ms = 5.0;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--baseline" => baseline = Some(val("--baseline")?),
+            "--fresh" => fresh = Some(val("--fresh")?),
+            "--max-ratio" => {
+                max_ratio = val("--max-ratio")?
+                    .parse()
+                    .map_err(|e| format!("--max-ratio: {e}"))?;
+            }
+            "--min-ms" => {
+                min_ms = val("--min-ms")?
+                    .parse()
+                    .map_err(|e| format!("--min-ms: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("--baseline is required")?,
+        fresh: fresh.ok_or("--fresh is required")?,
+        max_ratio,
+        min_ms,
+    })
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("failed to read {path}: {e}"))?;
+    parse_json(&text).map_err(|e| format!("failed to parse {path}: {e}"))
+}
+
+fn num(v: &Value, key: &str) -> Option<f64> {
+    match v.lookup(key) {
+        Some(Value::Num(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn text<'a>(v: &'a Value, key: &str) -> Option<&'a str> {
+    match v.lookup(key) {
+        Some(Value::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn arr<'a>(v: &'a Value, key: &str) -> &'a [Value] {
+    match v.lookup(key) {
+        Some(Value::Arr(items)) => items,
+        _ => &[],
+    }
+}
+
+/// Flattens one bench artifact into `(series label, wall ms)` pairs.
+fn extract_series(doc: &Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    match text(doc, "schema") {
+        Some(s) if s.starts_with("coflow-lp-bench/") => {
+            for p in arr(doc, "points") {
+                if let (Some(name), Some(ms)) = (text(p, "name"), num(p, "wall_ms_median")) {
+                    // The same point name can appear under several
+                    // backends (sparse LU, dense baseline, colgen) —
+                    // the backend is part of the series identity.
+                    let backend = text(p, "backend").unwrap_or("default");
+                    out.push((format!("{name}[{backend}]"), ms));
+                }
+            }
+            for p in arr(doc, "colgen_vs_eager") {
+                if let (Some(name), Some(ms)) = (text(p, "name"), num(p, "colgen_wall_ms")) {
+                    out.push((format!("colgen/{name}"), ms));
+                }
+            }
+        }
+        Some(s) if s.starts_with("coflow-online-bench/") => {
+            for p in arr(doc, "points") {
+                let Some(rate) = num(p, "arrival_rate") else {
+                    continue;
+                };
+                for pol in arr(p, "policies") {
+                    if let (Some(name), Some(ms)) =
+                        (text(pol, "policy"), num(pol, "total_resolve_ms"))
+                    {
+                        out.push((format!("rate={rate}/{name}"), ms));
+                    }
+                }
+            }
+        }
+        other => {
+            eprintln!("warning: unrecognized schema {other:?}; no series extracted");
+        }
+    }
+    out
+}
+
+/// The intra-file acceptance guard: on LP artifacts, the named colgen
+/// points must not be slower than eager enumeration.
+fn colgen_acceptance(fresh: &Value) -> Vec<String> {
+    const GUARDED: [&str; 2] = ["transport/500", "fat_tree_k8"];
+    let mut failures = Vec::new();
+    if !text(fresh, "schema").is_some_and(|s| s.starts_with("coflow-lp-bench/")) {
+        return failures;
+    }
+    for p in arr(fresh, "colgen_vs_eager") {
+        let Some(name) = text(p, "name") else {
+            continue;
+        };
+        if !GUARDED.iter().any(|g| name.contains(g)) {
+            continue;
+        }
+        let (Some(colgen), Some(eager)) = (num(p, "colgen_wall_ms"), num(p, "eager_wall_ms"))
+        else {
+            failures.push(format!("{name}: missing colgen/eager wall times"));
+            continue;
+        };
+        if colgen > eager {
+            failures.push(format!(
+                "{name}: colgen {colgen:.3} ms slower than eager {eager:.3} ms"
+            ));
+        } else {
+            println!("colgen acceptance OK: {name}: {colgen:.3} ms <= eager {eager:.3} ms");
+        }
+    }
+    failures
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let baseline = load(&args.baseline)?;
+    let fresh = load(&args.fresh)?;
+    let base_series = extract_series(&baseline);
+    let fresh_series = extract_series(&fresh);
+
+    let mut failures = Vec::new();
+    for (name, new_ms) in &fresh_series {
+        let Some((_, old_ms)) = base_series.iter().find(|(n, _)| n == name) else {
+            println!("  new series (no baseline): {name}: {new_ms:.3} ms");
+            continue;
+        };
+        let ratio = if *old_ms > 0.0 { new_ms / old_ms } else { 1.0 };
+        let noise_floor = *old_ms < args.min_ms && *new_ms < args.min_ms;
+        let verdict = if ratio > args.max_ratio && !noise_floor {
+            failures.push(format!(
+                "{name}: {old_ms:.3} ms -> {new_ms:.3} ms ({ratio:.2}x > {:.2}x)",
+                args.max_ratio
+            ));
+            "REGRESSION"
+        } else if noise_floor {
+            "ok (below noise floor)"
+        } else {
+            "ok"
+        };
+        println!("  {name}: {old_ms:.3} ms -> {new_ms:.3} ms ({ratio:.2}x) {verdict}");
+    }
+    for (name, old_ms) in &base_series {
+        if !fresh_series.iter().any(|(n, _)| n == name) {
+            println!("  retired series (baseline only): {name}: {old_ms:.3} ms");
+        }
+    }
+    failures.extend(colgen_acceptance(&fresh));
+
+    if failures.is_empty() {
+        println!(
+            "perf gate OK: {} series within {:.2}x of {}",
+            fresh_series.len(),
+            args.max_ratio,
+            args.baseline
+        );
+        Ok(true)
+    } else {
+        eprintln!("perf gate FAILED ({} regressions):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: perf_gate --baseline <old.json> --fresh <new.json> \
+                 [--max-ratio 1.5] [--min-ms 5.0]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp_doc(transport_ms: f64, colgen_ms: f64, eager_ms: f64) -> Value {
+        parse_json(&format!(
+            r#"{{
+              "schema": "coflow-lp-bench/v2",
+              "points": [{{"name": "raw_simplex/transport/100", "backend": "sparse-lu",
+                           "wall_ms_median": {transport_ms}}}],
+              "colgen_vs_eager": [{{"name": "raw_simplex/transport/500",
+                                    "colgen_wall_ms": {colgen_ms},
+                                    "eager_wall_ms": {eager_ms}}}]
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn extracts_both_lp_series_kinds() {
+        let series = extract_series(&lp_doc(21.0, 15.0, 140.0));
+        assert_eq!(
+            series,
+            vec![
+                ("raw_simplex/transport/100[sparse-lu]".to_string(), 21.0),
+                ("colgen/raw_simplex/transport/500".to_string(), 15.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn extracts_online_series() {
+        let doc = parse_json(
+            r#"{"schema": "coflow-online-bench/v1",
+                "points": [{"arrival_rate": 0.25,
+                            "policies": [{"policy": "LpOrder", "total_resolve_ms": 27.5}]}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            extract_series(&doc),
+            vec![("rate=0.25/LpOrder".to_string(), 27.5)]
+        );
+    }
+
+    #[test]
+    fn colgen_acceptance_flags_slowdown_past_eager() {
+        assert!(colgen_acceptance(&lp_doc(21.0, 15.0, 140.0)).is_empty());
+        let bad = colgen_acceptance(&lp_doc(21.0, 150.0, 140.0));
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("transport/500"), "{}", bad[0]);
+    }
+}

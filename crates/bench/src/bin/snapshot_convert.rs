@@ -1,0 +1,103 @@
+//! Convert instance snapshots between the JSON and binary formats.
+//!
+//! Usage: `snapshot_convert <input> <output>`
+//!
+//! The direction is inferred from the file extensions: `.json` is the
+//! textual format (`coflow_workloads::io`), anything else — by
+//! convention `.cofb` — is the binary format (`coflow_workloads::binio`).
+//! Because the binary format stores every `f64` as its exact bit
+//! pattern and the JSON writer uses shortest round-trip formatting,
+//! `a.json -> b.cofb -> c.json` leaves `c.json` byte-identical to a
+//! re-serialisation of `a.json`.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use coflow_core::Instance;
+use coflow_workloads::{binio, io};
+
+fn is_json(path: &Path) -> bool {
+    path.extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("json"))
+}
+
+fn read_any(path: &Path) -> std::io::Result<Instance> {
+    if is_json(path) {
+        io::load(path)
+    } else {
+        binio::load_bin(path)
+    }
+}
+
+fn write_any(instance: &Instance, path: &Path) -> std::io::Result<()> {
+    if is_json(path) {
+        io::save(instance, path)
+    } else {
+        binio::save_bin(instance, path)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, input, output] = args.as_slice() else {
+        eprintln!("usage: snapshot_convert <input(.json|.cofb)> <output(.json|.cofb)>");
+        return ExitCode::FAILURE;
+    };
+    let (input, output) = (Path::new(input), Path::new(output));
+    let instance = match read_any(input) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: failed to read {}: {e}", input.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = write_any(&instance, output) {
+        eprintln!("error: failed to write {}: {e}", output.display());
+        return ExitCode::FAILURE;
+    }
+    let flows: usize = instance.coflows.iter().map(|c| c.flows.len()).sum();
+    println!(
+        "{} -> {}: {} coflows, {} flows, {} nodes, {} edges",
+        input.display(),
+        output.display(),
+        instance.coflows.len(),
+        flows,
+        instance.graph.node_count(),
+        instance.graph.edge_count()
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coflow_workloads::gen::{generate, GenConfig};
+
+    #[test]
+    fn json_to_bin_to_json_via_files_is_byte_identical() {
+        let t = coflow_net::topo::fat_tree(4, 1.0);
+        let inst = generate(
+            &t,
+            &GenConfig {
+                n_coflows: 3,
+                width: 2,
+                seed: 42,
+                ..Default::default()
+            },
+        );
+        let dir = std::env::temp_dir().join("coflow_snapshot_convert_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.json");
+        let b = dir.join("b.cofb");
+        let c = dir.join("c.json");
+        io::save(&inst, &a).unwrap();
+        write_any(&read_any(&a).unwrap(), &b).unwrap();
+        write_any(&read_any(&b).unwrap(), &c).unwrap();
+        assert_eq!(
+            std::fs::read(&a).unwrap(),
+            std::fs::read(&c).unwrap(),
+            "JSON -> binary -> JSON must be byte-identical"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

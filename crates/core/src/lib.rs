@@ -14,7 +14,8 @@
 //! | §4    | [`baselines`], [`order`] | Baseline / Schedule-only / Route-only heuristics and LP-completion-time orderings |
 //! | §1.3  | [`switch`] | the non-blocking-switch (task-based / concurrent-open-shop) special case |
 //! | Lem. 4/5/7 | [`bounds`] | LP-derived lower bounds for empirical approximation ratios |
-//! | online | [`residual`] | residual instances (remaining sizes, frozen completed flows) for the online engine's epoch re-solves |
+//! | online | [`residual`] | residual instances (remaining sizes, frozen completed flows) updated in place for the online engine's epoch re-solves |
+//! | —     | [`flat`] | structure-of-arrays [`FlatInstance`] view for allocation-free hot loops |
 //!
 //! Schedules are explicit, checkable artifacts: [`schedule::CircuitSchedule`]
 //! (piecewise-constant bandwidths, Lemma 1) and
@@ -27,6 +28,7 @@
 pub mod baselines;
 pub mod bounds;
 pub mod circuit;
+pub mod flat;
 pub mod intervals;
 pub mod model;
 pub mod objective;
@@ -37,6 +39,7 @@ pub mod schedule;
 pub mod switch;
 pub mod tol;
 
+pub use flat::FlatInstance;
 pub use intervals::IntervalGrid;
 pub use model::{Coflow, FlowId, FlowSpec, Instance};
 pub use objective::{metrics, Metrics};

@@ -115,6 +115,23 @@ impl Instance {
         }
     }
 
+    /// Appends a coflow, extending the flat index (existing flat indices
+    /// are unchanged — the append-only growth the online engine's residual
+    /// bookkeeping relies on).
+    pub fn push_coflow(&mut self, c: Coflow) {
+        let total = *self.offsets.last().unwrap_or(&0);
+        self.offsets.push(total + c.flows.len());
+        self.coflows.push(c);
+    }
+
+    /// Removes every coflow (the flat index becomes empty); the graph is
+    /// kept. Retains allocated capacity for re-population.
+    pub fn clear_coflows(&mut self) {
+        self.coflows.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+    }
+
     /// Total number of flows across all coflows.
     pub fn flow_count(&self) -> usize {
         *self.offsets.last().unwrap_or(&0)

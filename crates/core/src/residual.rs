@@ -13,7 +13,16 @@
 //! Coflows are emitted in **admission order** (the order the engine first
 //! saw them), not original index order, for the same reason: admission only
 //! appends, so residual flat indices are stable for the lifetime of a flow.
+//!
+//! Because admission is append-only, consecutive epochs differ only in the
+//! *values* carried by the residual (remaining sizes, shifted releases,
+//! newly committed paths) plus a suffix of newly admitted coflows — so a
+//! persistent [`ResidualState`] updates the previous epoch's residual **in
+//! place** instead of materializing a new instance per epoch. The one-shot
+//! [`residual_instance`] remains as the stateless entry point (one update
+//! on a fresh state).
 
+use crate::flat::FlatInstance;
 use crate::model::{Coflow, FlowSpec, Instance};
 use coflow_net::Path;
 
@@ -38,14 +47,146 @@ impl Residual {
     }
 }
 
-/// Builds the residual instance at time `now`.
+/// Persistent residual bookkeeping for an epoch loop.
 ///
-/// * `admitted` — original coflow indices in admission order (each at most
-///   once);
-/// * `remaining` — remaining size per **original** flat index (≤ 0 means
-///   the flow completed and is frozen at size 0);
-/// * `paths` — the path each flow has committed to, per original flat
-///   index (`None` = not routed yet; the LP stays free to choose).
+/// Owns one [`Residual`] and re-uses it across epochs: flows already in
+/// the residual get their size/release/path fields overwritten in place,
+/// and only newly admitted coflows append storage. On the steady-state
+/// path (no new admissions) an update allocates nothing.
+#[derive(Clone, Debug)]
+pub struct ResidualState {
+    res: Residual,
+    /// Flat view of the *original* instance: source of unshifted releases
+    /// (and an O(1) duplicate-admission check via `seen`).
+    orig: FlatInstance,
+    seen: Vec<bool>,
+}
+
+impl ResidualState {
+    /// Empty residual bookkeeping for `original` (no coflows admitted).
+    pub fn new(original: &Instance) -> Self {
+        let mut instance = original.clone();
+        instance.clear_coflows();
+        Self {
+            res: Residual {
+                instance,
+                coflow_map: Vec::new(),
+                flat_map: Vec::new(),
+            },
+            orig: original.flatten(),
+            seen: vec![false; original.coflow_count()],
+        }
+    }
+
+    /// The residual as of the last [`ResidualState::update`].
+    pub fn residual(&self) -> &Residual {
+        &self.res
+    }
+
+    /// Consumes the state, yielding the residual.
+    pub fn into_residual(self) -> Residual {
+        self.res
+    }
+
+    /// Brings the residual up to time `now`.
+    ///
+    /// * `admitted` — original coflow indices in admission order; must
+    ///   extend the previous call's list (append-only). A non-extending
+    ///   list falls back to a full rebuild.
+    /// * `remaining` — remaining size per **original** flat index (≤ 0
+    ///   means the flow completed and is frozen at size 0);
+    /// * `paths` — the path each flow has committed to, per original flat
+    ///   index (`None` = not routed yet; the LP stays free to choose).
+    ///   A flow's committed path never changes, so paths already copied
+    ///   into the residual are kept as-is.
+    ///
+    /// # Panics
+    /// If `remaining`/`paths` lengths disagree with the instance or an
+    /// admitted index repeats or is out of range.
+    // lint: hot
+    pub fn update(
+        &mut self,
+        original: &Instance,
+        now: f64,
+        admitted: &[usize],
+        remaining: &[f64],
+        paths: &[Option<Path>],
+    ) -> &Residual {
+        let nf = self.orig.flow_count();
+        assert_eq!(remaining.len(), nf, "remaining must be flat-indexed");
+        assert_eq!(paths.len(), nf, "paths must be flat-indexed");
+
+        // Admission must extend the previous list; anything else (only
+        // possible through direct API use, never from the engine) rebuilds.
+        let extends = admitted.len() >= self.res.coflow_map.len()
+            && self
+                .res
+                .coflow_map
+                .iter()
+                .zip(admitted)
+                .all(|(a, b)| a == b);
+        if !extends {
+            self.res.instance.clear_coflows();
+            self.res.coflow_map.clear();
+            self.res.flat_map.clear();
+            for s in self.seen.iter_mut() {
+                *s = false;
+            }
+        }
+
+        let Residual {
+            instance,
+            coflow_map,
+            flat_map,
+        } = &mut self.res;
+
+        // In-place refresh of coflows already in the residual.
+        let mut rflat = 0usize;
+        for cf in instance.coflows.iter_mut() {
+            for f in cf.flows.iter_mut() {
+                let oflat = flat_map[rflat];
+                f.size = remaining[oflat].max(0.0);
+                f.release = (self.orig.release(oflat) - now).max(0.0);
+                if f.path.is_none() {
+                    if let Some(p) = &paths[oflat] {
+                        f.path = Some(p.clone());
+                    }
+                }
+                rflat += 1;
+            }
+        }
+
+        // Append newly admitted coflows.
+        for &ci in &admitted[coflow_map.len()..] {
+            assert!(
+                !std::mem::replace(&mut self.seen[ci], true),
+                "coflow {ci} admitted twice"
+            );
+            let orig = &original.coflows[ci];
+            let base = self.orig.flows_of(ci).start;
+            let mut flows = Vec::with_capacity(orig.flows.len());
+            for (j, f) in orig.flows.iter().enumerate() {
+                let flat = base + j;
+                flat_map.push(flat);
+                flows.push(FlowSpec {
+                    src: f.src,
+                    dst: f.dst,
+                    size: remaining[flat].max(0.0),
+                    release: (f.release - now).max(0.0),
+                    path: paths[flat].clone(),
+                });
+            }
+            instance.push_coflow(Coflow::new(orig.weight, flows));
+            coflow_map.push(ci);
+        }
+
+        &self.res
+    }
+}
+
+/// Builds the residual instance at time `now` (stateless one-shot; see
+/// [`ResidualState`] for the in-place epoch-loop variant and the meaning
+/// of each argument).
 ///
 /// # Panics
 /// If `remaining`/`paths` lengths disagree with the instance or an
@@ -57,44 +198,9 @@ pub fn residual_instance(
     remaining: &[f64],
     paths: &[Option<Path>],
 ) -> Residual {
-    let nf = original.flow_count();
-    assert_eq!(remaining.len(), nf, "remaining must be flat-indexed");
-    assert_eq!(paths.len(), nf, "paths must be flat-indexed");
-    let mut seen = vec![false; original.coflow_count()];
-    let mut coflows = Vec::with_capacity(admitted.len());
-    let mut flat_map = Vec::new();
-    for &ci in admitted {
-        assert!(
-            !std::mem::replace(&mut seen[ci], true),
-            "coflow {ci} admitted twice"
-        );
-        let orig = &original.coflows[ci];
-        let flows: Vec<FlowSpec> = orig
-            .flows
-            .iter()
-            .enumerate()
-            .map(|(j, f)| {
-                let flat = original.flat_index(crate::model::FlowId {
-                    coflow: ci as u32,
-                    flow: j as u32,
-                });
-                flat_map.push(flat);
-                FlowSpec {
-                    src: f.src,
-                    dst: f.dst,
-                    size: remaining[flat].max(0.0),
-                    release: (f.release - now).max(0.0),
-                    path: paths[flat].clone(),
-                }
-            })
-            .collect();
-        coflows.push(Coflow::new(orig.weight, flows));
-    }
-    Residual {
-        instance: Instance::new(original.graph.clone(), coflows),
-        coflow_map: admitted.to_vec(),
-        flat_map,
-    }
+    let mut st = ResidualState::new(original);
+    st.update(original, now, admitted, remaining, paths);
+    st.into_residual()
 }
 
 #[cfg(test)]
@@ -185,5 +291,61 @@ mod tests {
         let remaining = vec![2.0, 3.0, 4.0];
         let paths = vec![None; 3];
         let _ = residual_instance(&inst, 0.0, &[0, 0], &remaining, &paths);
+    }
+
+    /// A persistent state updated epoch-by-epoch must agree exactly with
+    /// a fresh rebuild at every epoch, while growing only on admission.
+    #[test]
+    fn incremental_updates_match_fresh_rebuilds() {
+        let inst = two_coflows();
+        let mut st = ResidualState::new(&inst);
+        let mut paths = vec![None; 3];
+
+        // Epoch 1: only coflow 0 admitted.
+        let remaining = vec![2.0, 3.0, 4.0];
+        let a = st.update(&inst, 0.0, &[0], &remaining, &paths);
+        let b = residual_instance(&inst, 0.0, &[0], &remaining, &paths);
+        assert_eq!(a.flat_map, b.flat_map);
+        assert_eq!(a.instance.total_size(), b.instance.total_size());
+
+        // Epoch 2: progress on flow 0, a committed path, coflow 1 admitted.
+        let p = coflow_net::paths::bfs_shortest_path(&inst.graph, NodeId(0), NodeId(1)).unwrap();
+        paths[0] = Some(p.clone());
+        let remaining = vec![0.5, 3.0, 4.0];
+        let a = st.update(&inst, 1.5, &[0, 1], &remaining, &paths);
+        let b = residual_instance(&inst, 1.5, &[0, 1], &remaining, &paths);
+        assert_eq!(a.coflow_map, b.coflow_map);
+        assert_eq!(a.flat_map, b.flat_map);
+        for ((_, _, x), (_, _, y)) in a.instance.flows().zip(b.instance.flows()) {
+            assert_eq!(x.size, y.size);
+            assert_eq!(x.release, y.release);
+            assert_eq!(x.path, y.path);
+        }
+
+        // Epoch 3: steady state (no admissions), flow 0 completes.
+        let remaining = vec![0.0, 2.0, 3.5];
+        let a = st.update(&inst, 2.0, &[0, 1], &remaining, &paths);
+        let b = residual_instance(&inst, 2.0, &[0, 1], &remaining, &paths);
+        assert_eq!(a.instance.coflows[0].flows[0].size, 0.0);
+        assert_eq!(a.instance.total_size(), b.instance.total_size());
+        assert_eq!(
+            a.instance.coflows[0].flows[0].path.as_ref(),
+            Some(&p),
+            "committed path survives in-place refresh"
+        );
+    }
+
+    /// A non-extending admission list is legal through the public API and
+    /// falls back to a full rebuild.
+    #[test]
+    fn non_extending_admission_rebuilds() {
+        let inst = two_coflows();
+        let mut st = ResidualState::new(&inst);
+        let paths = vec![None; 3];
+        let remaining = vec![2.0, 3.0, 4.0];
+        st.update(&inst, 0.0, &[0], &remaining, &paths);
+        let r = st.update(&inst, 0.0, &[1, 0], &remaining, &paths);
+        assert_eq!(r.coflow_map, vec![1, 0]);
+        assert_eq!(r.flat_map, vec![2, 0, 1]);
     }
 }

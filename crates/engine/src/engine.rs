@@ -11,7 +11,7 @@
 //!   as flows finish or appear;
 //! * **epoch boundaries** — the subset of events selected by the
 //!   [`EpochTrigger`]. There the engine admits newly arrived coflows,
-//!   rebuilds the [`residual instance`](coflow_core::residual), and asks
+//!   updates the [`residual instance`](coflow_core::residual) in place, and asks
 //!   the [`OnlinePolicy`] for a fresh plan — for [`LpOrder`] that is a
 //!   warm-started LP re-solve whose [`SolveStats`] land in the epoch log.
 //!
@@ -24,7 +24,7 @@ use crate::metrics::{EngineMetrics, EpochRecord};
 use crate::policy::{EpochPlan, EpochView, OnlinePolicy, RatePlan};
 use crate::trace::ArrivalTrace;
 use coflow_core::objective::{metrics, Metrics};
-use coflow_core::residual::residual_instance;
+use coflow_core::residual::ResidualState;
 use coflow_core::schedule::{CircuitSchedule, FlowSchedule};
 use coflow_core::Instance;
 use coflow_net::Path;
@@ -105,16 +105,13 @@ pub fn run_trace(
     );
     let g = &instance.graph;
 
-    let sizes: Vec<f64> = instance.flows().map(|(_, _, s)| s.size).collect();
-    let releases: Vec<f64> = instance.flows().map(|(_, _, s)| s.release).collect();
-    let coflow_of: Vec<usize> = instance
-        .flows()
-        .map(|(id, _, _)| id.coflow as usize)
-        .collect();
+    // Flat SoA view: the per-event loops below only touch scalar fields.
+    let flat = instance.flatten();
 
     let mut admitted_at = vec![f64::INFINITY; ncof];
     let mut admission_order: Vec<usize> = Vec::with_capacity(ncof);
-    let mut remaining = sizes.clone();
+    let mut remaining = flat.sizes().to_vec();
+    let mut rstate = ResidualState::new(instance);
     let mut done = vec![false; nf];
     let mut completion = vec![0.0_f64; nf];
     let mut paths_opt: Vec<Option<Path>> = vec![None; nf];
@@ -142,7 +139,8 @@ pub fn run_trace(
 
     // Effective release: a flow starts no earlier than its coflow's
     // admission.
-    let eff_release = |f: usize, admitted_at: &[f64]| releases[f].max(admitted_at[coflow_of[f]]);
+    let eff_release =
+        |f: usize, admitted_at: &[f64]| flat.release(f).max(admitted_at[flat.coflow_of(f)]);
 
     loop {
         if epoch_due {
@@ -155,24 +153,19 @@ pub fn run_trace(
                 admitted_at[ci] = at;
                 admission_order.push(ci);
                 // Zero-size flows complete the moment they exist.
-                for (j, _) in instance.coflows[ci].flows.iter().enumerate() {
-                    let flat = instance.flat_index(coflow_core::FlowId {
-                        coflow: ci as u32,
-                        flow: j as u32,
-                    });
-                    if sizes[flat] <= 0.0 {
-                        done[flat] = true;
-                        completion[flat] = releases[flat].max(t);
+                for fi in flat.flows_of(ci) {
+                    if flat.size(fi) <= 0.0 {
+                        done[fi] = true;
+                        completion[fi] = flat.release(fi).max(t);
                     }
                 }
                 next_arr += 1;
             }
 
             // --- Re-plan (only when there is live work). ---
-            let live = (0..nf).any(|f| !done[f] && admitted_at[coflow_of[f]].is_finite());
+            let live = (0..nf).any(|f| !done[f] && admitted_at[flat.coflow_of(f)].is_finite());
             if live {
-                let residual =
-                    residual_instance(instance, t, &admission_order, &remaining, &paths_opt);
+                let residual = rstate.update(instance, t, &admission_order, &remaining, &paths_opt);
                 let live_flows = residual
                     .instance
                     .flows()
@@ -182,12 +175,12 @@ pub fn run_trace(
                 plan = policy.plan(&EpochView {
                     now: t,
                     original: instance,
-                    residual: &residual,
+                    residual,
                     paths: &paths_opt,
                 });
                 let resolve_ms = t0.elapsed().as_secs_f64() * 1e3;
                 for (f, p) in std::mem::take(&mut plan.routes) {
-                    if done[f] && sizes[f] <= 0.0 {
+                    if done[f] && flat.size(f) <= 0.0 {
                         continue; // zero-size flows never transmit
                     }
                     assert!(
@@ -230,7 +223,7 @@ pub fn run_trace(
         rates.fill(0.0);
         let is_active = |f: usize| {
             !done[f]
-                && admitted_at[coflow_of[f]].is_finite()
+                && admitted_at[flat.coflow_of(f)].is_finite()
                 && eff_release(f, &admitted_at) <= t + 1e-12
                 && paths_opt[f].is_some()
         };
@@ -265,14 +258,14 @@ pub fn run_trace(
             }
         }
         for f in 0..nf {
-            if !done[f] && admitted_at[coflow_of[f]].is_finite() {
+            if !done[f] && admitted_at[flat.coflow_of(f)].is_finite() {
                 let r = eff_release(f, &admitted_at);
                 if r > t + 1e-12 {
                     next_t = next_t.min(r);
                 }
             }
         }
-        let live_admitted = (0..nf).any(|f| !done[f] && admitted_at[coflow_of[f]].is_finite());
+        let live_admitted = (0..nf).any(|f| !done[f] && admitted_at[flat.coflow_of(f)].is_finite());
         let next_arrival = (next_arr < trace.len()).then(|| trace.events()[next_arr].0);
         if let Some(at) = next_arrival {
             if cfg.trigger.on_arrival {
@@ -306,7 +299,7 @@ pub fn run_trace(
             if rates[f] > 1e-12 {
                 push_segment(&mut schedule.flows[f].segments, t, next_t, rates[f]);
                 remaining[f] -= rates[f] * (next_t - t);
-                let tol = cfg.vol_eps * (1.0 + sizes[f]);
+                let tol = cfg.vol_eps * (1.0 + flat.size(f));
                 if remaining[f] <= tol {
                     remaining[f] = 0.0;
                     done[f] = true;

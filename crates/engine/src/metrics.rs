@@ -114,6 +114,8 @@ impl EngineMetrics {
                 ("cols".into(), Value::Num(s.cols as f64)),
                 ("warm_attempted".into(), Value::Bool(s.warm_attempted)),
                 ("warm_used".into(), Value::Bool(s.warm_used)),
+                ("allocs".into(), Value::Num(s.allocs as f64)),
+                ("scratch_reuse".into(), Value::Num(s.scratch_reuse as f64)),
             ])
         };
         Value::Obj(vec![
@@ -228,6 +230,7 @@ mod tests {
                     iterations: 40,
                     warm_attempted: true,
                     warm_used: true,
+                    scratch_reuse: 7,
                     ..Default::default()
                 }),
                 colgen: Some(ColGenStats {
@@ -251,6 +254,10 @@ mod tests {
         assert_eq!(
             log[0].lookup("solve").unwrap().lookup("warm_used"),
             Some(&Value::Bool(true))
+        );
+        assert_eq!(
+            log[0].lookup("solve").unwrap().lookup("scratch_reuse"),
+            Some(&Value::Num(7.0))
         );
     }
 }

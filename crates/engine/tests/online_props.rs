@@ -205,3 +205,57 @@ fn colgen_pooled_epochs_feasible_and_reuse_columns() {
         "the cross-epoch pool must retain generated paths"
     );
 }
+
+/// Steady-state epoch re-solves run entirely inside retained scratch:
+/// with every coflow arriving at t = 0 there is a single admission, so
+/// after the first epoch the LP keeps its shape (completed flows freeze
+/// at size 0 instead of dropping out) and every warm re-solve through the
+/// pooled colgen policy must report `allocs == 0` — the certificate that
+/// the whole solve (assembly, factorization, pricing, warm-start probing)
+/// was served from capacity retained in the policy's `Scratch`. See the
+/// counting contract on `coflow_lp::scratch`.
+#[test]
+fn steady_state_epochs_allocate_nothing() {
+    let topo = coflow_net::topo::fat_tree(4, 1.0);
+    let inst = generate(
+        &topo,
+        &GenConfig {
+            n_coflows: 5,
+            width: 3,
+            size_mean: 3.0,
+            arrival_rate: 0.0,
+            jitter_rate: 0.0,
+            seed: 11,
+            ..Default::default()
+        },
+    );
+    let lc = FreePathsLpConfig::default();
+    let rc = FreeRoundingConfig {
+        seed: 11,
+        ..Default::default()
+    };
+    let mut pol = LpOrder::colgen(lc, rc);
+    let out = run(&inst, &mut pol, &EngineConfig::default());
+    let solves: Vec<_> = out
+        .engine
+        .epoch_log
+        .iter()
+        .filter_map(|e| e.solve)
+        .collect();
+    assert!(
+        solves.len() >= 2,
+        "need completion-triggered epochs after the first (got {})",
+        solves.len()
+    );
+    assert!(
+        solves[0].scratch_reuse > 0,
+        "even the first epoch's colgen rounds reuse scratch within the solve chain"
+    );
+    for (i, s) in solves.iter().enumerate().skip(1) {
+        assert_eq!(
+            s.allocs, 0,
+            "epoch {i} re-solve allocated outside retained scratch (reuse {})",
+            s.scratch_reuse
+        );
+    }
+}

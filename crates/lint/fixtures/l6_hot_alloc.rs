@@ -1,0 +1,40 @@
+// lint-fixture-expect: hot_alloc=4
+// Seeded L6 violations: allocation inside `// lint: hot` functions.
+
+/// Steady-state kernel: every acquisition must come from retained scratch.
+// lint: hot
+fn seeded(xs: &[u32], buf: &mut Vec<u32>) -> u32 {
+    let scratch: Vec<u32> = Vec::new(); // flagged
+    let doubled: Vec<u32> = xs.iter().map(|x| x * 2).collect(); // flagged
+    let ring = vec![0u32; 8]; // flagged
+    let boxed = Box::new(7u32); // flagged
+    buf.clear();
+    buf.extend_from_slice(xs);
+    scratch.len() as u32 + doubled.len() as u32 + ring[0] + *boxed
+}
+
+/// Same constructs outside a hot function: not L6's business.
+fn fine_cold(xs: &[u32]) -> Vec<u32> {
+    let mut out: Vec<u32> = Vec::new();
+    out.extend(xs.iter().map(|x| x + 1));
+    out
+}
+
+/// A hot function that plays by the rules: clear + extend on reusable
+/// buffers, `with_capacity` for genuinely escaping output.
+// lint: hot
+fn fine_hot(xs: &[u32], buf: &mut Vec<u32>) -> u32 {
+    buf.clear();
+    buf.extend_from_slice(xs);
+    let mut out = Vec::with_capacity(xs.len());
+    out.extend_from_slice(buf);
+    out.iter().sum()
+}
+
+/// A documented escape hatch: the marker waives the rule.
+// lint: hot
+fn waived_hot(xs: &[u32]) -> u32 {
+    // lint: allow(hot_alloc) — output vector escapes into the caller's result
+    let out: Vec<u32> = xs.to_vec().into_iter().collect();
+    out.len() as u32
+}

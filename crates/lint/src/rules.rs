@@ -7,6 +7,7 @@
 //! | L3 | `hash_order` | no `std::collections::HashMap`/`HashSet` imports in library `src/` (iteration order leaks break byte-reproducibility; use `BTreeMap`/`BTreeSet` or justify) |
 //! | L4 | `no_print`   | no `println!` / `eprintln!` / `print!` / `eprint!` / `dbg!` in library `src/` |
 //! | L5 | `crate_attrs` + `unsafe_code` | crate roots carry `#![deny(missing_docs)]` and `#![forbid(unsafe_code)]` (or `deny` where an allowlisted `unsafe` exists); `unsafe` only in allowlisted files with a `// SAFETY:` comment |
+//! | L6 | `hot_alloc`  | no `Vec::new` / `vec![` / `.collect()` / `Box::new` inside a function annotated `// lint: hot` — acquire from reusable scratch or hoist the allocation out |
 //!
 //! Sites with a documented invariant are waived by a marker comment on the
 //! same or the preceding line:
@@ -39,6 +40,7 @@ pub const ALL_RULES: &[&str] = &[
     "no_print",
     "crate_attrs",
     "unsafe_code",
+    "hot_alloc",
     "bad_marker",
 ];
 
@@ -177,6 +179,82 @@ fn looks_float(window: &[u8]) -> bool {
         }
     }
     false
+}
+
+/// The identifier following `::` after byte `e` (`Vec::new` → `new`).
+fn path_seg_after(text: &[u8], mut e: usize) -> Option<&[u8]> {
+    while e < text.len() && text[e].is_ascii_whitespace() {
+        e += 1;
+    }
+    if text.get(e) != Some(&b':') || text.get(e + 1) != Some(&b':') {
+        return None;
+    }
+    e += 2;
+    while e < text.len() && text[e].is_ascii_whitespace() {
+        e += 1;
+    }
+    let s = e;
+    while e < text.len() && is_ident(text[e]) {
+        e += 1;
+    }
+    (e > s).then(|| &text[s..e])
+}
+
+/// Body spans of functions annotated `// lint: hot`: the marker sits on
+/// its own line directly above the item (attributes and doc comments may
+/// intervene); the body is the brace-matched block of the next `fn`.
+fn hot_fn_bodies(raw: &str, cleaned: &Cleaned) -> Vec<(usize, usize)> {
+    let text = &cleaned.text;
+    let mut out = Vec::new();
+    for (idx, line) in raw.lines().enumerate() {
+        // The marker must be a standalone comment line (prose *mentioning*
+        // `// lint: hot` must not annotate whatever function follows it).
+        if !line.trim_start().starts_with("// lint: hot") {
+            continue;
+        }
+        let from = cleaned.line_starts[idx];
+        let Some(fn_pos) = idents(&text[from..])
+            .into_iter()
+            .find(|&(s, e)| &text[from + s..from + e] == b"fn")
+            .map(|(s, _)| from + s)
+        else {
+            continue;
+        };
+        // The body opens at the first `{` after the `fn`; a `;` first means
+        // a bodyless declaration (trait method) — nothing to scan.
+        let mut i = fn_pos;
+        let mut open = None;
+        while i < text.len() {
+            match text[i] {
+                b'{' => {
+                    open = Some(i);
+                    break;
+                }
+                b';' => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        let Some(start) = open else { continue };
+        let mut depth = 0usize;
+        let mut end = start;
+        while end < text.len() {
+            match text[end] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        out.push((start, end));
+    }
+    out
 }
 
 /// The operand window around a comparison operator at `[op, op+2)`:
@@ -340,6 +418,46 @@ pub fn check_file(raw: &str, class: FileClass) -> Vec<Violation> {
             i += 1;
         }
 
+        // L6: allocation calls inside `// lint: hot` functions.
+        for (b0, b1) in hot_fn_bodies(raw, &cleaned) {
+            let body = &text[b0..b1];
+            for &(s, e) in &idents(body) {
+                let tok = &body[s..e];
+                let abs = b0 + s;
+                match tok {
+                    b"Vec" | b"Box" if path_seg_after(body, e) == Some(b"new".as_slice()) => {
+                        let name = String::from_utf8_lossy(tok);
+                        push(
+                            &cleaned,
+                            abs,
+                            "hot_alloc",
+                            format!("`{name}::new` in a `// lint: hot` function — acquire from reusable scratch (prep/reserve) or hoist the allocation out of the hot path"),
+                        );
+                    }
+                    b"vec" if next_nonws(body, e) == Some(b'!') => {
+                        push(
+                            &cleaned,
+                            abs,
+                            "hot_alloc",
+                            "`vec![...]` in a `// lint: hot` function — acquire from reusable scratch (prep/reserve) or hoist the allocation out of the hot path".into(),
+                        );
+                    }
+                    b"collect"
+                        if prev_nonws(body, s) == Some(b'.')
+                            && matches!(next_nonws(body, e), Some(b'(') | Some(b':')) =>
+                    {
+                        push(
+                            &cleaned,
+                            abs,
+                            "hot_alloc",
+                            "`.collect()` in a `// lint: hot` function — fill a reusable buffer with clear + extend instead".into(),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+
         // Unsafe scan (part of L5).
         for &(s, e) in &idents(&cleaned.text) {
             if &cleaned.text[s..e] == b"unsafe" {
@@ -475,6 +593,34 @@ mod tests {
         );
         let good = "//! docs\n#![deny(missing_docs)]\n#![forbid(unsafe_code)]\n";
         assert!(rules_hit(good, root).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_flags_allocation_in_hot_fns_only() {
+        // Outside a hot function: allocation is fine.
+        assert!(rules_hit("fn f() -> Vec<u32> { Vec::new() }", LIB).is_empty());
+        // Inside: all four patterns are flagged.
+        let hot = "// lint: hot\nfn f() { let v: Vec<u32> = Vec::new(); }";
+        assert_eq!(rules_hit(hot, LIB), ["hot_alloc"]);
+        let hot = "// lint: hot\nfn f() { let v = vec![0; 4]; }";
+        assert_eq!(rules_hit(hot, LIB), ["hot_alloc"]);
+        let hot =
+            "// lint: hot\nfn f(xs: &[u32]) { let v: Vec<u32> = xs.iter().copied().collect(); }";
+        assert_eq!(rules_hit(hot, LIB), ["hot_alloc"]);
+        let hot = "// lint: hot\nfn f() { let b = Box::new(3); }";
+        assert_eq!(rules_hit(hot, LIB), ["hot_alloc"]);
+        // Scratch-style reuse and with_capacity stay legal.
+        let ok = "// lint: hot\nfn f(buf: &mut Vec<u32>) { buf.clear(); buf.extend(0..4); let c = Vec::with_capacity(8); }";
+        assert!(rules_hit(ok, LIB).is_empty(), "{:?}", rules_hit(ok, LIB));
+        // The body ends where its braces do: code after is exempt.
+        let after = "// lint: hot\nfn f() {}\nfn g() -> Vec<u32> { Vec::new() }";
+        assert!(rules_hit(after, LIB).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_waivable_with_marker() {
+        let src = "// lint: hot\nfn f() {\n    // lint: allow(hot_alloc) — output vector escapes into the result\n    let v: Vec<u32> = Vec::new();\n    let _ = v;\n}";
+        assert!(rules_hit(src, LIB).is_empty(), "{:?}", rules_hit(src, LIB));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use crate::basis::Basis;
 use crate::factor::{DenseInverse, SparseLuFactor};
 use crate::model::{LpError, Model, Solution, SolverOptions};
+use crate::scratch::Scratch;
 use crate::{dense, presolve, simplex};
 
 /// Which solver implementation [`Model::solve_with`] dispatches to.
@@ -43,13 +44,17 @@ pub trait LpBackend {
 
     /// Solves `model`. `warm` supplies a basis snapshot from a related
     /// model (backends may ignore it); `want_basis` requests a snapshot of
-    /// the final basis (`None` when unsupported or not requested).
+    /// the final basis (`None` when unsupported or not requested);
+    /// `scratch` supplies the reusable workspace — pass the same one
+    /// across a sequence of related solves so steady-state solves run
+    /// allocation-free (backends that don't use workspace ignore it).
     fn solve_model(
         &self,
         model: &Model,
         opts: &SolverOptions,
         warm: Option<&Basis>,
         want_basis: bool,
+        scratch: &mut Scratch,
     ) -> Result<(Solution, Option<Basis>), LpError>;
 }
 
@@ -67,9 +72,10 @@ impl LpBackend for SparseSimplex {
         opts: &SolverOptions,
         warm: Option<&Basis>,
         want_basis: bool,
+        scratch: &mut Scratch,
     ) -> Result<(Solution, Option<Basis>), LpError> {
         let pre = presolve::presolve(model)?;
-        simplex::solve_presolved::<SparseLuFactor>(model, &pre, opts, warm, want_basis)
+        simplex::solve_presolved::<SparseLuFactor>(model, &pre, opts, warm, want_basis, scratch)
     }
 }
 
@@ -87,9 +93,10 @@ impl LpBackend for DenseInverseSimplex {
         opts: &SolverOptions,
         warm: Option<&Basis>,
         want_basis: bool,
+        scratch: &mut Scratch,
     ) -> Result<(Solution, Option<Basis>), LpError> {
         let pre = presolve::presolve(model)?;
-        simplex::solve_presolved::<DenseInverse>(model, &pre, opts, warm, want_basis)
+        simplex::solve_presolved::<DenseInverse>(model, &pre, opts, warm, want_basis, scratch)
     }
 }
 
@@ -107,6 +114,7 @@ impl LpBackend for DenseReference {
         _opts: &SolverOptions,
         _warm: Option<&Basis>,
         want_basis: bool,
+        _scratch: &mut Scratch,
     ) -> Result<(Solution, Option<Basis>), LpError> {
         let sol = dense::solve(model)?;
         // The tableau oracle does not track a bounded-variable basis; an

@@ -14,7 +14,7 @@
 //! and by original row index always (exact whenever the grown model keeps
 //! the old rows as a prefix); rows the mapping cannot account for are
 //! completed by a rank-revealing elimination (see
-//! `sparse_lu::complete_basis`) with a bounded feasibility-repair loop.
+//! `sparse_lu::complete_basis_into`) with a bounded feasibility-repair loop.
 //!
 //! Snapshots only store the *exceptional* statuses (basic, nonbasic at upper
 //! bound); everything else defaults to nonbasic at lower bound, which is
@@ -128,6 +128,14 @@ pub struct SolveStats {
     pub ftran_btran_ms: f64,
     /// Milliseconds spent (re)factorizing the basis.
     pub factor_ms: f64,
+    /// Workspace acquisitions that had to allocate (grow a scratch
+    /// buffer). Zero means the whole solve ran inside capacity retained
+    /// by earlier solves on the same [`Scratch`](crate::Scratch) — the
+    /// steady-state goal of warm-chained epoch re-solves. See the
+    /// counting contract on [`crate::scratch`].
+    pub allocs: usize,
+    /// Workspace acquisitions served from retained scratch capacity.
+    pub scratch_reuse: usize,
 }
 
 impl SolveStats {
@@ -153,6 +161,10 @@ impl SolveStats {
 pub struct WarmChain {
     basis: Option<Basis>,
     stats: ChainStats,
+    /// Reusable solver workspace: buffers and factors retained between
+    /// the chain's solves (cloning a chain resets it — capacity is a
+    /// cache, not state).
+    scratch: crate::scratch::Scratch,
 }
 
 /// Aggregate statistics over a [`WarmChain`]'s solves.
@@ -186,8 +198,8 @@ impl WarmChain {
         opts: &crate::SolverOptions,
     ) -> Result<crate::Solution, crate::LpError> {
         let (sol, next) = match self.basis.take() {
-            Some(b) => model.solve_warm(&b, opts)?,
-            None => model.solve_with_basis(opts)?,
+            Some(b) => model.solve_warm_in(&b, opts, &mut self.scratch)?,
+            None => model.solve_with_basis_in(opts, &mut self.scratch)?,
         };
         self.basis = Some(next);
         self.stats.solves += 1;

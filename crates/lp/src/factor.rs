@@ -17,12 +17,24 @@
 
 use crate::model::{LpError, SolverOptions};
 use crate::nonzero;
+use crate::scratch::{prep, Counters, Scratch};
 use crate::sparse_lu::{LuFactors, SparseCol};
 
 /// Linear-algebra contract of a basis representation.
 pub(crate) trait Factorization {
-    /// Rebuilds the representation from the basis columns (`cols.len() == m`).
-    fn refactor(&mut self, m: usize, cols: &[SparseCol]) -> Result<(), LpError>;
+    /// Rebuilds the representation from the basis columns (`cols.len() == m`),
+    /// counting workspace acquisitions in `cnt`.
+    fn refactor(&mut self, m: usize, cols: &[SparseCol], cnt: &mut Counters)
+        -> Result<(), LpError>;
+    /// Moves any state persisted across solves (e.g. retained LU storage)
+    /// out of the scratch and into this factorization.
+    fn take_from(&mut self, _scratch: &mut Scratch) {}
+    /// Returns persisted state to the scratch for the next solve.
+    fn store_into(self, _scratch: &mut Scratch)
+    where
+        Self: Sized,
+    {
+    }
     /// In place: `x ← B⁻¹ x` (input indexed by row, output by basis position).
     fn ftran(&mut self, x: &mut [f64]);
     /// In place: `x ← B⁻ᵀ x` (input indexed by basis position, output by row).
@@ -54,25 +66,33 @@ pub(crate) struct DenseInverse {
     binv: Vec<f64>,
     scratch: Vec<f64>,
     nz: Vec<(usize, f64)>,
+    bmat: Vec<f64>,
+    inv: Vec<f64>,
 }
 
 impl Factorization for DenseInverse {
-    fn refactor(&mut self, m: usize, cols: &[SparseCol]) -> Result<(), LpError> {
+    fn refactor(
+        &mut self,
+        m: usize,
+        cols: &[SparseCol],
+        cnt: &mut Counters,
+    ) -> Result<(), LpError> {
         self.m = m;
-        self.binv.clear();
-        self.binv.resize(m * m, 0.0);
-        self.scratch.resize(m, 0.0);
+        prep(cnt, &mut self.binv, m * m, 0.0);
+        prep(cnt, &mut self.scratch, m, 0.0);
         if m == 0 {
             return Ok(());
         }
         // Dense B, row-major for cache-friendly row elimination.
-        let mut bmat = vec![0.0; m * m];
+        prep(cnt, &mut self.bmat, m * m, 0.0);
+        let bmat = &mut self.bmat;
         for (k, col) in cols.iter().enumerate() {
             for &(r, v) in col {
                 bmat[r as usize * m + k] = v;
             }
         }
-        let mut inv = vec![0.0; m * m];
+        prep(cnt, &mut self.inv, m * m, 0.0);
+        let inv = &mut self.inv;
         for r in 0..m {
             inv[r * m + r] = 1.0;
         }
@@ -218,18 +238,28 @@ pub(crate) struct SparseLuFactor {
 }
 
 impl Factorization for SparseLuFactor {
-    fn refactor(&mut self, m: usize, cols: &[SparseCol]) -> Result<(), LpError> {
+    fn refactor(
+        &mut self,
+        m: usize,
+        cols: &[SparseCol],
+        cnt: &mut Counters,
+    ) -> Result<(), LpError> {
         if m == 0 {
             self.lu = None;
             return Ok(());
         }
-        match LuFactors::factorize(m, cols) {
-            Ok(lu) => {
-                self.lu = Some(lu);
-                Ok(())
-            }
-            Err(e) => Err(LpError::Numerical(e)),
-        }
+        self.lu
+            .get_or_insert_with(LuFactors::default)
+            .refactor_in_place(m, cols, cnt)
+            .map_err(LpError::Numerical)
+    }
+
+    fn take_from(&mut self, scratch: &mut Scratch) {
+        self.lu = scratch.lu.take();
+    }
+
+    fn store_into(self, scratch: &mut Scratch) {
+        scratch.lu = self.lu;
     }
 
     fn ftran(&mut self, x: &mut [f64]) {
@@ -285,10 +315,11 @@ mod tests {
     #[test]
     fn dense_and_sparse_agree() {
         let cols = cols3();
+        let mut cnt = Counters::default();
         let mut d = DenseInverse::default();
         let mut s = SparseLuFactor::default();
-        d.refactor(3, &cols).unwrap();
-        s.refactor(3, &cols).unwrap();
+        d.refactor(3, &cols, &mut cnt).unwrap();
+        s.refactor(3, &cols, &mut cnt).unwrap();
 
         let b = [1.0, -2.0, 0.5];
         let (mut xd, mut xs) = (b, b);

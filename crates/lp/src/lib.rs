@@ -63,6 +63,7 @@ pub mod dense;
 pub(crate) mod factor;
 pub mod model;
 pub mod presolve;
+pub mod scratch;
 pub mod simplex;
 pub(crate) mod sparse_lu;
 
@@ -70,6 +71,7 @@ pub use backend::{backend_for, Backend, LpBackend};
 pub use basis::{Basis, ChainStats, SolveStats, WarmChain};
 pub use colgen::{solve_colgen, ColGenStats, ColumnPool};
 pub use model::{Cmp, LpError, Model, Pricing, RowId, Solution, SolverOptions, Status, VarId};
+pub use scratch::Scratch;
 
 /// Default feasibility / optimality tolerance.
 pub const LP_TOL: f64 = 1e-7;

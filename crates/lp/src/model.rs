@@ -394,14 +394,14 @@ impl Model {
     /// Solves with explicit options via the configured
     /// [`Backend`](crate::Backend).
     pub fn solve_with(&self, opts: &SolverOptions) -> Result<Solution, LpError> {
-        Ok(self.solve_inner(opts, None, false)?.0)
+        let mut scratch = crate::scratch::Scratch::default();
+        Ok(self.solve_inner(opts, None, false, &mut scratch)?.0)
     }
 
     /// Solves cold and additionally returns a [`Basis`] snapshot for
     /// warm-starting a structurally related (e.g. grown) model.
     pub fn solve_with_basis(&self, opts: &SolverOptions) -> Result<(Solution, Basis), LpError> {
-        let (sol, basis) = self.solve_inner(opts, None, true)?;
-        Ok((sol, basis.unwrap_or_default()))
+        self.solve_with_basis_in(opts, &mut crate::scratch::Scratch::default())
     }
 
     /// Solves warm-started from `basis` (a snapshot of a related model's
@@ -416,7 +416,29 @@ impl Model {
         basis: &Basis,
         opts: &SolverOptions,
     ) -> Result<(Solution, Basis), LpError> {
-        let (sol, out) = self.solve_inner(opts, Some(basis), true)?;
+        self.solve_warm_in(basis, opts, &mut crate::scratch::Scratch::default())
+    }
+
+    /// [`Model::solve_with_basis`] reusing an explicit [`Scratch`]
+    /// workspace — the path [`WarmChain`](crate::WarmChain) takes so its
+    /// solves retain buffer capacity and LU storage across the sequence.
+    pub(crate) fn solve_with_basis_in(
+        &self,
+        opts: &SolverOptions,
+        scratch: &mut crate::scratch::Scratch,
+    ) -> Result<(Solution, Basis), LpError> {
+        let (sol, basis) = self.solve_inner(opts, None, true, scratch)?;
+        Ok((sol, basis.unwrap_or_default()))
+    }
+
+    /// [`Model::solve_warm`] reusing an explicit [`Scratch`] workspace.
+    pub(crate) fn solve_warm_in(
+        &self,
+        basis: &Basis,
+        opts: &SolverOptions,
+        scratch: &mut crate::scratch::Scratch,
+    ) -> Result<(Solution, Basis), LpError> {
+        let (sol, out) = self.solve_inner(opts, Some(basis), true, scratch)?;
         Ok((sol, out.unwrap_or_default()))
     }
 
@@ -425,9 +447,10 @@ impl Model {
         opts: &SolverOptions,
         warm: Option<&Basis>,
         want_basis: bool,
+        scratch: &mut crate::scratch::Scratch,
     ) -> Result<(Solution, Option<Basis>), LpError> {
         let backend = backend_for(opts.backend);
-        let (mut sol, basis) = backend.solve_model(self, opts, warm, want_basis)?;
+        let (mut sol, basis) = backend.solve_model(self, opts, warm, want_basis, scratch)?;
         if opts.verify {
             self.verify_solution(&sol, opts.tol.max(1e-6) * 100.0);
         }

@@ -24,7 +24,7 @@
 //!   onto this one by variable name (slacks by row name or original row
 //!   index); the mapped basic set is completed to a full nonsingular basis
 //!   by a rank-revealing elimination
-//!   ([`crate::sparse_lu::complete_basis`]), preferring each uncovered
+//!   ([`crate::sparse_lu::complete_basis_into`]), preferring each uncovered
 //!   row's slack over its artificial. Basic variables the mapping forces
 //!   outside their bounds are repaired by a bound-shifting "phase 0"
 //!   rather than rejected wholesale; if the repair fails the solver falls
@@ -36,7 +36,11 @@ use crate::factor::Factorization;
 use crate::model::{Cmp, LpError, Model, Solution, SolverOptions, Status};
 use crate::nonzero;
 use crate::presolve::Presolved;
-use crate::sparse_lu::{complete_basis, SparseCol};
+use crate::scratch::{
+    prep, reserve, reserve_pool, AsmBufs, CompleteBufs, Counters, FactorBufs, PhaseBufs, Scratch,
+    WarmBufs,
+};
+use crate::sparse_lu::complete_basis_into;
 
 /// Variable status in the simplex dictionary.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -49,6 +53,7 @@ enum VStat {
 /// Sparse matrix in compressed-sparse-column form over the *working*
 /// variables (reduced structurals followed by slacks). Artificial columns
 /// are unit vectors and handled implicitly.
+#[derive(Default)]
 struct Csc {
     col_ptr: Vec<usize>,
     row_idx: Vec<u32>,
@@ -63,7 +68,11 @@ impl Csc {
     }
 }
 
-struct State {
+/// The simplex working state. Persisted inside [`Scratch`] between solves
+/// so every vector keeps its capacity; [`solve_presolved`] re-lengths and
+/// re-fills each field per solve.
+#[derive(Default)]
+pub(crate) struct State {
     /// Rows of the working problem.
     m: usize,
     /// Number of explicit (structural + slack) columns.
@@ -108,11 +117,18 @@ impl State {
         }
     }
 
-    /// Column `j` as an owned sparse vector (for factorization input).
-    fn sparse_col(&self, j: usize) -> SparseCol {
-        let mut col = SparseCol::new();
-        self.for_col(j, |r, v| col.push((r as u32, v)));
-        col
+    /// Gathers the basis columns into the reusable pool `fx.cols[..m]`
+    /// (for factorization input) and records the basis nnz.
+    fn gather_basis_cols(&mut self, cnt: &mut Counters, fx: &mut FactorBufs) {
+        reserve_pool(cnt, &mut fx.cols, self.m);
+        let mut nnz = 0usize;
+        for (k, &j) in self.basis.iter().enumerate() {
+            let col = &mut fx.cols[k];
+            col.clear();
+            self.for_col(j, |r, v| col.push((r as u32, v)));
+            nnz += col.len();
+        }
+        self.stats.basis_nnz = nnz;
     }
 
     /// FTRAN of column `j`: `w = B⁻¹ a_j` (dense output).
@@ -142,31 +158,42 @@ impl State {
     /// Rebuilds the factorization from the current basis and recomputes the
     /// basic values (clamping arithmetic noise, failing on violations far
     /// beyond tolerance).
-    fn refactorize<F: Factorization>(&mut self, f: &mut F, tol: f64) -> Result<(), LpError> {
+    // lint: hot
+    fn refactorize<F: Factorization>(
+        &mut self,
+        f: &mut F,
+        tol: f64,
+        cnt: &mut Counters,
+        fx: &mut FactorBufs,
+    ) -> Result<(), LpError> {
         if self.m == 0 {
             return Ok(());
         }
         let t0 = std::time::Instant::now();
-        let cols: Vec<SparseCol> = self.basis.iter().map(|&j| self.sparse_col(j)).collect();
-        self.stats.basis_nnz = cols.iter().map(|c| c.len()).sum();
-        f.refactor(self.m, &cols)?;
+        self.gather_basis_cols(cnt, fx);
+        f.refactor(self.m, &fx.cols[..self.m], cnt)?;
         self.stats.refactorizations += 1;
         self.stats.factor_nnz = f.factor_nnz();
         self.stats.factor_ms += t0.elapsed().as_secs_f64() * 1e3;
         let t1 = std::time::Instant::now();
-        self.recompute_basic_values(f, tol)?;
+        self.recompute_basic_values(f, tol, cnt, &mut fx.r)?;
         self.stats.ftran_btran_ms += t1.elapsed().as_secs_f64() * 1e3;
         self.since_refactor = 0;
         Ok(())
     }
 
-    /// Recomputes `x_B = B⁻¹ (b − N x_N)` from the nonbasic point.
+    /// Recomputes `x_B = B⁻¹ (b − N x_N)` from the nonbasic point into the
+    /// reusable work vector `r`.
+    // lint: hot
     fn recompute_basic_values<F: Factorization>(
         &mut self,
         f: &mut F,
         tol: f64,
+        cnt: &mut Counters,
+        r: &mut Vec<f64>,
     ) -> Result<(), LpError> {
-        let mut r = self.b.clone();
+        reserve(cnt, r, self.m);
+        r.extend_from_slice(&self.b);
         for j in 0..self.nvars() {
             // Snap nonbasic to its bound.
             let xb = match self.vstat[j] {
@@ -179,7 +206,7 @@ impl State {
                 self.for_col(j, |row, v| r[row] -= v * xb);
             }
         }
-        f.ftran(&mut r);
+        f.ftran(r);
         // Clamp tiny bound violations introduced by arithmetic noise.
         let big = tol.max(1e-9) * 1e4;
         for (pos, val) in r.iter().enumerate() {
@@ -216,21 +243,27 @@ enum PhaseEnd {
 }
 
 /// Runs simplex iterations until optimality for the given cost vector.
+// lint: hot
+#[allow(clippy::too_many_arguments)]
 fn run_phase<F: Factorization>(
     st: &mut State,
     f: &mut F,
     costs: &[f64],
     opts: &SolverOptions,
     iter_cap: usize,
+    cnt: &mut Counters,
+    ph: &mut PhaseBufs,
+    fx: &mut FactorBufs,
 ) -> Result<PhaseEnd, LpError> {
     let m = st.m;
     let tol = opts.tol;
     let nv = st.nvars();
-    let mut y = vec![0.0; m];
-    let mut w = vec![0.0; m];
-    let mut rho = vec![0.0; m];
+    prep(cnt, &mut ph.y, m, 0.0);
+    prep(cnt, &mut ph.w, m, 0.0);
+    prep(cnt, &mut ph.rho, m, 0.0);
     // Devex reference weights (reset per phase).
-    let mut gamma = vec![1.0_f64; nv];
+    prep(cnt, &mut ph.gamma, nv, 1.0);
+    let PhaseBufs { y, w, rho, gamma } = ph;
     let mut stall = 0usize;
     let mut bland = false;
     let mut local_iters = 0usize;
@@ -252,7 +285,7 @@ fn run_phase<F: Factorization>(
         local_iters += 1;
 
         let t_dual = std::time::Instant::now();
-        st.duals(f, costs, &mut y);
+        st.duals(f, costs, y);
         let t_scan = std::time::Instant::now();
         st.stats.ftran_btran_ms += (t_scan - t_dual).as_secs_f64() * 1e3;
 
@@ -277,7 +310,7 @@ fn run_phase<F: Factorization>(
                 if st.ub[j] - st.lb[j] <= 0.0 {
                     continue;
                 }
-                let d = st.reduced_cost(j, costs, &y);
+                let d = st.reduced_cost(j, costs, y);
                 let viol = sign * d;
                 if viol > tol {
                     enter = Some((j, d, viol));
@@ -303,7 +336,7 @@ fn run_phase<F: Factorization>(
                     if st.ub[j] - st.lb[j] <= 0.0 {
                         continue;
                     }
-                    let d = st.reduced_cost(j, costs, &y);
+                    let d = st.reduced_cost(j, costs, y);
                     let viol = sign * d;
                     if viol > tol {
                         let score = viol * viol / gamma[j];
@@ -338,7 +371,7 @@ fn run_phase<F: Factorization>(
         };
 
         let t_ftran = std::time::Instant::now();
-        st.ftran_col(f, j_in, &mut w);
+        st.ftran_col(f, j_in, w);
         st.stats.ftran_btran_ms += t_ftran.elapsed().as_secs_f64() * 1e3;
         let wmax = w.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
 
@@ -468,7 +501,7 @@ fn run_phase<F: Factorization>(
         let t_devex = std::time::Instant::now();
         let alpha_q = w[r_lv];
         if alpha_q.abs() > 1e-12 {
-            f.binv_row(r_lv, &mut rho);
+            f.binv_row(r_lv, rho);
             let gq = gamma[j_in].max(1.0);
             let ratio2 = gq / (alpha_q * alpha_q);
             let mut overflow = false;
@@ -530,17 +563,17 @@ fn run_phase<F: Factorization>(
         st.vstat[j_in] = VStat::Basic;
         st.basis[r_lv] = j_in;
         st.iterations += 1;
-        match f.update(r_lv, &w) {
+        match f.update(r_lv, w) {
             Ok(()) => {
                 st.since_refactor += 1;
                 if f.wants_refactor(st.since_refactor, opts) {
-                    st.refactorize(f, tol)?;
+                    st.refactorize(f, tol, cnt, fx)?;
                 }
             }
             Err(_) if st.since_refactor > 0 => {
                 // Stale factors produced an untrustworthy pivot: rebuild
                 // from scratch (the basis change is already recorded).
-                st.refactorize(f, tol)?;
+                st.refactorize(f, tol, cnt, fx)?;
             }
             Err(e) => return Err(e),
         }
@@ -550,25 +583,73 @@ fn run_phase<F: Factorization>(
 /// Entry point used by the backends: solve the presolved LP with the given
 /// factorization, optionally warm-starting from `warm` and optionally
 /// extracting the final [`Basis`].
+///
+/// All working storage comes from `scratch`; the per-solve acquisition
+/// counters are reset here and copied into the returned
+/// [`SolveStats::allocs`]/[`SolveStats::scratch_reuse`] fields.
 pub(crate) fn solve_presolved<F: Factorization + Default>(
     model: &Model,
     pre: &Presolved,
     opts: &SolverOptions,
     warm: Option<&Basis>,
     want_basis: bool,
+    scratch: &mut Scratch,
 ) -> Result<(Solution, Option<Basis>), LpError> {
+    scratch.cnt = Counters::default();
     let mut f = F::default();
+    f.take_from(scratch);
+    let res = solve_presolved_inner(model, pre, opts, warm, want_basis, scratch, &mut f);
+    f.store_into(scratch);
+    res.map(|(mut sol, basis)| {
+        sol.stats.allocs = scratch.cnt.allocs;
+        sol.stats.scratch_reuse = scratch.cnt.reuses;
+        (sol, basis)
+    })
+}
+
+/// The body of [`solve_presolved`], with the factorization's persisted
+/// state already moved out of the scratch (so error paths in here lose at
+/// most the retained factors, never corrupt them).
+fn solve_presolved_inner<F: Factorization>(
+    model: &Model,
+    pre: &Presolved,
+    opts: &SolverOptions,
+    warm: Option<&Basis>,
+    want_basis: bool,
+    scratch: &mut Scratch,
+    f: &mut F,
+) -> Result<(Solution, Option<Basis>), LpError> {
+    let Scratch {
+        cnt,
+        state: st,
+        ph,
+        fx,
+        asm,
+        warm: wb,
+        complete,
+        ..
+    } = scratch;
+    let AsmBufs {
+        kept_rows,
+        row_map,
+        col_counts,
+        slack_of_row,
+        fill_ptr,
+        costs1,
+        costs2,
+        y: ydual,
+    } = asm;
     // ---- Assemble the working problem. ----
-    let kept_rows: Vec<u32> = (0..model.num_rows() as u32)
-        .filter(|&r| pre.keep_row[r as usize])
-        .collect();
-    let row_map: Vec<Option<u32>> = {
-        let mut map = vec![None; model.num_rows()];
-        for (new, &old) in kept_rows.iter().enumerate() {
-            map[old as usize] = Some(new as u32);
+    reserve(cnt, kept_rows, model.num_rows());
+    for r in 0..model.num_rows() as u32 {
+        if pre.keep_row[r as usize] {
+            kept_rows.push(r);
         }
-        map
-    };
+    }
+    prep(cnt, row_map, model.num_rows(), None);
+    for (new, &old) in kept_rows.iter().enumerate() {
+        row_map[old as usize] = Some(new as u32);
+    }
     let m = kept_rows.len();
     let n_struct = pre.kept_vars.len();
 
@@ -615,7 +696,7 @@ pub(crate) fn solve_presolved<F: Factorization + Default>(
     }
 
     // Column-sorted triplets over kept rows/vars.
-    let mut col_counts = vec![0usize; n_struct];
+    prep(cnt, col_counts, n_struct, 0usize);
     for &(r, c, _) in &model.triplets {
         if row_map[r as usize].is_some() {
             if let Some(rc) = pre.var_map[c as usize] {
@@ -624,7 +705,7 @@ pub(crate) fn solve_presolved<F: Factorization + Default>(
         }
     }
     // Slack bookkeeping: one slack for each Le/Ge row.
-    let mut slack_of_row: Vec<Option<usize>> = vec![None; m];
+    prep(cnt, slack_of_row, m, None);
     let mut n_slack = 0usize;
     for (new_r, &old_r) in kept_rows.iter().enumerate() {
         match model.rows[old_r as usize].cmp {
@@ -637,85 +718,77 @@ pub(crate) fn solve_presolved<F: Factorization + Default>(
     }
     let n_expl = n_struct + n_slack;
 
-    let mut col_ptr = vec![0usize; n_expl + 1];
-    for j in 0..n_struct {
-        col_ptr[j + 1] = col_ptr[j] + col_counts[j];
-    }
-    for j in n_struct..n_expl {
-        col_ptr[j + 1] = col_ptr[j] + 1;
-    }
-    let nnz = col_ptr[n_expl];
-    let mut row_idx = vec![0u32; nnz];
-    let mut values = vec![0.0f64; nnz];
     {
-        let mut fill = col_ptr.clone();
+        let csc = &mut st.csc;
+        prep(cnt, &mut csc.col_ptr, n_expl + 1, 0usize);
+        for (j, &count) in col_counts.iter().enumerate().take(n_struct) {
+            csc.col_ptr[j + 1] = csc.col_ptr[j] + count;
+        }
+        for j in n_struct..n_expl {
+            csc.col_ptr[j + 1] = csc.col_ptr[j] + 1;
+        }
+        let nnz = csc.col_ptr[n_expl];
+        prep(cnt, &mut csc.row_idx, nnz, 0u32);
+        prep(cnt, &mut csc.values, nnz, 0.0f64);
+        reserve(cnt, fill_ptr, n_expl + 1);
+        fill_ptr.extend_from_slice(&csc.col_ptr);
         for &(r, c, a) in &model.triplets {
             let (Some(nr), Some(nc)) = (row_map[r as usize], pre.var_map[c as usize]) else {
                 continue;
             };
-            let p = fill[nc as usize];
-            row_idx[p] = nr;
-            values[p] = a;
-            fill[nc as usize] += 1;
+            let p = fill_ptr[nc as usize];
+            csc.row_idx[p] = nr;
+            csc.values[p] = a;
+            fill_ptr[nc as usize] += 1;
         }
         // Slack columns.
         for (new_r, slack) in slack_of_row.iter().enumerate() {
             if let Some(si) = slack {
                 let j = n_struct + si;
-                let p = fill[j];
-                row_idx[p] = new_r as u32;
-                values[p] = match model.rows[kept_rows[new_r] as usize].cmp {
+                let p = fill_ptr[j];
+                csc.row_idx[p] = new_r as u32;
+                csc.values[p] = match model.rows[kept_rows[new_r] as usize].cmp {
                     Cmp::Le => 1.0,
                     Cmp::Ge => -1.0,
                     // lint: allow(no_panic) — slack_of_row assigns no slack to Eq rows
                     Cmp::Eq => unreachable!("Eq rows carry no slack column"),
                 };
-                fill[j] += 1;
+                fill_ptr[j] += 1;
             }
         }
     }
     // The model builder merges duplicate terms at `add_row` time, so each
     // CSC column already has unique row indices.
-    let csc = Csc {
-        col_ptr,
-        row_idx,
-        values,
-    };
 
     // Bounds and working arrays.
     let nvars = n_expl + m;
-    let mut lb = vec![0.0; nvars];
-    let mut ub = vec![f64::INFINITY; nvars];
+    prep(cnt, &mut st.lb, nvars, 0.0);
+    prep(cnt, &mut st.ub, nvars, f64::INFINITY);
     for (rj, &oj) in pre.kept_vars.iter().enumerate() {
-        lb[rj] = pre.lb[oj as usize];
-        ub[rj] = pre.ub[oj as usize];
+        st.lb[rj] = pre.lb[oj as usize];
+        st.ub[rj] = pre.ub[oj as usize];
     }
     // Slacks: [0, inf). Artificials: [0, inf) during phase 1.
 
-    let b: Vec<f64> = kept_rows
-        .iter()
-        .map(|&r| pre.rhs_adjust[r as usize])
-        .collect();
+    reserve(cnt, &mut st.b, m);
+    for &r in kept_rows.iter() {
+        st.b.push(pre.rhs_adjust[r as usize]);
+    }
 
-    let mut st = State {
-        m,
-        n_expl,
-        csc,
-        art_sign: vec![1.0; m],
-        b,
-        lb,
-        ub,
-        x: vec![0.0; nvars],
-        vstat: vec![VStat::AtLower; nvars],
-        basis: (0..m).map(|r| n_expl + r).collect(),
-        since_refactor: 0,
-        iterations: 0,
-        stats: SolveStats {
-            rows: m,
-            cols: n_expl,
-            warm_attempted: warm.is_some(),
-            ..Default::default()
-        },
+    st.m = m;
+    st.n_expl = n_expl;
+    prep(cnt, &mut st.art_sign, m, 1.0);
+    prep(cnt, &mut st.x, nvars, 0.0);
+    prep(cnt, &mut st.vstat, nvars, VStat::AtLower);
+    reserve(cnt, &mut st.basis, m);
+    st.basis.extend(n_expl..n_expl + m);
+    st.since_refactor = 0;
+    st.iterations = 0;
+    st.stats = SolveStats {
+        rows: m,
+        cols: n_expl,
+        warm_attempted: warm.is_some(),
+        ..Default::default()
     };
 
     // ---- Warm start: map the snapshot onto this model's variables. ----
@@ -724,12 +797,17 @@ pub(crate) fn solve_presolved<F: Factorization + Default>(
         warm_ready = try_warm_start(
             model,
             pre,
-            &mut st,
-            &mut f,
+            st,
+            f,
             opts,
             snap,
-            &kept_rows,
-            &slack_of_row,
+            kept_rows,
+            slack_of_row,
+            cnt,
+            ph,
+            fx,
+            wb,
+            complete,
         );
         st.stats.warm_used = warm_ready;
     }
@@ -737,13 +815,15 @@ pub(crate) fn solve_presolved<F: Factorization + Default>(
     if !warm_ready {
         crash_basis(
             model,
-            pre,
-            &kept_rows,
-            &slack_of_row,
+            kept_rows,
+            slack_of_row,
             n_struct,
-            &mut st,
-            &mut f,
+            st,
+            f,
             opts,
+            cnt,
+            fx,
+            &mut wb.resid,
         )?;
     }
 
@@ -753,13 +833,13 @@ pub(crate) fn solve_presolved<F: Factorization + Default>(
     // phase 1 (every tied reduced cost spawns a run of degenerate pivots);
     // the jitter breaks ties while keeping the phase-1 optimum's defining
     // property (zero infeasibility ⇔ all artificials at zero) intact.
-    let mut costs1 = vec![0.0; nvars];
+    prep(cnt, costs1, nvars, 0.0);
     for (r, c) in costs1.iter_mut().skip(n_expl).enumerate() {
         *c = 1.0 + opts.phase1_jitter * splitmix_unit(r as u64 + 0x5EED);
     }
     let phase1_needed = st.x[n_expl..].iter().any(|&v| v > opts.tol);
     if phase1_needed {
-        match run_phase(&mut st, &mut f, &costs1, opts, opts.max_iters)? {
+        match run_phase(st, f, costs1, opts, opts.max_iters, cnt, ph, fx)? {
             PhaseEnd::Optimal => {}
             PhaseEnd::Unbounded => {
                 return Err(LpError::Numerical("phase 1 reported unbounded".into()))
@@ -784,7 +864,7 @@ pub(crate) fn solve_presolved<F: Factorization + Default>(
     }
 
     // ---- Phase 2: the real objective. ----
-    let mut costs2 = vec![0.0; nvars];
+    prep(cnt, costs2, nvars, 0.0);
     for (rj, &oj) in pre.kept_vars.iter().enumerate() {
         costs2[rj] = model.cols[oj as usize].cost;
     }
@@ -799,16 +879,16 @@ pub(crate) fn solve_presolved<F: Factorization + Default>(
         }
     }
     let remaining = opts.max_iters.saturating_sub(st.iterations).max(1);
-    match run_phase(&mut st, &mut f, &costs2, opts, remaining)? {
+    match run_phase(st, f, costs2, opts, remaining, cnt, ph, fx)? {
         PhaseEnd::Optimal => {}
         PhaseEnd::Unbounded => return Err(LpError::Unbounded),
     }
 
     // One final refactorization pass for clean values.
-    st.refactorize(&mut f, opts.tol)?;
+    st.refactorize(f, opts.tol, cnt, fx)?;
     // Re-check optimality after the refresh: if the cleaned point lost
     // optimality (rare), resume pivoting once.
-    match run_phase(&mut st, &mut f, &costs2, opts, remaining)? {
+    match run_phase(st, f, costs2, opts, remaining, cnt, ph, fx)? {
         PhaseEnd::Optimal => {}
         PhaseEnd::Unbounded => return Err(LpError::Unbounded),
     }
@@ -818,11 +898,11 @@ pub(crate) fn solve_presolved<F: Factorization + Default>(
     for (rj, &oj) in pre.kept_vars.iter().enumerate() {
         values[oj as usize] = st.x[rj];
     }
-    let mut y = vec![0.0; m];
-    st.duals(&mut f, &costs2, &mut y);
+    prep(cnt, ydual, m, 0.0);
+    st.duals(f, costs2, ydual);
     let mut duals = vec![0.0; model.num_rows()];
     for (new_r, &old_r) in kept_rows.iter().enumerate() {
-        duals[old_r as usize] = y[new_r];
+        duals[old_r as usize] = ydual[new_r];
     }
     crate::presolve::postsolve_singleton_duals(model, pre, opts.tol, &mut duals);
     let objective = model.objective_of(&values);
@@ -883,16 +963,19 @@ pub(crate) fn solve_presolved<F: Factorization + Default>(
 /// at a feasible (nonnegative) value, otherwise fall back to an artificial.
 /// This leaves artificials only on equality rows and on inequality rows
 /// violated at the all-lower-bound point, which slashes phase-1 work.
+// lint: hot
 #[allow(clippy::too_many_arguments)]
 fn crash_basis<F: Factorization>(
     model: &Model,
-    _pre: &Presolved,
     kept_rows: &[u32],
     slack_of_row: &[Option<usize>],
     n_struct: usize,
     st: &mut State,
     f: &mut F,
     opts: &SolverOptions,
+    cnt: &mut Counters,
+    fx: &mut FactorBufs,
+    resid: &mut Vec<f64>,
 ) -> Result<(), LpError> {
     let m = st.m;
     let n_expl = st.n_expl;
@@ -900,7 +983,8 @@ fn crash_basis<F: Factorization>(
     for j in 0..st.nvars() {
         st.vstat[j] = VStat::AtLower;
     }
-    st.basis = (0..m).map(|r| n_expl + r).collect();
+    st.basis.clear();
+    st.basis.extend(n_expl..n_expl + m);
     st.art_sign.iter_mut().for_each(|s| *s = 1.0);
     for j in n_expl..st.nvars() {
         st.lb[j] = 0.0;
@@ -911,7 +995,8 @@ fn crash_basis<F: Factorization>(
     for j in 0..n_expl {
         st.x[j] = st.lb[j];
     }
-    let mut resid = st.b.clone();
+    reserve(cnt, resid, m);
+    resid.extend_from_slice(&st.b);
     for j in 0..n_expl {
         let xj = st.x[j];
         if nonzero(xj) {
@@ -958,7 +1043,7 @@ fn crash_basis<F: Factorization>(
             st.vstat[aj] = VStat::Basic;
         }
     }
-    st.refactorize(f, opts.tol)
+    st.refactorize(f, opts.tol, cnt, fx)
 }
 
 /// Attempts a warm start from `snap`. Returns `true` when a mapped basis
@@ -970,6 +1055,7 @@ fn crash_basis<F: Factorization>(
 /// driven back by a bound-shifting "phase 0" (see inline comments), and a
 /// small residual on artificials is tolerated — phase 1 clears it in far
 /// fewer pivots than a cold start would need.
+// lint: hot
 #[allow(clippy::too_many_arguments)]
 fn try_warm_start<F: Factorization>(
     model: &Model,
@@ -980,6 +1066,11 @@ fn try_warm_start<F: Factorization>(
     snap: &Basis,
     kept_rows: &[u32],
     slack_of_row: &[Option<usize>],
+    cnt: &mut Counters,
+    ph: &mut PhaseBufs,
+    fx: &mut FactorBufs,
+    wb: &mut WarmBufs,
+    complete: &mut CompleteBufs,
 ) -> bool {
     if snap.is_empty() {
         return false;
@@ -987,10 +1078,18 @@ fn try_warm_start<F: Factorization>(
     let m = st.m;
     let n_struct = pre.kept_vars.len();
     let n_expl = st.n_expl;
+    let WarmBufs {
+        cand,
+        uppers,
+        shifted,
+        costs0,
+        r,
+        ..
+    } = wb;
 
     // Map snapshot statuses onto reduced indices by name.
-    let mut cand: Vec<usize> = Vec::new();
-    let mut uppers: Vec<usize> = Vec::new();
+    reserve(cnt, cand, n_struct + m);
+    reserve(cnt, uppers, n_struct);
     for (rj, &oj) in pre.kept_vars.iter().enumerate() {
         match snap.stat.get(&model.cols[oj as usize].name) {
             Some(SnapStat::Basic) => cand.push(rj),
@@ -1038,23 +1137,36 @@ fn try_warm_start<F: Factorization>(
     // Complete the candidate set to a full basis: rank-revealing
     // elimination over the candidate columns, then slack (preferred) or
     // artificial unit columns for uncovered rows.
-    let cand_cols: Vec<SparseCol> = cand.iter().map(|&j| st.sparse_col(j)).collect();
-    let (picked, covered) = complete_basis(m, &cand_cols);
-    let mut basis: Vec<usize> = cand
-        .iter()
-        .zip(&picked)
-        .filter(|&(_, &p)| p)
-        .map(|(&j, _)| j)
-        .collect();
+    reserve_pool(cnt, &mut fx.cols, cand.len());
+    for (k, &j) in cand.iter().enumerate() {
+        let col = &mut fx.cols[k];
+        col.clear();
+        st.for_col(j, |row, v| col.push((row as u32, v)));
+    }
+    complete_basis_into(
+        &mut complete.elim,
+        &mut complete.ws,
+        m,
+        &fx.cols[..cand.len()],
+        cnt,
+    );
+    let picked = &complete.elim.pivoted_col;
+    let covered = &complete.elim.pivoted_row;
+    st.basis.clear();
+    for (&j, &p) in cand.iter().zip(picked) {
+        if p {
+            st.basis.push(j);
+        }
+    }
     for (r, &cov) in covered.iter().enumerate() {
         if !cov {
             match slack_of_row[r] {
-                Some(si) => basis.push(n_struct + si),
-                None => basis.push(n_expl + r),
+                Some(si) => st.basis.push(n_struct + si),
+                None => st.basis.push(n_expl + r),
             }
         }
     }
-    if basis.len() != m {
+    if st.basis.len() != m {
         return false;
     }
 
@@ -1068,28 +1180,27 @@ fn try_warm_start<F: Factorization>(
         st.lb[j] = 0.0;
         st.ub[j] = 0.0;
     }
-    for &j in &basis {
+    for k in 0..m {
+        let j = st.basis[k];
         st.vstat[j] = VStat::Basic;
         if j >= n_expl {
             st.ub[j] = f64::INFINITY; // artificial may carry residual
         }
     }
-    for &j in &uppers {
+    for &j in uppers.iter() {
         if st.vstat[j] != VStat::Basic && st.ub[j].is_finite() {
             st.vstat[j] = VStat::AtUpper;
         }
     }
-    st.basis = basis;
 
     // Factorize and compute the implied basic values, unclamped. A second
     // pass re-factorizes after flipping the sign of any artificial whose
     // implied value came out negative.
-    let mut r = vec![0.0; m];
+    prep(cnt, r, m, 0.0);
     for _pass in 0..2 {
         let t0 = std::time::Instant::now();
-        let cols: Vec<SparseCol> = st.basis.iter().map(|&j| st.sparse_col(j)).collect();
-        st.stats.basis_nnz = cols.iter().map(|c| c.len()).sum();
-        if f.refactor(m, &cols).is_err() {
+        st.gather_basis_cols(cnt, fx);
+        if f.refactor(m, &fx.cols[..m], cnt).is_err() {
             return false;
         }
         st.stats.refactorizations += 1;
@@ -1107,7 +1218,7 @@ fn try_warm_start<F: Factorization>(
                 st.for_col(j, |row, v| r[row] -= v * xb);
             }
         }
-        f.ftran(&mut r);
+        f.ftran(r);
         let mut flipped = false;
         for (pos, &val) in r.iter().enumerate() {
             let j = st.basis[pos];
@@ -1132,8 +1243,8 @@ fn try_warm_start<F: Factorization>(
     // starting a *grown* LP robust: the embedded old optimum is usually a
     // handful of pivots from feasibility, while a cold start would redo
     // the whole phase 1.
-    let mut shifted: Vec<(usize, f64, f64)> = Vec::new();
-    let mut costs0 = vec![0.0; st.nvars()];
+    shifted.clear();
+    prep(cnt, costs0, st.nvars(), 0.0);
     for (pos, &val) in r.iter().enumerate() {
         let j = st.basis[pos];
         if j >= n_expl {
@@ -1166,7 +1277,7 @@ fn try_warm_start<F: Factorization>(
     if shifted.len() * 4 > m {
         // The shift loop above already moved these bounds; the cold crash
         // reuses them, so put them back before bailing.
-        for &(j, lb0, ub0) in &shifted {
+        for &(j, lb0, ub0) in shifted.iter() {
             st.lb[j] = lb0;
             st.ub[j] = ub0;
         }
@@ -1175,12 +1286,15 @@ fn try_warm_start<F: Factorization>(
 
     if !shifted.is_empty() {
         let cap = 200 + 4 * m;
-        let repaired = matches!(run_phase(st, f, &costs0, opts, cap), Ok(PhaseEnd::Optimal));
+        let repaired = matches!(
+            run_phase(st, f, costs0, opts, cap, cnt, ph, fx),
+            Ok(PhaseEnd::Optimal)
+        );
         // Restore the original bounds and re-align nonbasic statuses with
         // them; any variable still outside its range means the repair
         // failed and the caller must cold-start.
         let mut still_bad = !repaired;
-        for &(j, lb0, ub0) in &shifted {
+        for &(j, lb0, ub0) in shifted.iter() {
             st.lb[j] = lb0;
             st.ub[j] = ub0;
             if st.x[j] < lb0 - vtol || st.x[j] > ub0 + vtol {

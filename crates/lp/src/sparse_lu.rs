@@ -9,14 +9,24 @@
 //! * [`LuFactors`] — a right-looking sparse Gaussian elimination with
 //!   Markowitz pivoting (cost `(r_i − 1)(c_j − 1)` under a relative
 //!   stability threshold), producing permuted triangular factors stored as
-//!   compact per-pivot rows/columns;
+//!   **flat CSR-style arrays** (`lcol_ptr`/`lcol_rows`/`lcol_vals`,
+//!   `urow_ptr`/`urow_cols`/`urow_vals`) rather than per-step vectors, so a
+//!   refactorization reuses one contiguous allocation per component;
 //! * an **eta file**: after each simplex pivot the factorization is updated
-//!   in product form (`B⁻¹ ← E⁻¹ B⁻¹`), so a refactorization is only needed
-//!   every few dozen pivots or when the eta file outgrows the factors;
-//! * [`complete_basis`] — a rank-revealing elimination used by warm starts:
-//!   given candidate basic columns mapped from a previous solve, it reports
-//!   which candidates are independent and which rows remain uncovered (to
-//!   be filled by slack or artificial unit columns).
+//!   in product form (`B⁻¹ ← E⁻¹ B⁻¹`), stored flat the same way, so a
+//!   refactorization is only needed every few dozen pivots or when the eta
+//!   file outgrows the factors;
+//! * [`complete_basis_into`] — a rank-revealing elimination used by warm
+//!   starts: given candidate basic columns mapped from a previous solve, it
+//!   reports which candidates are independent and which rows remain
+//!   uncovered (to be filled by slack or artificial unit columns);
+//! * [`ElimWs`] — the elimination's working arrays (row-major working
+//!   matrix, column membership lists, epoch-stamped dense scratch), owned
+//!   by the caller and reused across factorizations. On the steady-state
+//!   path of a solve sequence ([`Scratch`](crate::Scratch)-threaded), a
+//!   refactorization performs zero allocations once capacities have grown
+//!   to the working size; every length-known acquisition is counted via
+//!   [`Counters`](crate::scratch::Counters).
 //!
 //! Everything here is allocation-conscious but deliberately simple: dense
 //! scratch vectors with epoch stamps instead of hyper-sparse kernels. The
@@ -25,6 +35,7 @@
 //! work.
 
 use crate::nonzero;
+use crate::scratch::{prep, reserve_pool, Counters};
 
 /// A sparse column: `(row, value)` pairs (unordered, no duplicates).
 pub(crate) type SparseCol = Vec<(u32, f64)>;
@@ -38,7 +49,10 @@ const DROP_REL: f64 = 1e-13;
 /// How many smallest-count columns to examine per pivot step.
 const PIV_CANDIDATES: usize = 4;
 
-/// Result of [`eliminate`]: triangular factors plus pivot bookkeeping.
+/// Result of [`eliminate_into`]: triangular factors plus pivot bookkeeping,
+/// stored flat (per-step extents via the `*_ptr` offset arrays) so the
+/// storage is reusable across factorizations.
+#[derive(Clone, Debug, Default)]
 pub(crate) struct Elimination {
     /// Pivot row (original row index) per step.
     rp: Vec<u32>,
@@ -46,11 +60,18 @@ pub(crate) struct Elimination {
     cpos: Vec<u32>,
     /// Pivot values per step.
     diag: Vec<f64>,
-    /// L multipliers per step: `(row, f)` — row `r` had `f ×` pivot row
-    /// subtracted.
-    lcol: Vec<Vec<(u32, f64)>>,
-    /// U row per step: `(column index, value)`, diagonal excluded.
-    urow: Vec<Vec<(u32, f64)>>,
+    /// Step `k`'s L multipliers live at `lcol_ptr[k]..lcol_ptr[k+1]`.
+    lcol_ptr: Vec<usize>,
+    /// L multiplier target rows: row `r` had `f ×` pivot row subtracted.
+    lcol_rows: Vec<u32>,
+    /// L multiplier factors `f`, parallel to `lcol_rows`.
+    lcol_vals: Vec<f64>,
+    /// Step `k`'s U row lives at `urow_ptr[k]..urow_ptr[k+1]`.
+    urow_ptr: Vec<usize>,
+    /// U row column indices per step (diagonal excluded).
+    urow_cols: Vec<u32>,
+    /// U row values, parallel to `urow_cols`.
+    urow_vals: Vec<f64>,
     /// column index -> step that pivoted it (`u32::MAX` if unpivoted).
     step_of_col: Vec<u32>,
     /// Which input columns were pivoted (independent).
@@ -61,13 +82,116 @@ pub(crate) struct Elimination {
     pub nnz: usize,
 }
 
+/// Reusable working arrays for [`eliminate_into`]. All vectors keep their
+/// capacity between factorizations; the epoch counter is monotone across
+/// calls so stale stamps from earlier (possibly larger) problems can never
+/// collide with a freshly bumped epoch.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ElimWs {
+    /// Row-major working matrix (compacted on update).
+    rows: Vec<Vec<(u32, f64)>>,
+    /// Column -> candidate rows (may contain stale entries; filtered on use).
+    col_rows: Vec<Vec<u32>>,
+    /// Live nonzero count per column.
+    ccount: Vec<usize>,
+    /// Rows not yet pivoted.
+    row_active: Vec<bool>,
+    /// Columns not yet pivoted.
+    col_active: Vec<bool>,
+    /// Dense merge scratch (valid where `stamp` matches the epoch).
+    val: Vec<f64>,
+    /// Epoch stamps for `val` and the membership diffs.
+    stamp: Vec<u64>,
+    /// Monotone epoch counter (never reset).
+    epoch: u64,
+    /// Columns touched by the current row merge.
+    touched: Vec<u32>,
+    /// Live entries of the pivot-candidate column under inspection.
+    entries: Vec<(u32, f64)>,
+    /// Target rows of the current elimination step.
+    targets: Vec<u32>,
+    /// Replacement row being assembled (swapped into `rows`).
+    fresh: Vec<(u32, f64)>,
+}
+
 /// Runs sparse Markowitz elimination on `cols` (an `m × cols.len()`
-/// matrix). Stops when no numerically acceptable pivot remains; with
-/// `cols.len() == m` and a nonsingular matrix it runs to completion.
-pub(crate) fn eliminate(m: usize, cols: &[SparseCol]) -> Elimination {
+/// matrix) into `e`, reusing `ws` for all working storage. Stops when no
+/// numerically acceptable pivot remains; with `cols.len() == m` and a
+/// nonsingular matrix it runs to completion.
+// lint: hot
+pub(crate) fn eliminate_into(
+    e: &mut Elimination,
+    ws: &mut ElimWs,
+    m: usize,
+    cols: &[SparseCol],
+    cnt: &mut Counters,
+) {
     let n = cols.len();
-    // Row-major working matrix, rebuilt-on-update so always compact.
-    let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); m];
+    // Reset the output factors (capacity retained across calls).
+    e.rp.clear();
+    e.cpos.clear();
+    e.diag.clear();
+    e.lcol_ptr.clear();
+    e.lcol_ptr.push(0);
+    e.lcol_rows.clear();
+    e.lcol_vals.clear();
+    e.urow_ptr.clear();
+    e.urow_ptr.push(0);
+    e.urow_cols.clear();
+    e.urow_vals.clear();
+    prep(cnt, &mut e.step_of_col, n, u32::MAX);
+    prep(cnt, &mut e.pivoted_col, n, false);
+    prep(cnt, &mut e.pivoted_row, m, false);
+    e.nnz = 0;
+
+    // Acquire the working arrays.
+    reserve_pool(cnt, &mut ws.rows, m);
+    for row in &mut ws.rows[..m] {
+        row.clear();
+    }
+    reserve_pool(cnt, &mut ws.col_rows, n);
+    for cr in &mut ws.col_rows[..n] {
+        cr.clear();
+    }
+    prep(cnt, &mut ws.ccount, n, 0);
+    prep(cnt, &mut ws.row_active, m, true);
+    prep(cnt, &mut ws.col_active, n, true);
+    prep(cnt, &mut ws.val, n, 0.0);
+    prep(cnt, &mut ws.stamp, n, 0);
+
+    // Field-disjoint borrows: the pivot loop reads/writes several working
+    // arrays and factor sections at once.
+    let Elimination {
+        rp,
+        cpos,
+        diag,
+        lcol_ptr,
+        lcol_rows,
+        lcol_vals,
+        urow_ptr,
+        urow_cols,
+        urow_vals,
+        step_of_col,
+        pivoted_col,
+        pivoted_row,
+        nnz,
+    } = e;
+    let ElimWs {
+        rows,
+        col_rows,
+        ccount,
+        row_active,
+        col_active,
+        val,
+        stamp,
+        epoch,
+        touched,
+        entries,
+        targets,
+        fresh,
+    } = ws;
+
+    // Row-major working matrix + column membership lists.
     for (c, col) in cols.iter().enumerate() {
         for &(r, v) in col {
             if nonzero(v) {
@@ -75,35 +199,12 @@ pub(crate) fn eliminate(m: usize, cols: &[SparseCol]) -> Elimination {
             }
         }
     }
-    // Column -> candidate rows (may contain stale entries; filtered on use).
-    let mut col_rows: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut ccount = vec![0usize; n];
-    for (r, row) in rows.iter().enumerate() {
+    for (r, row) in rows[..m].iter().enumerate() {
         for &(c, _) in row {
             col_rows[c as usize].push(r as u32);
             ccount[c as usize] += 1;
         }
     }
-    let mut row_active = vec![true; m];
-    let mut col_active = vec![true; n];
-
-    // Dense scratch with epoch stamps for row merges.
-    let mut val = vec![0.0f64; n];
-    let mut stamp = vec![0u32; n];
-    let mut epoch = 0u32;
-    let mut touched: Vec<u32> = Vec::new();
-
-    let mut e = Elimination {
-        rp: Vec::with_capacity(n),
-        cpos: Vec::with_capacity(n),
-        diag: Vec::with_capacity(n),
-        lcol: Vec::with_capacity(n),
-        urow: Vec::with_capacity(n),
-        step_of_col: vec![u32::MAX; n],
-        pivoted_col: vec![false; n],
-        pivoted_row: vec![false; m],
-        nnz: 0,
-    };
 
     let steps = n.min(m);
     for _ in 0..steps {
@@ -134,7 +235,7 @@ pub(crate) fn eliminate(m: usize, cols: &[SparseCol]) -> Elimination {
         for &c in cand.iter().take_while(|&&c| c != usize::MAX) {
             // Compact this column's row list while scanning.
             let mut colmax = 0.0f64;
-            let mut entries: Vec<(u32, f64)> = Vec::new();
+            entries.clear();
             col_rows[c].retain(|&r| {
                 if !row_active[r as usize] {
                     return false;
@@ -152,7 +253,7 @@ pub(crate) fn eliminate(m: usize, cols: &[SparseCol]) -> Elimination {
             if colmax < PIV_ABS {
                 continue;
             }
-            for &(r, v) in &entries {
+            for &(r, v) in entries.iter() {
                 if v.abs() < PIV_REL * colmax {
                     continue;
                 }
@@ -174,35 +275,40 @@ pub(crate) fn eliminate(m: usize, cols: &[SparseCol]) -> Elimination {
         };
 
         // --- Record the pivot. ---
-        let k = e.rp.len();
-        e.rp.push(pr as u32);
-        e.cpos.push(pc as u32);
-        e.diag.push(piv);
-        e.step_of_col[pc] = k as u32;
-        e.pivoted_col[pc] = true;
-        e.pivoted_row[pr] = true;
+        let k = rp.len();
+        rp.push(pr as u32);
+        cpos.push(pc as u32);
+        diag.push(piv);
+        step_of_col[pc] = k as u32;
+        pivoted_col[pc] = true;
+        pivoted_row[pr] = true;
         row_active[pr] = false;
         col_active[pc] = false;
-        let urow: Vec<(u32, f64)> = rows[pr]
-            .iter()
-            .filter(|&&(c, _)| c != pc as u32 && col_active[c as usize])
-            .copied()
-            .collect();
-        for &(c, _) in &urow {
+        let ustart = urow_cols.len();
+        for &(c, v) in &rows[pr] {
+            if c != pc as u32 && col_active[c as usize] {
+                urow_cols.push(c);
+                urow_vals.push(v);
+            }
+        }
+        let uend = urow_cols.len();
+        for &c in &urow_cols[ustart..uend] {
             ccount[c as usize] = ccount[c as usize].saturating_sub(1);
         }
-        e.nnz += urow.len() + 1;
+        *nnz += uend - ustart + 1;
 
         // --- Eliminate the pivot column from the remaining rows. ---
-        let mut lcol: Vec<(u32, f64)> = Vec::new();
+        let lstart = lcol_rows.len();
         // Collect target rows first (col_rows[pc] was compacted above).
-        let targets: Vec<u32> = col_rows[pc]
-            .iter()
-            .copied()
-            .filter(|&r| row_active[r as usize])
-            .collect();
-        for &r in &targets {
-            let r = r as usize;
+        targets.clear();
+        targets.extend(
+            col_rows[pc]
+                .iter()
+                .copied()
+                .filter(|&r| row_active[r as usize]),
+        );
+        for &rt in targets.iter() {
+            let r = rt as usize;
             let arc = rows[r]
                 .iter()
                 .find(|&&(cc, _)| cc == pc as u32)
@@ -212,9 +318,10 @@ pub(crate) fn eliminate(m: usize, cols: &[SparseCol]) -> Elimination {
                 continue;
             }
             let f = arc / piv;
-            lcol.push((r as u32, f));
+            lcol_rows.push(r as u32);
+            lcol_vals.push(f);
             // rows[r] ← rows[r] − f · urow  (pivot column dropped).
-            epoch += 1;
+            *epoch += 1;
             touched.clear();
             let mut rowmax = 0.0f64;
             for &(c, v) in &rows[r] {
@@ -222,25 +329,25 @@ pub(crate) fn eliminate(m: usize, cols: &[SparseCol]) -> Elimination {
                     continue;
                 }
                 val[c as usize] = v;
-                stamp[c as usize] = epoch;
+                stamp[c as usize] = *epoch;
                 touched.push(c);
                 rowmax = rowmax.max(v.abs());
             }
-            for &(c, v) in &urow {
+            for (&c, &v) in urow_cols[ustart..uend].iter().zip(&urow_vals[ustart..uend]) {
                 let cu = c as usize;
                 let dv = f * v;
-                if stamp[cu] == epoch {
+                if stamp[cu] == *epoch {
                     val[cu] -= dv;
                 } else {
                     val[cu] = -dv;
-                    stamp[cu] = epoch;
+                    stamp[cu] = *epoch;
                     touched.push(c);
                 }
                 rowmax = rowmax.max(dv.abs());
             }
             let drop = DROP_REL * (1.0 + rowmax);
-            let mut fresh: Vec<(u32, f64)> = Vec::with_capacity(touched.len());
-            for &c in &touched {
+            fresh.clear();
+            for &c in touched.iter() {
                 let v = val[c as usize];
                 if v.abs() > drop {
                     fresh.push((c, v));
@@ -249,46 +356,56 @@ pub(crate) fn eliminate(m: usize, cols: &[SparseCol]) -> Elimination {
             // Maintain column bookkeeping: count diffs + new memberships.
             // Old membership: anything in rows[r] (pre-update); cheap diff
             // via the scratch stamps (reuse `val` sign is unsafe; do sets).
-            epoch += 1;
+            *epoch += 1;
             for &(c, _) in &rows[r] {
-                stamp[c as usize] = epoch; // mark "was present"
+                stamp[c as usize] = *epoch; // mark "was present"
             }
-            for &(c, _) in &fresh {
-                if stamp[c as usize] != epoch {
+            for &(c, _) in fresh.iter() {
+                if stamp[c as usize] != *epoch {
                     col_rows[c as usize].push(r as u32);
                     ccount[c as usize] += 1;
                 }
                 // Mark "still present" with a different trick: bump below.
             }
             // Entries that vanished: decrement counts.
-            epoch += 1;
-            for &(c, _) in &fresh {
-                stamp[c as usize] = epoch;
+            *epoch += 1;
+            for &(c, _) in fresh.iter() {
+                stamp[c as usize] = *epoch;
             }
             for &(c, _) in &rows[r] {
-                if stamp[c as usize] != epoch && col_active[c as usize] && c != pc as u32 {
+                if stamp[c as usize] != *epoch && col_active[c as usize] && c != pc as u32 {
                     ccount[c as usize] = ccount[c as usize].saturating_sub(1);
                 }
             }
-            rows[r] = fresh;
+            // The freshly built row replaces the old one; the displaced
+            // storage becomes the next `fresh` (cleared before use).
+            std::mem::swap(&mut rows[r], fresh);
         }
-        e.nnz += lcol.len();
-        e.lcol.push(lcol);
-        e.urow.push(urow);
+        *nnz += lcol_rows.len() - lstart;
+        lcol_ptr.push(lcol_rows.len());
+        urow_ptr.push(urow_cols.len());
     }
-    e
 }
 
-/// One product-form update: `(position, 1/pivot, [(i, −w_i/pivot)])`.
-type Eta = (u32, f64, Vec<(u32, f64)>);
-
 /// Completed LU factors of a (square, nonsingular) basis, plus the eta file
-/// accumulated by product-form updates.
+/// accumulated by product-form updates. Owns its [`ElimWs`] so repeated
+/// [`refactor_in_place`](LuFactors::refactor_in_place) calls reuse all
+/// elimination storage.
+#[derive(Debug, Default)]
 pub(crate) struct LuFactors {
     m: usize,
     elim: Elimination,
-    /// Eta file, in application order.
-    etas: Vec<Eta>,
+    ws: ElimWs,
+    /// Eta pivot positions, in application order.
+    eta_pos: Vec<u32>,
+    /// Eta diagonal multipliers `1/pivot`, parallel to `eta_pos`.
+    eta_diag: Vec<f64>,
+    /// Eta `t`'s off-pivot entries live at `eta_ptr[t]..eta_ptr[t+1]`.
+    eta_ptr: Vec<usize>,
+    /// Eta off-pivot target rows.
+    eta_rows: Vec<u32>,
+    /// Eta off-pivot values `−w_i/pivot`, parallel to `eta_rows`.
+    eta_vals: Vec<f64>,
     /// Nonzeros across the eta file.
     pub eta_nnz: usize,
     /// Scratch (step-indexed / row-indexed) for solves.
@@ -296,24 +413,41 @@ pub(crate) struct LuFactors {
 }
 
 impl LuFactors {
-    /// Factorizes the square basis given by `cols`; `Err` if singular.
-    pub fn factorize(m: usize, cols: &[SparseCol]) -> Result<LuFactors, String> {
+    /// Factorizes the square basis given by `cols` into this value's
+    /// retained storage, resetting the eta file; `Err` if singular.
+    pub fn refactor_in_place(
+        &mut self,
+        m: usize,
+        cols: &[SparseCol],
+        cnt: &mut Counters,
+    ) -> Result<(), String> {
         assert_eq!(cols.len(), m, "basis must be square");
-        let elim = eliminate(m, cols);
-        if elim.rp.len() < m {
+        self.m = m;
+        eliminate_into(&mut self.elim, &mut self.ws, m, cols, cnt);
+        if self.elim.rp.len() < m {
             return Err(format!(
                 "singular basis: rank {} < {m} (first uncovered row {:?})",
-                elim.rp.len(),
-                elim.pivoted_row.iter().position(|&p| !p)
+                self.elim.rp.len(),
+                self.elim.pivoted_row.iter().position(|&p| !p)
             ));
         }
-        Ok(LuFactors {
-            m,
-            elim,
-            etas: Vec::new(),
-            eta_nnz: 0,
-            scratch: vec![0.0; m],
-        })
+        self.eta_pos.clear();
+        self.eta_diag.clear();
+        self.eta_ptr.clear();
+        self.eta_ptr.push(0);
+        self.eta_rows.clear();
+        self.eta_vals.clear();
+        self.eta_nnz = 0;
+        prep(cnt, &mut self.scratch, m, 0.0);
+        Ok(())
+    }
+
+    /// One-shot constructor: factorize `cols` into fresh storage.
+    #[cfg(test)]
+    pub fn factorize(m: usize, cols: &[SparseCol]) -> Result<LuFactors, String> {
+        let mut lu = LuFactors::default();
+        lu.refactor_in_place(m, cols, &mut Counters::default())?;
+        Ok(lu)
     }
 
     /// Nonzeros in L + U (diagonals included), eta file excluded.
@@ -323,6 +457,7 @@ impl LuFactors {
 
     /// FTRAN: solves `B x = b`. Input `x` is `b` indexed by row; output is
     /// indexed by basis position.
+    // lint: hot
     pub fn ftran(&mut self, x: &mut [f64]) {
         debug_assert_eq!(x.len(), self.m);
         let e = &self.elim;
@@ -330,7 +465,8 @@ impl LuFactors {
         for k in 0..self.m {
             let yk = x[e.rp[k] as usize];
             if nonzero(yk) {
-                for &(r, f) in &e.lcol[k] {
+                let (s, t) = (e.lcol_ptr[k], e.lcol_ptr[k + 1]);
+                for (&r, &f) in e.lcol_rows[s..t].iter().zip(&e.lcol_vals[s..t]) {
                     x[r as usize] -= f * yk;
                 }
             }
@@ -339,7 +475,8 @@ impl LuFactors {
         let out = &mut self.scratch;
         for k in (0..self.m).rev() {
             let mut sum = x[e.rp[k] as usize];
-            for &(c, v) in &e.urow[k] {
+            let (s, t) = (e.urow_ptr[k], e.urow_ptr[k + 1]);
+            for (&c, &v) in e.urow_cols[s..t].iter().zip(&e.urow_vals[s..t]) {
                 let contrib = out[e.step_of_col[c as usize] as usize];
                 if nonzero(contrib) {
                     sum -= v * contrib;
@@ -353,11 +490,13 @@ impl LuFactors {
         }
         // But `out` is indexed by step and positions coincide with cpos;
         // copy is done above — now apply the eta file in order.
-        for (pos, d, entries) in &self.etas {
-            let xr = x[*pos as usize];
+        for t in 0..self.eta_pos.len() {
+            let pos = self.eta_pos[t] as usize;
+            let xr = x[pos];
             if nonzero(xr) {
-                x[*pos as usize] = d * xr;
-                for &(i, h) in entries {
+                x[pos] = self.eta_diag[t] * xr;
+                let (s, en) = (self.eta_ptr[t], self.eta_ptr[t + 1]);
+                for (&i, &h) in self.eta_rows[s..en].iter().zip(&self.eta_vals[s..en]) {
                     x[i as usize] += h * xr;
                 }
             }
@@ -366,15 +505,18 @@ impl LuFactors {
 
     /// BTRAN: solves `Bᵀ y = c`. Input `x` is `c` indexed by basis
     /// position; output is indexed by row.
+    // lint: hot
     pub fn btran(&mut self, x: &mut [f64]) {
         debug_assert_eq!(x.len(), self.m);
         // Eta transposes in reverse order.
-        for (pos, d, entries) in self.etas.iter().rev() {
-            let mut acc = d * x[*pos as usize];
-            for &(i, h) in entries {
+        for t in (0..self.eta_pos.len()).rev() {
+            let pos = self.eta_pos[t] as usize;
+            let mut acc = self.eta_diag[t] * x[pos];
+            let (s, en) = (self.eta_ptr[t], self.eta_ptr[t + 1]);
+            for (&i, &h) in self.eta_rows[s..en].iter().zip(&self.eta_vals[s..en]) {
                 acc += h * x[i as usize];
             }
-            x[*pos as usize] = acc;
+            x[pos] = acc;
         }
         let e = &self.elim;
         // U^T (position space -> step space) forward.
@@ -386,7 +528,8 @@ impl LuFactors {
             w[k] /= e.diag[k];
             let wk = w[k];
             if nonzero(wk) {
-                for &(c, v) in &e.urow[k] {
+                let (s, t) = (e.urow_ptr[k], e.urow_ptr[k + 1]);
+                for (&c, &v) in e.urow_cols[s..t].iter().zip(&e.urow_vals[s..t]) {
                     w[e.step_of_col[c as usize] as usize] -= v * wk;
                 }
             }
@@ -397,7 +540,8 @@ impl LuFactors {
         }
         for k in (0..self.m).rev() {
             let mut acc = x[e.rp[k] as usize];
-            for &(r, f) in &e.lcol[k] {
+            let (s, t) = (e.lcol_ptr[k], e.lcol_ptr[k + 1]);
+            for (&r, &f) in e.lcol_rows[s..t].iter().zip(&e.lcol_vals[s..t]) {
                 acc -= f * x[r as usize];
             }
             x[e.rp[k] as usize] = acc;
@@ -407,6 +551,7 @@ impl LuFactors {
     /// Product-form update after a pivot: basis position `r_leave` is
     /// replaced by a column whose FTRAN image is `w`. `Err` when the pivot
     /// element is too small to absorb safely (caller must refactorize).
+    // lint: hot
     pub fn update(&mut self, r_leave: usize, w: &[f64]) -> Result<(), String> {
         let piv = w[r_leave];
         let wmax = w.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
@@ -414,31 +559,40 @@ impl LuFactors {
             return Err(format!("eta pivot too small: {piv:.3e}"));
         }
         let d = 1.0 / piv;
-        let mut entries: Vec<(u32, f64)> = Vec::new();
+        let start = self.eta_rows.len();
         for (i, &wi) in w.iter().enumerate() {
             if i != r_leave && nonzero(wi) {
                 let h = -wi * d;
                 if h.abs() > 1e-14 {
-                    entries.push((i as u32, h));
+                    self.eta_rows.push(i as u32);
+                    self.eta_vals.push(h);
                 }
             }
         }
-        self.eta_nnz += entries.len() + 1;
-        self.etas.push((r_leave as u32, d, entries));
+        self.eta_nnz += self.eta_rows.len() - start + 1;
+        self.eta_pos.push(r_leave as u32);
+        self.eta_diag.push(d);
+        self.eta_ptr.push(self.eta_rows.len());
         Ok(())
     }
 }
 
 /// Rank-revealing basis completion for warm starts.
 ///
-/// `candidates` are the columns a previous basis suggests as basic. The
-/// return value flags, per candidate, whether it is part of a maximal
-/// independent (numerically acceptable) subset, plus which of the `m` rows
-/// remain unpivoted — the caller covers those with slack or artificial unit
-/// columns, which are trivially independent of everything already chosen.
-pub(crate) fn complete_basis(m: usize, candidates: &[SparseCol]) -> (Vec<bool>, Vec<bool>) {
-    let e = eliminate(m, candidates);
-    (e.pivoted_col, e.pivoted_row)
+/// `candidates` are the columns a previous basis suggests as basic. After
+/// the call, `e.pivoted_col` flags, per candidate, whether it is part of a
+/// maximal independent (numerically acceptable) subset, and `e.pivoted_row`
+/// which of the `m` rows were covered — the caller fills the rest with
+/// slack or artificial unit columns, which are trivially independent of
+/// everything already chosen.
+pub(crate) fn complete_basis_into(
+    e: &mut Elimination,
+    ws: &mut ElimWs,
+    m: usize,
+    candidates: &[SparseCol],
+    cnt: &mut Counters,
+) {
+    eliminate_into(e, ws, m, candidates, cnt);
 }
 
 #[cfg(test)]
@@ -572,13 +726,42 @@ mod tests {
     }
 
     #[test]
+    fn refactor_in_place_reuses_capacity() {
+        // Second factorization of a same-shape basis must be allocation-free
+        // (every length-known acquisition served from retained capacity).
+        let cols: Vec<SparseCol> = vec![
+            vec![(0, 2.0), (1, 1.0)],
+            vec![(1, 1.0), (2, 3.0)],
+            vec![(2, 5.0), (0, -1.0)],
+        ];
+        let mut lu = LuFactors::default();
+        let mut cnt = Counters::default();
+        lu.refactor_in_place(3, &cols, &mut cnt).unwrap();
+        assert!(cnt.allocs > 0, "first factorization grows buffers");
+        let mut cnt2 = Counters::default();
+        lu.refactor_in_place(3, &cols, &mut cnt2).unwrap();
+        assert_eq!(cnt2.allocs, 0, "steady-state refactor allocates nothing");
+        assert!(cnt2.reuses > 0);
+        // And it still solves correctly.
+        let x_true = [0.5, 2.0, -1.0];
+        let mut b = dense_mul(3, &cols, &x_true);
+        lu.ftran(&mut b);
+        for (a, t) in b.iter().zip(x_true) {
+            assert!((a - t).abs() < 1e-12, "{a} vs {t}");
+        }
+    }
+
+    #[test]
     fn completion_reports_independent_subset() {
         let cands: Vec<SparseCol> = vec![
             vec![(0, 1.0)],
             vec![(0, 3.0)],           // dependent on the first
             vec![(2, 1.0), (3, 1.0)], // covers row 2 or 3
         ];
-        let (picked, rows) = complete_basis(4, &cands);
+        let mut e = Elimination::default();
+        let mut ws = ElimWs::default();
+        complete_basis_into(&mut e, &mut ws, 4, &cands, &mut Counters::default());
+        let (picked, rows) = (&e.pivoted_col, &e.pivoted_row);
         assert!(picked[0] ^ picked[1], "exactly one of the dependent pair");
         assert!(picked[2]);
         // Rows 0 and (2 or 3) covered; row 1 and the other of {2,3} not.

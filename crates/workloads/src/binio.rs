@@ -1,0 +1,499 @@
+//! Binary instance snapshots: compact, exact, versioned.
+//!
+//! JSON snapshots ([`crate::io`]) are the human-auditable format; this
+//! module is the fast path for large instances (fat-tree sweeps, online
+//! traces): no float parsing on load, no text rendering on save, and an
+//! unambiguous on-disk size. Every `f64` is stored as its IEEE-754 bit
+//! pattern, so a JSON → binary → JSON round trip is **byte-identical** —
+//! the property the snapshot determinism tests pin down.
+//!
+//! ## Format (all integers little-endian)
+//!
+//! ```text
+//! magic   4 bytes  "COFB"
+//! version u32      1
+//! section u32 len + payload   (× 3, in order: nodes, edges, coflows)
+//! ```
+//!
+//! Section payloads:
+//!
+//! * **nodes** — `u32` count; per node a `u32` label byte-length
+//!   (`u32::MAX` = unlabeled) followed by that many UTF-8 bytes;
+//! * **edges** — `u32` count; per edge `u32 src`, `u32 dst`,
+//!   `u64 cap_bits`;
+//! * **coflows** — `u32` count; per coflow `u64 weight_bits`, `u32`
+//!   flow count; per flow `u32 src`, `u32 dst`, `u64 size_bits`,
+//!   `u64 release_bits`, then a `u32` path edge-count (`u32::MAX` = no
+//!   prescribed path) followed by `u32` edge ids.
+//!
+//! Loads validate exactly what [`crate::io::from_json`] validates
+//! (index bounds, finite non-negative scalars), with typed
+//! [`BinError`]s instead of message strings so callers can distinguish
+//! "wrong file type" from "truncated download" from "hostile contents".
+
+use coflow_core::model::{Coflow, FlowSpec, Instance};
+use coflow_net::{EdgeId, Graph, NodeId, Path as NetPath};
+use std::fmt;
+use std::path::Path;
+
+/// The 4-byte magic prefix of every binary snapshot.
+pub const MAGIC: [u8; 4] = *b"COFB";
+/// Current (and only) format version.
+pub const VERSION: u32 = 1;
+
+/// Sentinel length meaning "absent" (unlabeled node / no prescribed path).
+const NONE_LEN: u32 = u32::MAX;
+
+/// Error produced by [`from_bin`] / [`to_bin`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BinError {
+    /// The input does not start with [`MAGIC`] — not a binary snapshot.
+    BadMagic,
+    /// The snapshot declares a version this reader does not understand.
+    UnsupportedVersion(u32),
+    /// The input ended before the declared structure did.
+    Truncated,
+    /// Structurally complete but semantically invalid (bad index, negative
+    /// size, non-UTF-8 label, trailing bytes, ...).
+    Malformed(String),
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinError::BadMagic => write!(f, "binary snapshot error: bad magic (not a COFB file)"),
+            BinError::UnsupportedVersion(v) => {
+                write!(f, "binary snapshot error: unsupported version {v}")
+            }
+            BinError::Truncated => write!(f, "binary snapshot error: truncated input"),
+            BinError::Malformed(m) => write!(f, "binary snapshot error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+fn malformed(msg: impl Into<String>) -> BinError {
+    BinError::Malformed(msg.into())
+}
+
+// --- Writing. --------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, x: f64) {
+    out.extend_from_slice(&x.to_bits().to_le_bytes());
+}
+
+/// Appends `body` to `out` as a length-prefixed section.
+fn put_section(out: &mut Vec<u8>, body: &[u8]) {
+    put_u32(out, body.len() as u32);
+    out.extend_from_slice(body);
+}
+
+/// Serializes an instance to the binary snapshot format.
+///
+/// Rejects non-finite scalars for parity with [`crate::io::to_json`]:
+/// the formats must accept the same instances, or converting between
+/// them could fail halfway.
+pub fn to_bin(instance: &Instance) -> Result<Vec<u8>, BinError> {
+    for (i, c) in instance.coflows.iter().enumerate() {
+        if !c.weight.is_finite() {
+            return Err(malformed(format!(
+                "coflow {i}: non-finite weight {}",
+                c.weight
+            )));
+        }
+        for (j, f) in c.flows.iter().enumerate() {
+            if !f.size.is_finite() || !f.release.is_finite() {
+                return Err(malformed(format!(
+                    "coflow {i} flow {j}: non-finite size {} or release {}",
+                    f.size, f.release
+                )));
+            }
+        }
+    }
+    let g = &instance.graph;
+
+    let mut nodes = Vec::new();
+    put_u32(&mut nodes, g.node_count() as u32);
+    for v in g.nodes() {
+        match g.label(v) {
+            Some(l) => {
+                put_u32(&mut nodes, l.len() as u32);
+                nodes.extend_from_slice(l.as_bytes());
+            }
+            None => put_u32(&mut nodes, NONE_LEN),
+        }
+    }
+
+    let mut edges = Vec::new();
+    put_u32(&mut edges, g.edge_count() as u32);
+    for e in g.edges() {
+        let (src, dst) = g.endpoints(e);
+        put_u32(&mut edges, src.0);
+        put_u32(&mut edges, dst.0);
+        put_f64(&mut edges, g.capacity(e));
+    }
+
+    let mut coflows = Vec::new();
+    put_u32(&mut coflows, instance.coflow_count() as u32);
+    for c in &instance.coflows {
+        put_f64(&mut coflows, c.weight);
+        put_u32(&mut coflows, c.flows.len() as u32);
+        for f in &c.flows {
+            put_u32(&mut coflows, f.src.0);
+            put_u32(&mut coflows, f.dst.0);
+            put_f64(&mut coflows, f.size);
+            put_f64(&mut coflows, f.release);
+            match &f.path {
+                None => put_u32(&mut coflows, NONE_LEN),
+                Some(p) => {
+                    put_u32(&mut coflows, p.edges.len() as u32);
+                    for e in &p.edges {
+                        put_u32(&mut coflows, e.0);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(12 + nodes.len() + edges.len() + coflows.len() + 12);
+    out.extend_from_slice(&MAGIC);
+    put_u32(&mut out, VERSION);
+    put_section(&mut out, &nodes);
+    put_section(&mut out, &edges);
+    put_section(&mut out, &coflows);
+    Ok(out)
+}
+
+// --- Reading. --------------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos.checked_add(n).ok_or(BinError::Truncated)?)
+            .ok_or(BinError::Truncated)?;
+        self.pos += n;
+        Ok(chunk)
+    }
+
+    fn u32(&mut self) -> Result<u32, BinError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f64(&mut self) -> Result<f64, BinError> {
+        let b = self.take(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(b);
+        Ok(f64::from_bits(u64::from_le_bytes(buf)))
+    }
+
+    /// A count prefix, sanity-bounded by the bytes that remain: every
+    /// counted element occupies at least `min_elem_bytes`, so a count
+    /// larger than `remaining / min_elem_bytes` cannot be satisfied —
+    /// reject it *before* any `Vec::with_capacity` sees it.
+    fn count(&mut self, min_elem_bytes: usize, ctx: &str) -> Result<usize, BinError> {
+        let n = self.u32()? as usize;
+        let remaining = self.bytes.len() - self.pos;
+        if n.saturating_mul(min_elem_bytes) > remaining {
+            return Err(malformed(format!(
+                "{ctx}: count {n} exceeds what the input could hold"
+            )));
+        }
+        Ok(n)
+    }
+
+    /// A section's length prefix; returns a sub-reader over its payload.
+    fn section(&mut self, ctx: &str) -> Result<Reader<'a>, BinError> {
+        let len = self.u32()? as usize;
+        let body = self.take(len)?;
+        let _ = ctx;
+        Ok(Reader {
+            bytes: body,
+            pos: 0,
+        })
+    }
+
+    fn finish(&self, ctx: &str) -> Result<(), BinError> {
+        if self.pos != self.bytes.len() {
+            return Err(malformed(format!("{ctx}: trailing bytes")));
+        }
+        Ok(())
+    }
+}
+
+fn index(x: u32, bound: usize, ctx: &str) -> Result<u32, BinError> {
+    if (x as usize) < bound {
+        Ok(x)
+    } else {
+        Err(malformed(format!(
+            "{ctx}: index {x} out of range (< {bound})"
+        )))
+    }
+}
+
+/// Parses an instance from bytes produced by [`to_bin`].
+pub fn from_bin(bytes: &[u8]) -> Result<Instance, BinError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4).map_err(|_| BinError::BadMagic)? != MAGIC {
+        return Err(BinError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(BinError::UnsupportedVersion(version));
+    }
+
+    let mut graph = Graph::new();
+    let mut nodes = r.section("nodes")?;
+    let n_nodes = nodes.count(4, "nodes")?;
+    for i in 0..n_nodes {
+        let len = nodes.u32()?;
+        if len == NONE_LEN {
+            graph.add_node();
+        } else {
+            let raw = nodes.take(len as usize)?;
+            let label = std::str::from_utf8(raw)
+                .map_err(|_| malformed(format!("nodes[{i}]: label is not UTF-8")))?;
+            graph.add_labeled_node(label.to_string());
+        }
+    }
+    nodes.finish("nodes")?;
+
+    let mut edges = r.section("edges")?;
+    let n_edges = edges.count(16, "edges")?;
+    for i in 0..n_edges {
+        let src = index(edges.u32()?, n_nodes, &format!("edges[{i}].src"))?;
+        let dst = index(edges.u32()?, n_nodes, &format!("edges[{i}].dst"))?;
+        let cap = edges.f64()?;
+        if !(cap >= 0.0 && cap.is_finite()) {
+            return Err(malformed(format!("edges[{i}]: bad capacity {cap}")));
+        }
+        graph.add_edge(NodeId(src), NodeId(dst), cap);
+    }
+    edges.finish("edges")?;
+
+    let mut cf = r.section("coflows")?;
+    let n_coflows = cf.count(12, "coflows")?;
+    let mut coflows = Vec::with_capacity(n_coflows);
+    for i in 0..n_coflows {
+        let ctx = format!("coflows[{i}]");
+        let weight = cf.f64()?;
+        if !(weight >= 0.0 && weight.is_finite()) {
+            return Err(malformed(format!(
+                "{ctx}: weight must be finite and >= 0, got {weight}"
+            )));
+        }
+        let n_flows = cf.count(28, &ctx)?;
+        let mut flows = Vec::with_capacity(n_flows);
+        for j in 0..n_flows {
+            let fctx = format!("{ctx}.flows[{j}]");
+            let src = index(cf.u32()?, n_nodes, &format!("{fctx}.src"))?;
+            let dst = index(cf.u32()?, n_nodes, &format!("{fctx}.dst"))?;
+            let size = cf.f64()?;
+            let release = cf.f64()?;
+            if !(size >= 0.0 && size.is_finite()) {
+                return Err(malformed(format!(
+                    "{fctx}: size must be finite and >= 0, got {size}"
+                )));
+            }
+            if !(release >= 0.0 && release.is_finite()) {
+                return Err(malformed(format!(
+                    "{fctx}: release must be finite and >= 0, got {release}"
+                )));
+            }
+            let mut spec = FlowSpec::new(NodeId(src), NodeId(dst), size, release);
+            let plen = cf.u32()?;
+            if plen != NONE_LEN {
+                if (plen as usize).saturating_mul(4) > cf.bytes.len() - cf.pos {
+                    return Err(malformed(format!(
+                        "{fctx}.path: count {plen} exceeds what the input could hold"
+                    )));
+                }
+                let mut es = Vec::with_capacity(plen as usize);
+                for k in 0..plen {
+                    es.push(EdgeId(index(
+                        cf.u32()?,
+                        n_edges,
+                        &format!("{fctx}.path[{k}]"),
+                    )?));
+                }
+                spec.path = Some(NetPath::new(es));
+            }
+            flows.push(spec);
+        }
+        coflows.push(Coflow::new(weight, flows));
+    }
+    cf.finish("coflows")?;
+    r.finish("top level")?;
+    Ok(Instance::new(graph, coflows))
+}
+
+/// Writes a binary instance snapshot to disk.
+pub fn save_bin(instance: &Instance, path: &Path) -> std::io::Result<()> {
+    let bytes = to_bin(instance).map_err(std::io::Error::other)?;
+    std::fs::write(path, bytes)
+}
+
+/// Loads a binary instance snapshot from disk.
+pub fn load_bin(path: &Path) -> std::io::Result<Instance> {
+    let bytes = std::fs::read(path)?;
+    from_bin(&bytes).map_err(std::io::Error::other)
+}
+
+#[cfg(test)]
+// Unit tests assert exact expected values; strict float equality is the point.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use coflow_net::topo;
+
+    fn sample() -> Instance {
+        let t = topo::fat_tree(4, 1.0);
+        generate(
+            &t,
+            &GenConfig {
+                n_coflows: 3,
+                width: 4,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn bin_roundtrip_preserves_instance_exactly() {
+        let inst = sample();
+        let bytes = to_bin(&inst).unwrap();
+        let back = from_bin(&bytes).unwrap();
+        assert_eq!(back.coflow_count(), inst.coflow_count());
+        assert_eq!(back.flow_count(), inst.flow_count());
+        for ((_, _, a), (_, _, b)) in inst.flows().zip(back.flows()) {
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.dst, b.dst);
+            assert_eq!(a.size.to_bits(), b.size.to_bits());
+            assert_eq!(a.release.to_bits(), b.release.to_bits());
+        }
+        for e in inst.graph.edges() {
+            assert_eq!(back.graph.capacity(e), inst.graph.capacity(e));
+            assert_eq!(back.graph.endpoints(e), inst.graph.endpoints(e));
+        }
+        for v in inst.graph.nodes() {
+            assert_eq!(back.graph.label(v), inst.graph.label(v));
+        }
+    }
+
+    #[test]
+    fn json_bin_json_is_byte_identical() {
+        let inst = sample();
+        let json1 = crate::io::to_json(&inst).unwrap();
+        let back = from_bin(&to_bin(&inst).unwrap()).unwrap();
+        let json2 = crate::io::to_json(&back).unwrap();
+        assert_eq!(json1, json2);
+    }
+
+    #[test]
+    fn paths_and_labels_roundtrip() {
+        let t = topo::triangle();
+        let p = coflow_net::paths::bfs_shortest_path(&t.graph, t.hosts[0], t.hosts[1]).unwrap();
+        let inst = Instance::new(
+            t.graph,
+            vec![Coflow::new(
+                2.5,
+                vec![FlowSpec::with_path(
+                    t.hosts[0],
+                    t.hosts[1],
+                    3.0,
+                    0.25,
+                    p.clone(),
+                )],
+            )],
+        );
+        let back = from_bin(&to_bin(&inst).unwrap()).unwrap();
+        assert_eq!(back.coflows[0].flows[0].path.as_ref(), Some(&p));
+        assert_eq!(
+            back.graph.label(t.hosts[0]),
+            inst.graph.label(t.hosts[0]),
+            "labels must survive the round trip"
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(from_bin(b"JSON").unwrap_err(), BinError::BadMagic);
+        assert_eq!(from_bin(b"CO").unwrap_err(), BinError::BadMagic);
+        assert_eq!(from_bin(b"").unwrap_err(), BinError::BadMagic);
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut bytes = to_bin(&sample()).unwrap();
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            from_bin(&bytes).unwrap_err(),
+            BinError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = to_bin(&sample()).unwrap();
+        for cut in 8..bytes.len() {
+            let err = from_bin(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, BinError::Truncated | BinError::Malformed(_)),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_counts_rejected_without_allocation() {
+        // A coflows section declaring u32::MAX-1 coflows in a 4-byte body.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes()); // nodes section
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes()); // edges section
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes()); // coflows section
+        bytes.extend_from_slice(&(u32::MAX - 1).to_le_bytes());
+        let err = from_bin(&bytes).unwrap_err();
+        assert!(
+            matches!(&err, BinError::Malformed(m) if m.contains("exceeds")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bin(&sample()).unwrap();
+        bytes.push(0);
+        assert!(matches!(
+            from_bin(&bytes).unwrap_err(),
+            BinError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let inst = crate::suite::figure1_instance();
+        let dir = std::env::temp_dir().join("coflow-binio-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("fig1.bin");
+        save_bin(&inst, &p).unwrap();
+        let back = load_bin(&p).unwrap();
+        assert_eq!(back.flow_count(), inst.flow_count());
+        std::fs::remove_file(&p).ok();
+    }
+}

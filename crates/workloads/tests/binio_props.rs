@@ -1,0 +1,116 @@
+//! Property tests for the binary snapshot format.
+//!
+//! * **Round-trip fidelity** — for random generated instances,
+//!   JSON → binary → JSON is *byte-identical*: the binary format stores
+//!   every `f64` as its bit pattern, and the JSON writer uses shortest
+//!   round-trip float formatting, so no information can drift through a
+//!   format conversion.
+//! * **Corruption safety** — truncating a snapshot at any point, or
+//!   scribbling over its header, yields a typed [`BinError`], never a
+//!   panic, a bogus instance, or an unbounded allocation.
+
+use coflow_workloads::binio::{from_bin, to_bin, BinError, MAGIC};
+use coflow_workloads::gen::{generate, GenConfig};
+use coflow_workloads::io::to_json;
+use proptest::prelude::*;
+
+/// A random instance: varied topology, coflow count, width, and timing,
+/// with a deterministic sprinkling of committed paths (binary snapshots
+/// must carry the full routed state, not just raw demands).
+fn arb_instance() -> impl Strategy<Value = coflow_core::Instance> {
+    (0usize..3, 1usize..5, 1usize..5, 0u64..1000).prop_map(|(topo, n, w, seed)| {
+        let t = match topo {
+            0 => coflow_net::topo::fat_tree(4, 1.0),
+            1 => coflow_net::topo::line(4, 2.0),
+            _ => coflow_net::topo::triangle(),
+        };
+        let mut inst = generate(
+            &t,
+            &GenConfig {
+                n_coflows: n,
+                width: w,
+                size_mean: 3.0,
+                arrival_rate: 0.5,
+                seed,
+                ..Default::default()
+            },
+        );
+        // Commit a shortest path on every third flow.
+        let graph = inst.graph.clone();
+        for (k, c) in inst.coflows.iter_mut().enumerate() {
+            for (j, f) in c.flows.iter_mut().enumerate() {
+                if (k + j) % 3 == 0 && f.src != f.dst {
+                    f.path = coflow_net::paths::bfs_shortest_path(&graph, f.src, f.dst);
+                }
+            }
+        }
+        inst
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn json_bin_json_is_byte_identical(inst in arb_instance()) {
+        let json1 = to_json(&inst).unwrap();
+        let bytes = to_bin(&inst).unwrap();
+        let back = from_bin(&bytes).unwrap();
+        let json2 = to_json(&back).unwrap();
+        prop_assert_eq!(json1, json2);
+    }
+
+    #[test]
+    fn truncation_at_any_cut_is_a_typed_error(inst in arb_instance(), frac in 0.0f64..1.0) {
+        let bytes = to_bin(&inst).unwrap();
+        let cut = (((bytes.len() as f64) * frac) as usize).min(bytes.len() - 1);
+        let err = from_bin(&bytes[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(err, BinError::BadMagic | BinError::Truncated | BinError::Malformed(_)),
+            "cut at {}: unexpected {:?}", cut, err
+        );
+    }
+
+    #[test]
+    fn header_corruption_is_a_typed_error(inst in arb_instance(), byte in 0usize..8, val in 0u8..255) {
+        let mut bytes = to_bin(&inst).unwrap();
+        // Force the chosen header byte to actually change.
+        let val = if bytes[byte] == val { val.wrapping_add(1) } else { val };
+        bytes[byte] = val;
+        match from_bin(&bytes) {
+            Err(BinError::BadMagic) => prop_assert!(byte < MAGIC.len()),
+            Err(BinError::UnsupportedVersion(v)) => {
+                prop_assert!(byte >= MAGIC.len());
+                prop_assert!(v != coflow_workloads::binio::VERSION);
+            }
+            other => prop_assert!(false, "expected a header error, got {:?}", other),
+        }
+    }
+}
+
+/// Non-proptest spot check: a committed path survives the binary hop with
+/// its exact edge sequence (the property tests only compare JSON text).
+#[test]
+fn committed_path_edges_survive() {
+    let t = coflow_net::topo::fat_tree(4, 1.0);
+    let mut inst = generate(
+        &t,
+        &GenConfig {
+            n_coflows: 2,
+            width: 3,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    let graph = inst.graph.clone();
+    let f = &mut inst.coflows[0].flows[0];
+    let (src, dst) = (f.src, f.dst);
+    if src != dst {
+        f.path = coflow_net::paths::bfs_shortest_path(&graph, src, dst);
+    }
+    let back = from_bin(&to_bin(&inst).unwrap()).unwrap();
+    assert_eq!(
+        back.coflows[0].flows[0].path, inst.coflows[0].flows[0].path,
+        "exact edge ids must survive"
+    );
+}
