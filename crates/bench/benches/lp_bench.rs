@@ -1,8 +1,10 @@
 //! Criterion microbenchmarks for the simplex solver (substrate #2):
-//! scaling of the §2.2 path LP with coflow width (fat-tree k=4 and the
-//! paper-scale k=8), a pure-LP transportation stress series, the
-//! dense-inverse baseline, a warm-vs-cold grid-sequence comparison, and
-//! the delayed-column-generation vs eager-enumeration A/B.
+//! scaling of the §2.2 path LP with coflow width (fat-tree k=4, the
+//! paper-scale k=8, and the scale-up k=16), a pure-LP transportation
+//! stress series (including transport/1000 and a candidate-pricing
+//! 4-thread A/B at transport/500), the dense-inverse baseline, a
+//! warm-vs-cold grid-sequence comparison, and the
+//! delayed-column-generation vs eager-enumeration A/B.
 //!
 //! Besides the console report, the run writes a machine-readable snapshot
 //! to `results/BENCH_lp.json` (wall times + per-solve [`SolveStats`] with
@@ -140,6 +142,20 @@ fn production_opts() -> SolverOptions {
     }
 }
 
+/// The threaded configuration for the large points: candidate-list
+/// pricing (scattered list rescans most pivots, parallel sectioned
+/// window scans on refill) at a fixed four workers. Fixed rather than
+/// detected so the recorded numbers are comparable across machines; the
+/// pivot sequence itself is thread-count invariant by construction.
+fn parallel_opts() -> SolverOptions {
+    SolverOptions {
+        verify: false,
+        pricing: Pricing::Candidate,
+        threads: 4,
+        ..Default::default()
+    }
+}
+
 /// The historical solver configuration: explicit dense `B⁻¹`, full devex
 /// pricing, exact phase-1 costs — the baseline the sparse rewrite is
 /// measured against.
@@ -238,6 +254,7 @@ fn fmt_stats(s: &SolveStats) -> String {
             "\"factor_nnz\":{},\"basis_nnz\":{},\"fill_ratio\":{:.4},",
             "\"rows\":{},\"cols\":{},\"warm_attempted\":{},\"warm_used\":{},",
             "\"allocs\":{},\"scratch_reuse\":{},",
+            "\"pricing_full_scans\":{},\"pricing_list_hits\":{},\"threads\":{},",
             "\"pricing_ms\":{:.3},\"ftran_btran_ms\":{:.3},\"factor_ms\":{:.3}}}"
         ),
         s.iterations,
@@ -252,6 +269,9 @@ fn fmt_stats(s: &SolveStats) -> String {
         s.warm_used,
         s.allocs,
         s.scratch_reuse,
+        s.pricing_full_scans,
+        s.pricing_list_hits,
+        s.threads,
         s.pricing_ms,
         s.ftran_btran_ms,
         s.factor_ms,
@@ -313,6 +333,36 @@ fn bench_snapshot(_c: &mut Criterion) {
             });
         }
     }
+    // The same transport/500 model under the threaded candidate-pricing
+    // configuration: the pricing_ms delta against the serial "sparse-lu"
+    // point above is the headline parallel-pricing measurement (guarded
+    // against the committed baseline by `perf_gate`).
+    {
+        let m = transport(500);
+        let (ms, ms_min, sol) = measure_with(samples, || m.solve_with(&parallel_opts()).unwrap());
+        points.push(Point {
+            name: "raw_simplex/transport/500".into(),
+            backend: "sparse-lu-parallel",
+            wall_ms_median: ms,
+            wall_ms_min: ms_min,
+            samples,
+            stats: sol.stats,
+        });
+    }
+    // The scale-up transport point only runs under the threaded
+    // configuration: serially it is a multi-second solve per sample.
+    {
+        let m = transport(1000);
+        let (ms, ms_min, sol) = measure_with(samples, || m.solve_with(&parallel_opts()).unwrap());
+        points.push(Point {
+            name: "raw_simplex/transport/1000".into(),
+            backend: "sparse-lu-parallel",
+            wall_ms_median: ms,
+            wall_ms_min: ms_min,
+            samples,
+            stats: sol.stats,
+        });
+    }
     // The dense-inverse baseline at the ROADMAP's reference point.
     {
         let m = transport(100);
@@ -371,6 +421,60 @@ fn bench_snapshot(_c: &mut Criterion) {
         });
         colgen_rows.push(ColgenRow {
             name: "free_paths_lp/fat_tree_k8/8".into(),
+            eager_wall_ms: ms,
+            colgen_wall_ms: cg_ms,
+            eager_cols: eager.base.stats.cols,
+            colgen_cols: cg_lp.base.stats.cols,
+            colgen: cg,
+            eager_objective: eager.base.objective,
+            objective_delta: (cg_lp.base.objective - eager.base.objective).abs(),
+        });
+    }
+    // Scale-up interval LP (fat-tree k=16, 1024 hosts, width 8) under the
+    // threaded configuration: ~20k eager path columns, so this point is
+    // only tractable as a colgen-vs-eager A/B with concurrent oracles.
+    {
+        let inst = generate(&topo::fat_tree(16, 1.0), &fig3_config(8, 0));
+        let cfg = FreePathsLpConfig {
+            solver: parallel_opts(),
+            ..Default::default()
+        };
+        let (ms, ms_min, eager) =
+            measure_with(samples, || solve_free_paths_lp_paths(&inst, &cfg).unwrap());
+        points.push(Point {
+            name: "free_paths_lp/fat_tree_k16/8".into(),
+            backend: "sparse-lu-parallel",
+            wall_ms_median: ms,
+            wall_ms_min: ms_min,
+            samples,
+            stats: eager.base.stats,
+        });
+        let cfg_cg = FreePathsLpConfig {
+            columns: ColumnMode::delayed(),
+            ..cfg
+        };
+        let (cg_ms, cg_ms_min, (cg_lp, cg)) = measure_with(samples, || {
+            let grid = IntervalGrid::cover(cfg_cg.eps, inst.horizon());
+            let mut pool = PathPool::new();
+            solve_free_paths_lp_colgen_on_grid(
+                &inst,
+                &cfg_cg,
+                grid,
+                &mut WarmChain::new(),
+                &mut pool,
+            )
+            .unwrap()
+        });
+        points.push(Point {
+            name: "free_paths_lp/fat_tree_k16/8".into(),
+            backend: "sparse-lu-colgen-parallel",
+            wall_ms_median: cg_ms,
+            wall_ms_min: cg_ms_min,
+            samples,
+            stats: cg_lp.base.stats,
+        });
+        colgen_rows.push(ColgenRow {
+            name: "free_paths_lp/fat_tree_k16/8".into(),
             eager_wall_ms: ms,
             colgen_wall_ms: cg_ms,
             eager_cols: eager.base.stats.cols,
@@ -447,6 +551,15 @@ fn bench_snapshot(_c: &mut Criterion) {
         .find(|p| p.backend == "dense-inverse-baseline")
         .unwrap()
         .wall_ms_median;
+    let serial500 = points
+        .iter()
+        .find(|p| p.name.ends_with("transport/500") && p.backend == "sparse-lu")
+        .unwrap();
+    let par500 = points
+        .iter()
+        .find(|p| p.name.ends_with("transport/500") && p.backend == "sparse-lu-parallel")
+        .unwrap();
+    let pricing_speedup = serial500.stats.pricing_ms / par500.stats.pricing_ms;
 
     let mut json = String::from("{\n  \"schema\": \"coflow-lp-bench/v2\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n  \"points\": [\n"));
@@ -516,8 +629,12 @@ fn bench_snapshot(_c: &mut Criterion) {
         sweep_cold_ms,
     ));
     json.push_str(&format!(
-        "  \"derived\": {{\"transport100_speedup_vs_dense_baseline\":{:.2}}}\n}}\n",
-        dense100 / sparse100
+        concat!(
+            "  \"derived\": {{\"transport100_speedup_vs_dense_baseline\":{:.2},",
+            "\"transport500_pricing_speedup_candidate4t_vs_serial\":{:.2}}}\n}}\n"
+        ),
+        dense100 / sparse100,
+        pricing_speedup,
     ));
 
     // Cargo runs benches with the package dir as CWD; anchor the artifact
@@ -534,6 +651,14 @@ fn bench_snapshot(_c: &mut Criterion) {
         cold_iters,
         sweep_warm.total_iterations,
         sweep_cold_iters
+    );
+    println!(
+        "  parallel pricing transport/500: candidate/4t pricing {:.1}ms vs serial {:.1}ms \
+         ({pricing_speedup:.2}x), wall {:.1}ms vs {:.1}ms",
+        par500.stats.pricing_ms,
+        serial500.stats.pricing_ms,
+        par500.wall_ms_median,
+        serial500.wall_ms_median,
     );
     for r in &colgen_rows {
         println!(
@@ -556,8 +681,8 @@ fn bench_snapshot(_c: &mut Criterion) {
     );
     // Column generation must reproduce the eager optimum on every recorded
     // point and materialize at most a quarter of the eager columns on the
-    // headline points (transport/500, fat-tree k8); transport/500 must
-    // also be a measured wall-clock win.
+    // headline points (transport/500, fat-tree k8/k16); transport/500 and
+    // the k16 scale-up must also be measured wall-clock wins.
     for r in &colgen_rows {
         assert!(
             r.objective_delta <= tol::OBJ_REL_EPS * (1.0 + r.eager_objective.abs()),
@@ -566,7 +691,10 @@ fn bench_snapshot(_c: &mut Criterion) {
             r.objective_delta,
             r.eager_objective
         );
-        if r.name.ends_with("transport/500") || r.name.contains("fat_tree_k8") {
+        if r.name.ends_with("transport/500")
+            || r.name.contains("fat_tree_k8")
+            || r.name.contains("fat_tree_k16")
+        {
             assert!(
                 4 * r.colgen_cols <= r.eager_cols,
                 "{}: colgen cols {} exceed 25% of eager {}",
@@ -575,7 +703,7 @@ fn bench_snapshot(_c: &mut Criterion) {
                 r.eager_cols
             );
         }
-        if r.name.ends_with("transport/500") {
+        if r.name.ends_with("transport/500") || r.name.contains("fat_tree_k16") {
             assert!(
                 r.colgen_wall_ms < r.eager_wall_ms,
                 "{}: colgen {:.1}ms not faster than eager {:.1}ms",

@@ -16,8 +16,14 @@
 //!   name plus backend (the same point is measured under several
 //!   backends), and `colgen_vs_eager[].colgen_wall_ms` keyed by name.
 //!   Additionally enforces (fresh file only, no baseline needed) that
-//!   the acceptance points `transport/500` and `fat_tree_k8` keep
-//!   colgen at or below eager wall time (`speedup >= 1.0`).
+//!   the acceptance points `transport/500`, `fat_tree_k8`, and
+//!   `fat_tree_k16` keep colgen at or below eager wall time
+//!   (`speedup >= 1.0`), and two cross-file parallel-pricing guards:
+//!   the fresh `transport/500[sparse-lu-parallel]` point must price at
+//!   least 2× faster than the *baseline* serial `transport/500`
+//!   `pricing_ms`, and the fresh
+//!   `fat_tree_k16/8[sparse-lu-colgen-parallel]` point must solve cold
+//!   in under one second.
 //! * `coflow-online-bench/v1` — `points[].policies[].total_resolve_ms`
 //!   keyed by `rate=<r>/<policy>`.
 //!
@@ -134,10 +140,77 @@ fn extract_series(doc: &Value) -> Vec<(String, f64)> {
     out
 }
 
+/// Finds a measurement point by name suffix and exact backend tag.
+fn find_point<'a>(doc: &'a Value, name: &str, backend: &str) -> Option<&'a Value> {
+    arr(doc, "points").iter().find(|p| {
+        text(p, "name").is_some_and(|n| n.ends_with(name)) && text(p, "backend") == Some(backend)
+    })
+}
+
+/// The parallel-pricing acceptance guards (LP artifacts only):
+///
+/// * the fresh candidate-list/4-thread `transport/500` point must cut
+///   `pricing_ms` at least 2× against the **baseline** serial
+///   `transport/500` point (the committed artifact), and
+/// * the fresh fat-tree k=16 width-8 colgen point must solve cold in
+///   under one second of wall clock.
+fn parallel_acceptance(baseline: &Value, fresh: &Value) -> Vec<String> {
+    const PRICING_SPEEDUP_MIN: f64 = 2.0;
+    const K16_COLGEN_MAX_MS: f64 = 1000.0;
+    let mut failures = Vec::new();
+    if !text(fresh, "schema").is_some_and(|s| s.starts_with("coflow-lp-bench/")) {
+        return failures;
+    }
+    let pricing = |doc: &Value, backend: &str| {
+        find_point(doc, "transport/500", backend)
+            .and_then(|p| p.lookup("stats"))
+            .and_then(|s| num(s, "pricing_ms"))
+    };
+    match (
+        pricing(baseline, "sparse-lu"),
+        pricing(fresh, "sparse-lu-parallel"),
+    ) {
+        (Some(base_ms), Some(par_ms)) if par_ms > 0.0 => {
+            let speedup = base_ms / par_ms;
+            if speedup < PRICING_SPEEDUP_MIN {
+                failures.push(format!(
+                    "transport/500 parallel pricing: {base_ms:.3} ms -> {par_ms:.3} ms \
+                     ({speedup:.2}x < required {PRICING_SPEEDUP_MIN:.2}x)"
+                ));
+            } else {
+                println!(
+                    "parallel pricing acceptance OK: transport/500 pricing {base_ms:.3} ms -> \
+                     {par_ms:.3} ms ({speedup:.2}x)"
+                );
+            }
+        }
+        (None, _) => println!(
+            "  (baseline has no serial transport/500 pricing_ms; pricing speedup not gated)"
+        ),
+        (_, _) => failures.push(
+            "transport/500[sparse-lu-parallel]: missing or zero pricing_ms in fresh artifact"
+                .into(),
+        ),
+    }
+    match find_point(fresh, "fat_tree_k16/8", "sparse-lu-colgen-parallel")
+        .and_then(|p| num(p, "wall_ms_median"))
+    {
+        Some(ms) if ms < K16_COLGEN_MAX_MS => {
+            println!("k16 colgen acceptance OK: cold solve {ms:.3} ms < {K16_COLGEN_MAX_MS} ms");
+        }
+        Some(ms) => failures.push(format!(
+            "fat_tree_k16/8 colgen: cold solve {ms:.3} ms >= {K16_COLGEN_MAX_MS} ms"
+        )),
+        None => failures
+            .push("fat_tree_k16/8[sparse-lu-colgen-parallel]: missing from fresh artifact".into()),
+    }
+    failures
+}
+
 /// The intra-file acceptance guard: on LP artifacts, the named colgen
 /// points must not be slower than eager enumeration.
 fn colgen_acceptance(fresh: &Value) -> Vec<String> {
-    const GUARDED: [&str; 2] = ["transport/500", "fat_tree_k8"];
+    const GUARDED: [&str; 3] = ["transport/500", "fat_tree_k8", "fat_tree_k16"];
     let mut failures = Vec::new();
     if !text(fresh, "schema").is_some_and(|s| s.starts_with("coflow-lp-bench/")) {
         return failures;
@@ -199,6 +272,7 @@ fn run() -> Result<bool, String> {
         }
     }
     failures.extend(colgen_acceptance(&fresh));
+    failures.extend(parallel_acceptance(&baseline, &fresh));
 
     if failures.is_empty() {
         println!(
@@ -282,5 +356,56 @@ mod tests {
         let bad = colgen_acceptance(&lp_doc(21.0, 150.0, 140.0));
         assert_eq!(bad.len(), 1);
         assert!(bad[0].contains("transport/500"), "{}", bad[0]);
+    }
+
+    fn serial_doc(pricing_ms: f64) -> Value {
+        parse_json(&format!(
+            r#"{{
+              "schema": "coflow-lp-bench/v2",
+              "points": [{{"name": "raw_simplex/transport/500", "backend": "sparse-lu",
+                           "wall_ms_median": 580.0,
+                           "stats": {{"pricing_ms": {pricing_ms}}}}}]
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    fn parallel_doc(pricing_ms: f64, k16_ms: f64) -> Value {
+        parse_json(&format!(
+            r#"{{
+              "schema": "coflow-lp-bench/v2",
+              "points": [
+                {{"name": "raw_simplex/transport/500", "backend": "sparse-lu-parallel",
+                  "wall_ms_median": 330.0, "stats": {{"pricing_ms": {pricing_ms}}}}},
+                {{"name": "free_paths_lp/fat_tree_k16/8",
+                  "backend": "sparse-lu-colgen-parallel", "wall_ms_median": {k16_ms}}}
+              ]
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_acceptance_requires_two_x_pricing_cut() {
+        let base = serial_doc(358.0);
+        assert!(parallel_acceptance(&base, &parallel_doc(133.0, 65.0)).is_empty());
+        let bad = parallel_acceptance(&base, &parallel_doc(250.0, 65.0));
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("parallel pricing"), "{}", bad[0]);
+    }
+
+    #[test]
+    fn parallel_acceptance_caps_k16_colgen_wall() {
+        let base = serial_doc(358.0);
+        let bad = parallel_acceptance(&base, &parallel_doc(133.0, 1500.0));
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("fat_tree_k16"), "{}", bad[0]);
+    }
+
+    #[test]
+    fn parallel_acceptance_flags_missing_fresh_points() {
+        let base = serial_doc(358.0);
+        let bad = parallel_acceptance(&base, &serial_doc(358.0));
+        assert_eq!(bad.len(), 2, "{bad:?}");
     }
 }

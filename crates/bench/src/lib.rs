@@ -246,7 +246,7 @@ pub fn run_point_with(
     warm: WarmPolicy,
 ) -> PointSummary {
     let workers = threads.max(1).min(instances.len().max(1));
-    let per_chunk = instances.len().div_ceil(workers.max(1)).max(1);
+    let per_chunk = chunk_len(instances.len(), workers);
     let chunks: Vec<(usize, &[Instance])> = instances
         .chunks(per_chunk)
         .enumerate()
@@ -329,55 +329,15 @@ pub fn run_point_with(
     }
 }
 
-/// Simple scoped-thread parallel map preserving input order.
-pub fn run_parallel<T: Sync, R: Send>(
-    items: &[T],
-    threads: usize,
-    f: impl Fn(usize, &T) -> R + Sync,
-) -> Vec<R> {
-    run_parallel_with(items, threads, || (), |(), i, item| f(i, item))
-}
+// The worker pool lives in `coflow_lp::par` (the solver's own parallel
+// pricing uses it); the harness re-exports it for the figure binaries.
+pub use coflow_lp::par::{run_parallel, run_parallel_with};
 
-/// [`run_parallel`] with per-worker state: `init` runs once on each worker
-/// thread and the resulting state is threaded through every item that
-/// worker processes. General utility for caches or scratch buffers whose
-/// contents must not affect results — note [`run_point`] deliberately does
-/// *not* use it for its [`WarmChain`]s: work-stealing makes the
-/// item-to-worker assignment timing-dependent, so anything result-affecting
-/// (an accepted warm basis can change the optimal vertex) must be threaded
-/// through a deterministic static partition instead.
-pub fn run_parallel_with<T: Sync, R: Send, S>(
-    items: &[T],
-    threads: usize,
-    init: impl Fn() -> S + Sync,
-    f: impl Fn(&mut S, usize, &T) -> R + Sync,
-) -> Vec<R> {
-    let threads = threads.max(1);
-    let n = items.len();
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
-        out.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|| {
-                let mut state = init();
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let r = f(&mut state, i, &items[i]);
-                    // lint: allow(no_panic) — harness crate: propagate a worker panic
-                    **slots[i].lock().expect("worker panicked holding slot lock") = Some(r);
-                }
-            });
-        }
-    });
-    out.into_iter()
-        // lint: allow(no_panic) — harness crate: a dead worker is a harness bug
-        .map(|o| o.expect("worker died before filling slot"))
-        .collect()
+/// Contiguous-chunk length for splitting `n` trials across `workers`
+/// (callers guarantee `workers >= 1`): `ceil(n / workers)`, floored at 1
+/// so `chunks(per_chunk)` is well-defined even for an empty sweep.
+pub fn chunk_len(n: usize, workers: usize) -> usize {
+    n.div_ceil(workers).max(1)
 }
 
 /// Prints an aligned table.
@@ -663,6 +623,28 @@ mod tests {
             x * 2
         });
         assert_eq!(out, (0..17).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    /// Every item lands in exactly one chunk, chunk count never exceeds
+    /// the worker count, and degenerate shapes (empty sweep, more workers
+    /// than items) stay well-defined.
+    #[test]
+    fn chunk_len_partitions_exactly() {
+        for n in [0usize, 1, 2, 5, 16, 17, 100] {
+            for workers in [1usize, 2, 3, 4, 8] {
+                let per = chunk_len(n, workers);
+                assert!(per >= 1);
+                let chunks = n.div_ceil(per);
+                assert!(
+                    chunks <= workers,
+                    "n={n} workers={workers}: {chunks} chunks"
+                );
+                let covered: usize = (0..chunks).map(|c| per.min(n - c * per)).sum();
+                assert_eq!(covered, n, "n={n} workers={workers}");
+            }
+        }
+        assert_eq!(chunk_len(0, 4), 1, "empty sweep yields empty chunk iter");
+        assert_eq!(chunk_len(10, 3), 4);
     }
 
     #[test]

@@ -673,43 +673,98 @@ pub fn solve_free_paths_lp_colgen_on_grid(
     // noise on an already-optimal master.
     let price_tol = cfg.solver.tol.max(crate::tol::DUAL_EPS);
 
+    // Flow endpoints/sizes by flat index, for the oracle fan-out below.
+    let mut flow_ep = vec![None; nf];
+    for (_, flat, spec) in instance.flows() {
+        flow_ep[flat] = Some((spec.src, spec.dst, spec.size));
+    }
+
+    // Per-worker oracle state, retained across pricing rounds: the
+    // Bellman–Ford DP tables plus the section's search results in item
+    // order. Worker `w` always owns slot `w` (deterministic static
+    // partition), and scratch contents are reinitialized per search, so
+    // results are identical at any thread count.
+    #[derive(Default)]
+    struct OracleSlot {
+        ws: pricing::PathScratch,
+        out: Vec<Option<(Path, f64)>>,
+    }
+    let oracle_workers = cfg.solver.threads.max(1);
+    let mut oracle_slots: Vec<OracleSlot> = Vec::new();
+    oracle_slots.resize_with(oracle_workers, OracleSlot::default);
+
     let (sol, stats) = solve_colgen(&mut m, &cfg.solver, chain, max_rounds, |sol, m| {
-        let mut added = 0usize;
+        // Gather the (flow, interval) oracle calls whose dual bound says a
+        // path could conceivably price out. Prescribed flows cannot
+        // reroute; zero-size flows put no load on capacity rows, so every
+        // path column is identical and the seed already covers them; and
+        // edge prices are nonnegative, so `base >= -tol` rules a pair out
+        // before any search.
+        let mut work: Vec<(usize, usize, f64)> = Vec::new(); // (flat, l, base)
         for (_, flat, spec) in instance.flows() {
             if prescribed[flat] || spec.size <= 0.0 {
-                // Prescribed flows cannot reroute; zero-size flows put no
-                // load on capacity rows, so every path column is identical
-                // and the seed already covers them.
                 continue;
             }
             let y_sum = sol.dual(sum_row[flat]);
             let y_cmp = sol.dual(cmp_row[flat]);
             for l in first_l[flat]..nl {
                 let base = -y_sum - grid.lower(l) * y_cmp;
-                if base >= -price_tol {
-                    // Edge prices are nonnegative, so no path can price
-                    // below `base`: skip the search outright.
-                    continue;
+                if base < -price_tol {
+                    work.push((flat, l, base));
                 }
-                let coeff = spec.size / grid.length(l);
-                let price = |e: EdgeId| (-sol.dual(cap_row[e.index() * nl + l])).max(0.0) * coeff;
-                let Some((p, w)) = pricing::cheapest_path_hop_bounded(
-                    g,
-                    spec.src,
-                    spec.dst,
-                    hop_budget[flat],
-                    price,
-                ) else {
-                    continue;
-                };
-                if base + w < -price_tol {
-                    let sig = pricing::path_signature(&p);
-                    let (pi, fresh) = pool.insert_with(flat, sig, || p.clone());
-                    if fresh {
-                        let vars = add_path_columns(m, flat, pi, &p, spec.size, first_l[flat]);
-                        added += vars.len();
-                        xcols[flat].push((pi, vars));
-                    }
+            }
+        }
+
+        // Fan the searches across the worker pool: each search reads only
+        // the master's duals (shared, immutable) and its worker's own DP
+        // scratch. Sections are contiguous in item order, so concatenating
+        // the slot outputs below restores the exact serial order.
+        for slot in oracle_slots.iter_mut() {
+            slot.out.clear();
+        }
+        coflow_lp::par::for_each_section(
+            oracle_workers,
+            work.len(),
+            &mut oracle_slots,
+            |_, range, slot| {
+                let OracleSlot { ws, out } = slot;
+                for &(flat, l, _) in &work[range] {
+                    #[allow(clippy::unwrap_used)]
+                    // lint: allow(no_panic) — flow_ep is filled for every flat that prices
+                    let (src, dst, size) = flow_ep[flat].unwrap();
+                    let coeff = size / grid.length(l);
+                    let price =
+                        |e: EdgeId| (-sol.dual(cap_row[e.index() * nl + l])).max(0.0) * coeff;
+                    out.push(pricing::cheapest_path_hop_bounded_in(
+                        g,
+                        src,
+                        dst,
+                        hop_budget[flat],
+                        price,
+                        ws,
+                    ));
+                }
+            },
+        );
+
+        // Serial injection in item order: ColumnPool indices and master
+        // column order stay byte-identical to the serial oracle loop.
+        let mut added = 0usize;
+        let results = oracle_slots.iter().flat_map(|s| s.out.iter());
+        for (&(flat, _, base), res) in work.iter().zip(results) {
+            let Some((p, w)) = res else {
+                continue;
+            };
+            if base + w < -price_tol {
+                let sig = pricing::path_signature(p);
+                let (pi, fresh) = pool.insert_with(flat, sig, || p.clone());
+                if fresh {
+                    #[allow(clippy::unwrap_used)]
+                    // lint: allow(no_panic) — flow_ep is filled for every flat that prices
+                    let size = flow_ep[flat].unwrap().2;
+                    let vars = add_path_columns(m, flat, pi, p, size, first_l[flat]);
+                    added += vars.len();
+                    xcols[flat].push((pi, vars));
                 }
             }
         }
@@ -1073,5 +1128,58 @@ mod tests {
         );
         let lp = solve_free_paths_lp_paths(&inst, &FreePathsLpConfig::default()).unwrap();
         assert!(lp.base.coflow_completion[0] <= lp.base.coflow_completion[1] + 1e-6);
+    }
+
+    /// Concurrent pricing oracles must not perturb colgen determinism:
+    /// the oracle fan-out partitions the per-(flow, interval) work items
+    /// across scoped workers but injects results serially in item order,
+    /// so the [`PathPool`] contents — group by group, in insertion order —
+    /// the objective bits, and the round count must be identical at any
+    /// `solver.threads`.
+    #[test]
+    fn colgen_column_pool_identical_across_oracle_threads() {
+        let t = topo::fat_tree(4, 1.0);
+        let mut flows = Vec::new();
+        for i in 0..4 {
+            flows.push(FlowSpec::new(t.hosts[i], t.hosts[15 - i], 4.0, 0.0));
+        }
+        let inst = Instance::new(t.graph.clone(), vec![Coflow::new(1.0, flows)]);
+        let run = |threads: usize| {
+            let cfg = FreePathsLpConfig {
+                columns: ColumnMode::delayed(),
+                solver: coflow_lp::SolverOptions {
+                    threads,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let grid = IntervalGrid::cover(cfg.eps, inst.horizon());
+            let mut pool = PathPool::new();
+            let (cg, stats) = solve_free_paths_lp_colgen_on_grid(
+                &inst,
+                &cfg,
+                grid,
+                &mut WarmChain::new(),
+                &mut pool,
+            )
+            .unwrap();
+            (cg.base.objective, stats.rounds, stats.generated_cols, pool)
+        };
+        let (obj1, rounds1, gen1, pool1) = run(1);
+        assert!(gen1 > 0, "contention must force column generation");
+        for threads in [2, 4] {
+            let (obj, rounds, gen, pool) = run(threads);
+            assert_eq!(obj.to_bits(), obj1.to_bits(), "objective bits @{threads}");
+            assert_eq!(rounds, rounds1, "round count @{threads}");
+            assert_eq!(gen, gen1, "generated columns @{threads}");
+            assert_eq!(pool.group_count(), pool1.group_count(), "groups @{threads}");
+            for g in 0..pool1.group_count() {
+                assert_eq!(
+                    pool.group(g),
+                    pool1.group(g),
+                    "pool group {g} ordering differs at {threads} threads"
+                );
+            }
+        }
     }
 }

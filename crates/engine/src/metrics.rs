@@ -116,6 +116,15 @@ impl EngineMetrics {
                 ("warm_used".into(), Value::Bool(s.warm_used)),
                 ("allocs".into(), Value::Num(s.allocs as f64)),
                 ("scratch_reuse".into(), Value::Num(s.scratch_reuse as f64)),
+                (
+                    "pricing_full_scans".into(),
+                    Value::Num(s.pricing_full_scans as f64),
+                ),
+                (
+                    "pricing_list_hits".into(),
+                    Value::Num(s.pricing_list_hits as f64),
+                ),
+                ("threads".into(), Value::Num(s.threads as f64)),
             ])
         };
         Value::Obj(vec![
@@ -231,6 +240,9 @@ mod tests {
                     warm_attempted: true,
                     warm_used: true,
                     scratch_reuse: 7,
+                    pricing_full_scans: 5,
+                    pricing_list_hits: 35,
+                    threads: 4,
                     ..Default::default()
                 }),
                 colgen: Some(ColGenStats {
@@ -258,6 +270,14 @@ mod tests {
         assert_eq!(
             log[0].lookup("solve").unwrap().lookup("scratch_reuse"),
             Some(&Value::Num(7.0))
+        );
+        assert_eq!(
+            log[0].lookup("solve").unwrap().lookup("pricing_list_hits"),
+            Some(&Value::Num(35.0))
+        );
+        assert_eq!(
+            log[0].lookup("solve").unwrap().lookup("threads"),
+            Some(&Value::Num(4.0))
         );
     }
 }

@@ -39,7 +39,7 @@ pub(crate) enum SnapStat {
 /// Produced by [`crate::Model::solve_with_basis`] / [`crate::Model::solve_warm`]
 /// and consumed by [`crate::Model::solve_warm`] on a structurally related
 /// (typically grown) model. Opaque: only size accessors are public.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Basis {
     /// Exceptional statuses by variable name (absent = at lower bound).
     pub(crate) stat: BTreeMap<String, SnapStat>,
@@ -136,6 +136,18 @@ pub struct SolveStats {
     pub allocs: usize,
     /// Workspace acquisitions served from retained scratch capacity.
     pub scratch_reuse: usize,
+    /// Full pricing scans over every column (parallel across fixed
+    /// sections when [`SolverOptions::threads`](crate::SolverOptions) >
+    /// 1): the expensive pivots candidate-list pricing tries to avoid.
+    pub pricing_full_scans: usize,
+    /// Pivots priced without scanning every column: served from the
+    /// candidate list ([`Pricing::Candidate`](crate::Pricing)) or from an
+    /// early-stopping window ([`Pricing::Partial`](crate::Pricing)).
+    pub pricing_list_hits: usize,
+    /// Worker threads the solve ran with (`SolverOptions::threads`,
+    /// clamped to at least 1). Purely informational: results are byte
+    /// identical at any thread count.
+    pub threads: usize,
 }
 
 impl SolveStats {

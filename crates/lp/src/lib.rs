@@ -21,6 +21,10 @@
 //!   used as a cross-checking oracle in tests (never in production paths);
 //! * [`presolve`] — fixed-variable elimination, empty-row checks, and
 //!   singleton-row bound tightening;
+//! * [`par`] — std-only scoped-thread worker pools: the deterministic
+//!   static-section partition behind the parallel pricing scan and the
+//!   colgen oracle fan-out, plus the order-preserving work-stealing map
+//!   the bench harness re-exports;
 //! * [`colgen`] — delayed column generation: the [`solve_colgen`]
 //!   restricted-master loop (warm-started through a [`WarmChain`]) and the
 //!   persistent [`ColumnPool`] that keeps generated columns reusable across
@@ -62,6 +66,7 @@ pub mod colgen;
 pub mod dense;
 pub(crate) mod factor;
 pub mod model;
+pub mod par;
 pub mod presolve;
 pub mod scratch;
 pub mod simplex;

@@ -98,8 +98,20 @@ pub enum Pricing {
     Partial,
     /// Classic full pricing: every iteration scans all columns and updates
     /// all devex weights (the historical behavior, kept as a measurable
-    /// baseline and for pathological instances).
+    /// baseline and for pathological instances). The scan runs across
+    /// fixed column sections on [`SolverOptions::threads`] workers; the
+    /// winner (best devex score, ties to the lower column index) is
+    /// identical at any thread count.
     Full,
+    /// Candidate-list pricing: a full scan (parallel across fixed column
+    /// sections, exact deterministic merge) refills a short list of the
+    /// best-scoring columns; subsequent pivots rescan only the list until
+    /// it runs dry. The cheapest mode on very wide LPs (`n ≫ m`) and the
+    /// one that scales with [`SolverOptions::threads`]; pivot sequences
+    /// are byte-identical at any thread count, but differ from
+    /// [`Pricing::Partial`]'s, so solves may return a different
+    /// equally-optimal vertex than the default mode.
+    Candidate,
 }
 
 /// Options controlling the simplex.
@@ -134,6 +146,22 @@ pub struct SolverOptions {
     pub pricing: Pricing,
     /// Which solver implementation to use (see [`Backend`]).
     pub backend: Backend,
+    /// Worker threads for the parallel pricing scan and the colgen
+    /// oracle fan-out (clamped to at least 1). Results are **byte
+    /// identical at any thread count** — the parallel reduction is a
+    /// deterministic exact merge — so this knob trades wall time only.
+    /// Defaults to the `COFLOW_LP_THREADS` environment variable when set
+    /// to a positive integer, else 1.
+    pub threads: usize,
+}
+
+/// Reads the `COFLOW_LP_THREADS` default for [`SolverOptions::threads`].
+fn threads_from_env() -> usize {
+    std::env::var("COFLOW_LP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
 }
 
 impl Default for SolverOptions {
@@ -148,6 +176,7 @@ impl Default for SolverOptions {
             phase1_jitter: 1e-7,
             pricing: Pricing::default(),
             backend: Backend::default(),
+            threads: threads_from_env(),
         }
     }
 }

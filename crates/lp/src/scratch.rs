@@ -83,6 +83,21 @@ pub(crate) struct PhaseBufs {
     pub(crate) rho: Vec<f64>,
     /// Devex reference weights.
     pub(crate) gamma: Vec<f64>,
+    /// Per-column pricing sign: `-1` at lower bound, `+1` at upper, `0`
+    /// for basic or fixed (`lb == ub`) columns. Maintained incrementally
+    /// across pivots so the scan kernels replace a status match plus two
+    /// bound loads with one byte load.
+    pub(crate) sgn: Vec<i8>,
+    /// Candidate list for candidate pricing: column indices retained by
+    /// the last refill scan (eligible columns first, then the best
+    /// near-misses), rescanned on every pivot until it runs dry.
+    pub(crate) cand: Vec<u32>,
+    /// Merge buffer for the per-section scan results: `(score, column,
+    /// eligible)` entries sorted into the global top list.
+    pub(crate) merged: Vec<(f64, u32, bool)>,
+    /// Per-worker output slots of the parallel refill scan (one bounded
+    /// local top list per fixed column section).
+    pub(crate) sections: Vec<Vec<(f64, u32, bool)>>,
 }
 
 /// Refactorization temporaries: the basis-column gather pool and the

@@ -242,6 +242,45 @@ enum PhaseEnd {
     Unbounded,
 }
 
+/// Candidate-list capacity: how many of the best-scoring columns a refill
+/// scan retains for the following pivots to rescan (two generations live
+/// in the list at once, so rescans read up to twice this). Deep enough to
+/// survive a run of pivots (eligibility churns fast on degenerate LPs),
+/// shallow enough that a rescan costs well under a window scan — the
+/// rescan is a scattered gather, and its cache misses dominate pricing
+/// long before the list stops fitting.
+const CAND_LIST_CAP: usize = 64;
+
+/// Below this column count a full scan stays on the calling thread: the
+/// scan is cheaper than spawning scoped workers. Thread-count invariance
+/// does not depend on this threshold (see [`cand_order`]).
+const PAR_SCAN_MIN_COLS: usize = 4096;
+
+/// Total order on pricing candidates `(devex score, column)`: higher
+/// score first, ties to the lower column index. The order is a pure
+/// function of the candidate values, so merging per-section top-`K`
+/// lists under it yields the exact global top-`K` for *any* section
+/// layout — each global top-`K` element is necessarily in its own
+/// section's top-`K`. That partition invariance is what makes the pivot
+/// sequence byte-identical at any thread count.
+#[inline]
+fn cand_order(a: &(f64, u32), b: &(f64, u32)) -> std::cmp::Ordering {
+    b.0.total_cmp(&a.0).then(a.1.cmp(&b.1))
+}
+
+/// Retention order for refill-scan entries `(score, column, eligible)`:
+/// eligible columns before near-misses, then higher score, ties to the
+/// lower column index. Eligible-first retention guarantees that whenever a
+/// window contains an eligible column, the merged top list's head is one —
+/// near-misses can never evict every eligible entry — so termination still
+/// only happens after a genuinely fruitless full cycle. Like
+/// [`cand_order`], this is a pure function of the entry values, so the
+/// per-section merge stays partition-invariant.
+#[inline]
+fn refill_order(a: &(f64, u32, bool), b: &(f64, u32, bool)) -> std::cmp::Ordering {
+    b.2.cmp(&a.2).then(b.0.total_cmp(&a.0)).then(a.1.cmp(&b.1))
+}
+
 /// Runs simplex iterations until optimality for the given cost vector.
 // lint: hot
 #[allow(clippy::too_many_arguments)]
@@ -263,20 +302,68 @@ fn run_phase<F: Factorization>(
     prep(cnt, &mut ph.rho, m, 0.0);
     // Devex reference weights (reset per phase).
     prep(cnt, &mut ph.gamma, nv, 1.0);
-    let PhaseBufs { y, w, rho, gamma } = ph;
+    // Pricing signs, rebuilt per phase (bounds change between phases) and
+    // maintained incrementally at each pivot below.
+    prep(cnt, &mut ph.sgn, nv, 0i8);
+    for (j, s) in ph.sgn.iter_mut().enumerate() {
+        *s = match st.vstat[j] {
+            VStat::Basic => 0,
+            _ if st.ub[j] - st.lb[j] <= 0.0 => 0,
+            VStat::AtLower => -1,
+            VStat::AtUpper => 1,
+        };
+    }
+    // Candidate-list pricing state (reset per phase; capacity retained).
+    let workers = if opts.threads > 1 && nv >= PAR_SCAN_MIN_COLS {
+        opts.threads
+    } else {
+        1
+    };
+    // Two refill generations live in the list at once (see the refill
+    // branch below).
+    reserve(cnt, &mut ph.cand, 2 * CAND_LIST_CAP);
+    reserve(cnt, &mut ph.merged, CAND_LIST_CAP * workers);
+    reserve_pool(cnt, &mut ph.sections, workers);
+    let PhaseBufs {
+        y,
+        w,
+        rho,
+        gamma,
+        sgn,
+        cand,
+        merged,
+        sections,
+    } = ph;
+    // `Pricing::Candidate`: rescan only the candidate list most pivots; a
+    // full scan (parallel across fixed column sections when `opts.threads`
+    // allows) refills it when it runs dry, and optimality is only declared
+    // by a fruitless full scan. `Pricing::Full` goes straight to the full
+    // scan every pivot (same parallel kernel, same winner as the
+    // historical serial scan: best score, ties to the lower index).
+    let use_list = matches!(opts.pricing, crate::model::Pricing::Candidate);
+    // `Pricing::Partial` (the default): the historical sectioned scan over
+    // rotating windows of ~4m columns, stopping at the first window with
+    // an eligible candidate. Kept serial and byte-for-byte stable — the
+    // windows are far too small to amortize scoped-thread spawns, and the
+    // engine's warm-vs-cold A/B tests rely on its exact pivot sequences.
+    let windowed = matches!(opts.pricing, crate::model::Pricing::Partial);
+    // `Pricing::Candidate` refills from the same ~4m rotating windows the
+    // sectioned scan uses (global-best pricing rules stall badly on
+    // degenerate interval/transport LPs — the window rotation is what
+    // diversifies entering columns); `Pricing::Full` is the degenerate
+    // single-window case covering every column.
+    let window = if matches!(opts.pricing, crate::model::Pricing::Full) {
+        nv
+    } else {
+        (4 * m).max(256).min(nv.max(1))
+    };
+    let mut scan_start = 0usize;
     let mut stall = 0usize;
     let mut bland = false;
     let mut local_iters = 0usize;
-    // Sectioned pricing: scan rotating windows of ~4m columns, stopping at
-    // the first window with an eligible candidate. `scan_start` sticks to
-    // the window that produced the last entering variable (attractive
-    // columns cluster), and optimality is only declared after a full
-    // fruitless cycle.
-    let window = match opts.pricing {
-        crate::model::Pricing::Full => nv,
-        crate::model::Pricing::Partial => (4 * m).max(256).min(nv.max(1)),
-    };
-    let mut scan_start = 0usize;
+    // Boundary between the two candidate-list generations: `cand[..gen_split]`
+    // is the previous refill, `cand[gen_split..]` the most recent one.
+    let mut gen_split = 0usize;
 
     loop {
         if local_iters >= iter_cap {
@@ -289,15 +376,18 @@ fn run_phase<F: Factorization>(
         let t_scan = std::time::Instant::now();
         st.stats.ftran_btran_ms += (t_scan - t_dual).as_secs_f64() * 1e3;
 
-        // --- Pricing: pick an entering variable (devex: maximize d²/γ). ---
-        let mut enter: Option<(usize, f64, f64)> = None; // (var, reduced cost, score)
-                                                         // Columns scanned this iteration, as a rotated range
-                                                         // `scan_start + [0, scanned)` (mod nv) — the devex update below is
-                                                         // restricted to the same range.
+        // --- Pricing: pick an entering variable (devex: maximize d²/γ;
+        // tie-breaks are mode-specific — see `cand_order` and the
+        // windowed branch). ---
+        let mut enter: Option<usize> = None;
+        // Columns scanned this iteration by the windowed mode, as a
+        // rotated range `scan_start + [0, scanned)` (mod nv) — its devex
+        // update below is restricted to the same range.
         let mut scanned = 0usize;
         if bland {
             // Bland's rule: lowest eligible index over ALL columns (the
             // anti-cycling argument needs a consistent total order).
+            st.stats.pricing_full_scans += 1;
             scanned = nv;
             scan_start = 0;
             for j in 0..nv {
@@ -311,13 +401,19 @@ fn run_phase<F: Factorization>(
                     continue;
                 }
                 let d = st.reduced_cost(j, costs, y);
-                let viol = sign * d;
-                if viol > tol {
-                    enter = Some((j, d, viol));
+                if sign * d > tol {
+                    enter = Some(j);
                     break;
                 }
             }
-        } else {
+        } else if windowed {
+            // Sectioned pricing: scan rotating windows, stopping at the
+            // first window with an eligible candidate; score ties keep the
+            // FIRST candidate in rotated scan order. `scan_start` sticks
+            // to the window that produced the last entering variable
+            // (attractive columns cluster), and optimality is only
+            // declared after a full fruitless cycle.
+            let mut best_score = 0.0f64;
             while scanned < nv {
                 let take = window.min(nv - scanned);
                 for t in 0..take {
@@ -325,24 +421,19 @@ fn run_phase<F: Factorization>(
                     if j >= nv {
                         j -= nv;
                     }
-                    let vs = st.vstat[j];
-                    // Want d < -tol at lower bound, d > tol at upper bound.
-                    let sign = match vs {
-                        VStat::Basic => continue,
-                        VStat::AtLower => -1.0,
-                        VStat::AtUpper => 1.0,
-                    };
-                    // Fixed variables (lb==ub) can never improve.
-                    if st.ub[j] - st.lb[j] <= 0.0 {
+                    // Want d < -tol at lower bound, d > tol at upper bound;
+                    // basic and fixed (lb==ub) columns carry sign 0.
+                    let sg = sgn[j];
+                    if sg == 0 {
                         continue;
                     }
                     let d = st.reduced_cost(j, costs, y);
-                    let viol = sign * d;
+                    let viol = f64::from(sg) * d;
                     if viol > tol {
                         let score = viol * viol / gamma[j];
-                        match enter {
-                            Some((_, _, best)) if best >= score => {}
-                            _ => enter = Some((j, d, score)),
+                        if enter.is_none() || score > best_score {
+                            enter = Some(j);
+                            best_score = score;
                         }
                     }
                 }
@@ -351,14 +442,167 @@ fn run_phase<F: Factorization>(
                     break;
                 }
             }
+            if scanned >= nv {
+                st.stats.pricing_full_scans += 1;
+            } else {
+                st.stats.pricing_list_hits += 1;
+            }
+        } else {
+            if use_list {
+                // Candidate-list pass: rescan the columns of the last
+                // refill under the current duals. Entries are kept even
+                // while ineligible — degenerate pivots flip reduced-cost
+                // signs back and forth, and a rescan is `O(nnz(list))`
+                // either way — so the list only turns over at a refill.
+                let mut best: Option<(f64, u32)> = None;
+                for &jc in cand.iter() {
+                    let j = jc as usize;
+                    let sg = sgn[j];
+                    if sg == 0 {
+                        continue;
+                    }
+                    let d = st.reduced_cost(j, costs, y);
+                    let viol = f64::from(sg) * d;
+                    if viol > tol {
+                        let c = (viol * viol / gamma[j], jc);
+                        if best.is_none_or(|b| cand_order(&c, &b).is_lt()) {
+                            best = Some(c);
+                        }
+                    }
+                }
+                if let Some((_, j)) = best {
+                    enter = Some(j as usize);
+                    st.stats.pricing_list_hits += 1;
+                }
+            }
+            if enter.is_none() {
+                // Refill scan over rotating windows (`Pricing::Full` is the
+                // degenerate case `window == nv`: one window covering every
+                // column). The first window with an ELIGIBLE candidate
+                // refills the list with its top `CAND_LIST_CAP` entries by
+                // [`refill_order`] — eligible columns first, then the best
+                // near-misses (`viol > 0` but under tolerance). On
+                // degenerate LPs reduced costs hover around the tolerance
+                // and flip sign every few pivots, so the near-misses are
+                // precisely the columns the next rescans will find
+                // eligible; retaining them is what keeps the list hit rate
+                // high. Optimality is only declared after a full fruitless
+                // cycle. Large windows are cut into fixed contiguous
+                // sections, one scoped worker per section, each keeping a
+                // bounded local top list — the exact merge below is
+                // invariant to the section layout, so the refilled list
+                // (and the pivot it yields) is byte-identical at any
+                // `opts.threads`.
+                let stv: &State = st;
+                let y_s: &[f64] = y;
+                let gamma_s: &[f64] = gamma;
+                let sgn_s: &[i8] = sgn;
+                while scanned < nv {
+                    let take = window.min(nv - scanned);
+                    let base_idx = (scan_start + scanned) % nv;
+                    for slot in sections.iter_mut().take(workers) {
+                        slot.clear();
+                    }
+                    let win_workers = if take >= PAR_SCAN_MIN_COLS {
+                        workers
+                    } else {
+                        1
+                    };
+                    crate::par::for_each_section(
+                        win_workers,
+                        take,
+                        &mut sections[..workers],
+                        |_, range, out| {
+                            let mut worst = 0usize; // index of the worst kept candidate
+                            for t in range {
+                                // `base_idx < nv` and `t < nv`, so one
+                                // conditional subtract wraps.
+                                let mut j = base_idx + t;
+                                if j >= nv {
+                                    j -= nv;
+                                }
+                                // Want d < -tol at lower bound, d > tol at
+                                // upper; basic and fixed columns carry 0.
+                                let sg = sgn_s[j];
+                                if sg == 0 {
+                                    continue;
+                                }
+                                let d = stv.reduced_cost(j, costs, y_s);
+                                let viol = f64::from(sg) * d;
+                                if viol <= 0.0 {
+                                    continue;
+                                }
+                                let c = (viol * viol / gamma_s[j], j as u32, viol > tol);
+                                if out.len() < CAND_LIST_CAP {
+                                    out.push(c);
+                                    if out.len() == CAND_LIST_CAP {
+                                        for i in 1..out.len() {
+                                            if refill_order(&out[i], &out[worst]).is_gt() {
+                                                worst = i;
+                                            }
+                                        }
+                                    }
+                                } else if refill_order(&c, &out[worst]).is_lt() {
+                                    out[worst] = c;
+                                    worst = 0;
+                                    for i in 1..out.len() {
+                                        if refill_order(&out[i], &out[worst]).is_gt() {
+                                            worst = i;
+                                        }
+                                    }
+                                }
+                            }
+                        },
+                    );
+                    scanned += take;
+                    merged.clear();
+                    for slot in sections.iter().take(workers) {
+                        merged.extend_from_slice(slot);
+                    }
+                    // A window of pure near-misses keeps scanning (and
+                    // keeps its entries out of the list — only the
+                    // producing window refills); `refill_order` then sorts
+                    // eligible entries to the front, so the head is the
+                    // best eligible column.
+                    if merged.iter().any(|&(_, _, eligible)| eligible) {
+                        merged.sort_unstable_by(refill_order);
+                        merged.truncate(CAND_LIST_CAP);
+                        enter = merged.first().map(|&(_, j, _)| j as usize);
+                        // Keep the previous refill's generation alongside
+                        // the new one: degenerate LPs see-saw between two
+                        // disjoint eligible sets (one pivot flips the
+                        // whole current set ineligible and the other set
+                        // eligible), so the union of the last two refills
+                        // is what the next few rescans will actually hit.
+                        let drop = gen_split;
+                        if drop > 0 {
+                            cand.copy_within(drop.., 0);
+                            cand.truncate(cand.len() - drop);
+                        }
+                        gen_split = cand.len();
+                        cand.extend(merged.iter().map(|&(_, j, _)| j));
+                        // Rescans take an order-independent argmax, so the
+                        // new generation can be stored in column order —
+                        // its entries all come from one scan window, and
+                        // the ascending rescan walks that window's CSC
+                        // range nearly sequentially instead of thrashing.
+                        cand[gen_split..].sort_unstable();
+                        break;
+                    }
+                }
+                if scanned >= nv {
+                    st.stats.pricing_full_scans += 1;
+                }
+            }
         }
         st.stats.pricing_ms += t_scan.elapsed().as_secs_f64() * 1e3;
-        let Some((j_in, _d_in, _)) = enter else {
+        let Some(j_in) = enter else {
             return Ok(PhaseEnd::Optimal);
         };
         if !bland && scanned > window {
             // The candidate came from a later window: rotate the scan start
-            // there so the next iteration finds it first.
+            // there so the next iteration finds it first. (Windowed mode
+            // only — the other modes never advance `scanned`.)
             scan_start = (scan_start + scanned - window) % nv;
         }
 
@@ -481,6 +725,7 @@ fn run_phase<F: Factorization>(
             } else {
                 VStat::AtLower
             };
+            sgn[j_in] = if s > 0.0 { 1 } else { -1 };
             st.x[j_in] = if s > 0.0 { st.ub[j_in] } else { st.lb[j_in] };
             st.iterations += 1;
             continue;
@@ -493,11 +738,12 @@ fn run_phase<F: Factorization>(
         let t = exact.max(0.0);
 
         // --- Devex weight update (with the pre-pivot basis), restricted to
-        // the columns priced this iteration: they are the ones whose
-        // weights the next pricing pass will actually read, and the
-        // restriction keeps the update `O(nnz(window))` instead of
-        // `O(nnz(A))`. Unscanned columns keep slightly stale weights —
-        // devex is approximate by design.
+        // the columns the next pricing passes will actually read: the
+        // producing window for `Pricing::Partial`, the candidate list for
+        // `Pricing::Candidate` (`O(nnz(list))` instead of `O(nnz(A))`),
+        // every column for `Pricing::Full`. Untouched columns keep
+        // slightly stale weights until the next full scan — devex is
+        // approximate by design.
         let t_devex = std::time::Instant::now();
         let alpha_q = w[r_lv];
         if alpha_q.abs() > 1e-12 {
@@ -505,15 +751,9 @@ fn run_phase<F: Factorization>(
             let gq = gamma[j_in].max(1.0);
             let ratio2 = gq / (alpha_q * alpha_q);
             let mut overflow = false;
-            // After the post-selection rotation the producing window always
-            // sits at `scan_start + [0, min(scanned, window))`.
-            for t in 0..scanned.min(window) {
-                let mut j = scan_start + t;
-                if j >= nv {
-                    j -= nv;
-                }
+            let mut touch = |j: usize, gamma: &mut [f64]| {
                 if st.vstat[j] == VStat::Basic || j == j_in {
-                    continue;
+                    return;
                 }
                 let mut aj = 0.0;
                 st.for_col(j, |r, v| aj += rho[r] * v);
@@ -525,6 +765,25 @@ fn run_phase<F: Factorization>(
                             overflow = true;
                         }
                     }
+                }
+            };
+            if use_list {
+                // The list is all the next rescans read until a refill
+                // (which rescores everything it returns anyway), so the
+                // update never needs to leave it.
+                for &jc in cand.iter() {
+                    touch(jc as usize, gamma);
+                }
+            } else if scanned > 0 {
+                // After the post-selection rotation the producing window
+                // always sits at `scan_start + [0, min(scanned, window))`
+                // (for `Pricing::Full` that is every column).
+                for t in 0..scanned.min(window) {
+                    let mut j = scan_start + t;
+                    if j >= nv {
+                        j -= nv;
+                    }
+                    touch(j, gamma);
                 }
             }
             gamma[j_out] = ratio2.max(1.0);
@@ -559,8 +818,16 @@ fn run_phase<F: Factorization>(
         } else {
             st.ub[j_out]
         };
+        sgn[j_out] = if st.ub[j_out] - st.lb[j_out] <= 0.0 {
+            0
+        } else if swr > 0.0 {
+            -1
+        } else {
+            1
+        };
 
         st.vstat[j_in] = VStat::Basic;
+        sgn[j_in] = 0;
         st.basis[r_lv] = j_in;
         st.iterations += 1;
         match f.update(r_lv, w) {
@@ -788,6 +1055,7 @@ fn solve_presolved_inner<F: Factorization>(
         rows: m,
         cols: n_expl,
         warm_attempted: warm.is_some(),
+        threads: opts.threads.max(1),
         ..Default::default()
     };
 

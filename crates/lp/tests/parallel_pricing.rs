@@ -1,0 +1,172 @@
+//! Thread-count invariance of the parallel pricing paths.
+//!
+//! The candidate-list refill scan and the full devex scan both cut large
+//! windows into fixed contiguous sections, one scoped worker per section,
+//! and merge the per-section bounded top lists under a total order on the
+//! candidate values. That merge is partition-invariant (every global
+//! top-`K` element is in its own section's top-`K`), so the pivot
+//! sequence — and therefore every solver output — must be byte-identical
+//! at any `SolverOptions::threads`. These tests pin that contract: not
+//! "close objectives", but identical iteration counts, identical pricing
+//! counters, bit-identical objectives and primal values, and equal bases.
+
+use coflow_lp::{Basis, Cmp, Model, Pricing, Solution, SolverOptions};
+
+/// A degenerate transportation LP: `n x n` assignment-like structure with
+/// equality supplies and slack-bearing demand caps. Dual-degenerate enough
+/// to exercise candidate-list churn, Bland fallbacks, and refill scans.
+fn transport(n: usize) -> Model {
+    let mut m = Model::new();
+    let mut vars = vec![vec![]; n];
+    for (i, row) in vars.iter_mut().enumerate() {
+        for j in 0..n {
+            row.push(m.add_nonneg(((i * 7 + j * 13) % 10) as f64 + 1.0, format!("x{i}_{j}")));
+        }
+    }
+    let total: f64 = (0..n).map(|i| 1.0 + (i % 3) as f64).sum();
+    for (i, row) in vars.iter().enumerate() {
+        let terms: Vec<_> = row.iter().map(|&v| (v, 1.0)).collect();
+        m.add_row(Cmp::Eq, 1.0 + (i % 3) as f64, &terms);
+    }
+    for j in 0..n {
+        let terms: Vec<_> = vars.iter().map(|row| (row[j], 1.0)).collect();
+        m.add_row(Cmp::Le, total / n as f64 + 1.0, &terms);
+    }
+    m
+}
+
+/// A small mixed-row LP family parameterized by a seed: bounded variables,
+/// all three row senses, deterministic pseudo-random data.
+fn mixed(seed: u64, n: usize, rows: usize) -> Model {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..n)
+        .map(|j| {
+            m.add_var(
+                next() * 10.0 - 5.0,
+                0.0,
+                0.5 + next() * 5.0,
+                format!("x{j}"),
+            )
+        })
+        .collect();
+    for r in 0..rows {
+        let cmp = match r % 3 {
+            0 => Cmp::Le,
+            1 => Cmp::Ge,
+            _ => Cmp::Eq,
+        };
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| (j + r) % 3 != 0)
+            .map(|(_, &v)| (v, next() * 6.0 - 3.0))
+            .collect();
+        let rhs = match cmp {
+            Cmp::Ge => -(next() * 2.0),
+            _ => next() * 8.0,
+        };
+        m.add_row(cmp, rhs, &terms);
+    }
+    m
+}
+
+fn solve(m: &Model, pricing: Pricing, threads: usize) -> (Solution, Basis) {
+    let opts = SolverOptions {
+        verify: false,
+        pricing,
+        threads,
+        ..Default::default()
+    };
+    m.solve_with_basis(&opts).expect("LP must solve")
+}
+
+/// Asserts byte-identical solver outputs (not approximate agreement).
+fn assert_identical(label: &str, a: &(Solution, Basis), b: &(Solution, Basis), threads: usize) {
+    let ctx = format!("{label}: threads={threads} vs 1");
+    assert_eq!(
+        a.0.objective.to_bits(),
+        b.0.objective.to_bits(),
+        "{ctx}: objective bits differ"
+    );
+    assert_eq!(a.0.stats.iterations, b.0.stats.iterations, "{ctx}: pivots");
+    assert_eq!(
+        a.0.stats.pricing_full_scans, b.0.stats.pricing_full_scans,
+        "{ctx}: full scans"
+    );
+    assert_eq!(
+        a.0.stats.pricing_list_hits, b.0.stats.pricing_list_hits,
+        "{ctx}: list hits"
+    );
+    assert_eq!(a.0.values.len(), b.0.values.len(), "{ctx}: value count");
+    for (j, (x, y)) in a.0.values.iter().zip(&b.0.values).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: value {j} bits differ");
+    }
+    assert_eq!(a.1, b.1, "{ctx}: bases differ");
+}
+
+/// Candidate pricing: identical pivot sequence and outputs at 1/2/4/8
+/// threads on a degenerate transport LP (heavy list churn + refills).
+#[test]
+fn candidate_pricing_thread_invariant_on_transport() {
+    let m = transport(24);
+    let base = solve(&m, Pricing::Candidate, 1);
+    assert!(base.0.stats.pricing_list_hits > 0, "list must serve pivots");
+    assert_eq!(base.0.stats.threads, 1);
+    for threads in [2, 4, 8] {
+        let sol = solve(&m, Pricing::Candidate, threads);
+        assert_eq!(sol.0.stats.threads, threads, "threads stat must record");
+        assert_identical("candidate/transport", &sol, &base, threads);
+    }
+}
+
+/// Candidate pricing stays thread-invariant across a family of mixed-row
+/// LPs (bounded variables, all row senses).
+#[test]
+fn candidate_pricing_thread_invariant_on_mixed_lps() {
+    for seed in 0..12u64 {
+        let m = mixed(seed, 40, 18);
+        let base = solve(&m, Pricing::Candidate, 1);
+        for threads in [2, 4, 8] {
+            let sol = solve(&m, Pricing::Candidate, threads);
+            assert_identical(&format!("candidate/mixed[{seed}]"), &sol, &base, threads);
+        }
+    }
+}
+
+/// Full pricing on an LP large enough (`nv >= 4096`) that the scan is
+/// genuinely cut into multiple worker sections: the sectioned merge must
+/// reproduce the serial scan bit-for-bit.
+#[test]
+fn full_pricing_sectioned_scan_matches_serial() {
+    let m = transport(70); // 4900 structural columns: sections engage
+    let base = solve(&m, Pricing::Full, 1);
+    for threads in [2, 4, 8] {
+        let sol = solve(&m, Pricing::Full, threads);
+        assert_identical("full/transport", &sol, &base, threads);
+    }
+}
+
+/// The default partial pricing ignores `threads` by design (its windows
+/// are too small to amortize spawns): outputs are identical with the knob
+/// set, and candidate pricing agrees with it on the optimum.
+#[test]
+fn partial_pricing_unaffected_by_thread_knob() {
+    let m = transport(24);
+    let a = solve(&m, Pricing::Partial, 1);
+    let b = solve(&m, Pricing::Partial, 4);
+    assert_identical("partial/transport", &b, &a, 4);
+    let c = solve(&m, Pricing::Candidate, 4);
+    assert!(
+        (a.0.objective - c.0.objective).abs() <= 1e-6 * (1.0 + a.0.objective.abs()),
+        "partial {} vs candidate {}",
+        a.0.objective,
+        c.0.objective
+    );
+}

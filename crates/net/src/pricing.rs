@@ -41,6 +41,20 @@ pub fn path_signature(p: &Path) -> u64 {
     h
 }
 
+/// Reusable workspace for [`cheapest_path_hop_bounded_in`]: the layered
+/// Bellman–Ford DP tables (`dist[h][v]`, `pred[h][v]`), retained across
+/// oracle calls so steady-state pricing rounds reuse capacity instead of
+/// reallocating per (flow, interval). Contents are fully reinitialized on
+/// every call — reuse can never change results — so one scratch per
+/// *worker* is safe even under work-stealing item assignment.
+#[derive(Clone, Debug, Default)]
+pub struct PathScratch {
+    /// `dist[h][v]` = min price over walks `src -> v` with exactly `h` edges.
+    dist: Vec<Vec<f64>>,
+    /// Edge that achieved `dist[h][v]` (predecessor chain per hop layer).
+    pred: Vec<Vec<Option<EdgeId>>>,
+}
+
 /// Minimum-price walk from `src` to `dst` using at most `max_hops` edges,
 /// where `price(e) >= 0`. Returns the path and its total price, or `None`
 /// when `dst` is unreachable within the hop budget.
@@ -53,6 +67,9 @@ pub fn path_signature(p: &Path) -> u64 {
 /// nonnegative prices could be removed without raising the cost, and
 /// removing it strictly lowers the hop count).
 ///
+/// Allocates its DP tables per call; hot pricing loops should hold a
+/// [`PathScratch`] and call [`cheapest_path_hop_bounded_in`] instead.
+///
 /// # Panics
 /// In debug builds, if `price` returns a negative value.
 pub fn cheapest_path_hop_bounded(
@@ -62,13 +79,39 @@ pub fn cheapest_path_hop_bounded(
     max_hops: usize,
     price: impl Fn(EdgeId) -> f64,
 ) -> Option<(Path, f64)> {
+    cheapest_path_hop_bounded_in(g, src, dst, max_hops, price, &mut PathScratch::default())
+}
+
+/// [`cheapest_path_hop_bounded`] against a caller-owned [`PathScratch`]:
+/// identical results, but the DP tables are acquired from retained
+/// capacity (clear + resize, never shrink) instead of fresh allocation.
+// lint: hot
+pub fn cheapest_path_hop_bounded_in(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    max_hops: usize,
+    price: impl Fn(EdgeId) -> f64,
+    ws: &mut PathScratch,
+) -> Option<(Path, f64)> {
     if src == dst {
         return Some((Path::empty(), 0.0));
     }
     let nv = g.node_count();
     // dist[h][v] = min price over walks src -> v with *exactly* h edges.
-    let mut dist = vec![vec![f64::INFINITY; nv]; max_hops + 1];
-    let mut pred: Vec<Vec<Option<EdgeId>>> = vec![vec![None; nv]; max_hops + 1];
+    if ws.dist.len() < max_hops + 1 {
+        ws.dist.resize_with(max_hops + 1, Default::default);
+        ws.pred.resize_with(max_hops + 1, Default::default);
+    }
+    for h in 0..=max_hops {
+        let d = &mut ws.dist[h];
+        d.clear();
+        d.resize(nv, f64::INFINITY);
+        let p = &mut ws.pred[h];
+        p.clear();
+        p.resize(nv, None);
+    }
+    let PathScratch { dist, pred } = ws;
     dist[0][src.index()] = 0.0;
     for h in 1..=max_hops {
         let (lower, upper) = dist.split_at_mut(h);
@@ -91,9 +134,12 @@ pub fn cheapest_path_hop_bounded(
             }
         }
     }
-    // Best arrival: minimum cost, ties toward fewer hops.
+    // Best arrival: minimum cost, ties toward fewer hops. Scan only the
+    // rows this call computed — the scratch may retain rows from an
+    // earlier call with a larger hop bound, and those hold stale
+    // distances whose predecessor chains no longer exist.
     let mut best: Option<(usize, f64)> = None;
-    for (h, row) in dist.iter().enumerate() {
+    for (h, row) in dist.iter().enumerate().take(max_hops + 1) {
         let d = row[dst.index()];
         if d.is_finite() && best.is_none_or(|(_, bd)| d < bd) {
             best = Some((h, d));
@@ -259,6 +305,35 @@ mod tests {
         let (p, c) = cheapest_path_hop_bounded(&g, N(0), N(4), 2, price).unwrap();
         assert_eq!((p.len(), c), (1, 5.0), "hop bound forces the direct edge");
         assert!(cheapest_path_hop_bounded(&g, N(0), N(4), 0, price).is_none());
+    }
+
+    /// A retained scratch must not leak DP rows from an earlier call with
+    /// a *larger* hop bound into a later call with a smaller one: the
+    /// stale rows hold finite distances whose predecessor chains no
+    /// longer exist (regression — this used to panic or return a
+    /// beyond-budget path when one scratch served flows with different
+    /// hop bounds, as the online engine's epoch re-solves do).
+    #[test]
+    fn shared_scratch_across_shrinking_hop_bounds() {
+        let mut g = crate::graph::Graph::with_nodes(5);
+        use crate::graph::NodeId as N;
+        let direct = g.add_edge(N(0), N(4), 1.0); // price 5
+        g.add_edge(N(0), N(1), 1.0); // free detour, 4 hops
+        g.add_edge(N(1), N(2), 1.0);
+        g.add_edge(N(2), N(3), 1.0);
+        g.add_edge(N(3), N(4), 1.0);
+        let price = move |e: EdgeId| if e == direct { 5.0 } else { 0.0 };
+        let mut ws = PathScratch::default();
+        let (p, c) = cheapest_path_hop_bounded_in(&g, N(0), N(4), 4, price, &mut ws).unwrap();
+        assert_eq!((p.len(), c), (4, 0.0));
+        // The scratch now retains 5 DP rows; a 2-hop query through it
+        // must match a fresh-scratch solve exactly.
+        let shared = cheapest_path_hop_bounded_in(&g, N(0), N(4), 2, price, &mut ws);
+        let fresh = cheapest_path_hop_bounded(&g, N(0), N(4), 2, price);
+        assert_eq!(shared, fresh);
+        assert_eq!(shared.unwrap(), (Path::new(vec![direct]), 5.0));
+        // And an unreachable budget must stay unreachable.
+        assert!(cheapest_path_hop_bounded_in(&g, N(0), N(4), 0, price, &mut ws).is_none());
     }
 
     #[test]

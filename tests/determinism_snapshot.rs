@@ -65,6 +65,27 @@ fn pipeline_snapshot() -> String {
         }
     }
 
+    // 2b. The same LP under candidate-list pricing, whose refill scans
+    // honor `SolverOptions::threads` (defaulted from `COFLOW_LP_THREADS`):
+    // the parallel sectioned merge is exact, so these bits must not move
+    // at any thread count. CI byte-diffs this whole snapshot between
+    // `COFLOW_LP_THREADS=1` and `=4` runs. (Deliberately no thread count
+    // in the output — only solver results belong in the snapshot.)
+    let cand_cfg = FreePathsLpConfig {
+        solver: coflow::lp::SolverOptions {
+            pricing: coflow::lp::Pricing::Candidate,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let cand = solve_free_paths_lp_paths(&instance, &cand_cfg)
+        .expect("generated instance is feasible under candidate pricing");
+    out.push_str("== lp candidate ==\n");
+    out.push_str(&format!("objective {}\n", bits(cand.base.objective)));
+    for (i, c) in cand.base.flow_completion.iter().enumerate() {
+        out.push_str(&format!("c[{i}] {}\n", bits(*c)));
+    }
+
     // 3. Online engine epochs over the canonical arrival trace.
     let mut policy = LpOrder::default();
     let outcome = run_online(&instance, &mut policy, &EngineConfig::default());
@@ -88,6 +109,12 @@ fn pipeline_snapshot() -> String {
 fn pipeline_is_byte_reproducible_in_process() {
     let a = pipeline_snapshot();
     let b = pipeline_snapshot();
+    // CI's determinism lane sets `COFLOW_SNAPSHOT_OUT` and runs this test
+    // under different `COFLOW_LP_THREADS` values, then byte-diffs the
+    // written snapshots across runs.
+    if let Ok(path) = std::env::var("COFLOW_SNAPSHOT_OUT") {
+        std::fs::write(&path, &a).expect("write snapshot to COFLOW_SNAPSHOT_OUT");
+    }
     // Compare as bytes and report the first diverging line on failure.
     if a != b {
         for (la, lb) in a.lines().zip(b.lines()) {
