@@ -642,6 +642,49 @@ fn bench_snapshot(_c: &mut Criterion) {
     let results = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
     std::fs::create_dir_all(&results).ok();
     std::fs::write(results.join("BENCH_lp.json"), &json).expect("write results/BENCH_lp.json");
+
+    // One traced k16 colgen solve through a persistent chain. The chain's
+    // recorder backs both the ColGenStats view and the trace, so the
+    // master/oracle span sums must reproduce the stats to float rounding;
+    // the JSONL lands next to BENCH_lp.json for `trace_view` and for the
+    // CI lane that byte-diffs logical-clock traces between runs.
+    {
+        let inst = generate(&topo::fat_tree(16, 1.0), &fig3_config(8, 0));
+        let cfg_cg = FreePathsLpConfig {
+            solver: parallel_opts(),
+            columns: ColumnMode::delayed(),
+            ..Default::default()
+        };
+        let grid = IntervalGrid::cover(cfg_cg.eps, inst.horizon());
+        let mut pool = PathPool::new();
+        let mut chain = WarmChain::new();
+        let (_, cg) =
+            solve_free_paths_lp_colgen_on_grid(&inst, &cfg_cg, grid, &mut chain, &mut pool)
+                .unwrap();
+        let trace = chain.take_trace();
+        let master_ms = trace.span_total_ms(coflow_obs::SpanName::Master);
+        let oracle_ms = trace.span_total_ms(coflow_obs::SpanName::Oracle);
+        assert!(
+            (master_ms - cg.master_ms).abs() <= tol::OBJ_REL_EPS * (1.0 + cg.master_ms.abs()),
+            "trace master span sum {master_ms} disagrees with ColGenStats.master_ms {}",
+            cg.master_ms
+        );
+        assert!(
+            (oracle_ms - cg.pricing_ms).abs() <= tol::OBJ_REL_EPS * (1.0 + cg.pricing_ms.abs()),
+            "trace oracle span sum {oracle_ms} disagrees with ColGenStats.pricing_ms {}",
+            cg.pricing_ms
+        );
+        assert_eq!(trace.span_count(coflow_obs::SpanName::Master), cg.rounds);
+        coflow_workloads::io::write_trace(&results.join("TRACE_lp.jsonl"), &trace)
+            .expect("write results/TRACE_lp.jsonl");
+        println!(
+            "  trace k16 colgen: {} spans ({} rounds), master {master_ms:.1}ms oracle \
+             {oracle_ms:.1}ms, clock {} — results/TRACE_lp.jsonl",
+            trace.spans.len(),
+            cg.rounds,
+            trace.mode.as_str(),
+        );
+    }
     println!(
         "lp_snapshot: transport/100 sparse {sparse100:.1}ms vs dense baseline {dense100:.1}ms \
          ({:.1}x); warm grid chain {} iters vs cold {}; warm trial sweep {} iters vs cold {} \

@@ -325,7 +325,8 @@ fn main() {
             ..Default::default()
         },
     );
-    let steady = run(&batch, &mut lp_colgen_policy(0, true), &cfg).engine;
+    let steady_out = run(&batch, &mut lp_colgen_policy(0, true), &cfg);
+    let steady = steady_out.engine;
     let steady_solves: Vec<_> = steady.epoch_log.iter().filter_map(|e| e.solve).collect();
     let allocs_after_first: usize = steady_solves.iter().skip(1).map(|s| s.allocs).sum();
     let reuse_total: usize = steady_solves.iter().map(|s| s.scratch_reuse).sum();
@@ -424,6 +425,21 @@ fn main() {
     }
     std::fs::write(&args.out, doc.render()).expect("write BENCH_online.json");
     println!("Wrote {}", args.out);
+
+    // The engine trace of the steady-state run (epoch/plan spans plus the
+    // resolve-latency histogram) lands next to the JSON snapshot for
+    // `trace_view`; under COFLOW_OBS_CLOCK=logical it byte-diffs clean
+    // across runs.
+    let trace_path = std::path::Path::new(&args.out).with_file_name("TRACE_online.jsonl");
+    coflow_workloads::io::write_trace(&trace_path, &steady_out.trace)
+        .expect("write TRACE_online.jsonl");
+    println!(
+        "Wrote {} ({} spans, resolve p50 {:.3}ms p99 {:.3}ms)",
+        trace_path.display(),
+        steady_out.trace.spans.len(),
+        steady.resolve_ms_p50,
+        steady.resolve_ms_p99,
+    );
 }
 
 /// Aggregate JSON summary of one policy's trials at one rate.

@@ -1,7 +1,15 @@
 //! Perf-regression gate over the committed bench artifacts.
 //!
 //! Usage:
-//! `perf_gate --baseline <old.json> --fresh <new.json> [--max-ratio 1.5] [--min-ms 5.0]`
+//! `perf_gate --baseline <old.json> --fresh <new.json> [--max-ratio 1.5] [--min-ms 5.0]
+//!  [--json <report.json>]`
+//!
+//! `--json` additionally writes a machine-readable report (per-series
+//! old/new/ratio plus the failure list) through the workspace's hand-rolled
+//! JSON. On gate failure, if JSONL traces sit next to the two artifacts
+//! (`TRACE_lp.jsonl` / `TRACE_online.jsonl`), the gate prints a per-span
+//! self-time diff sorted worst-offender-first, so the console points at the
+//! phase that slowed down, not just the benchmark that did.
 //!
 //! Compares the freshly regenerated `results/BENCH_lp.json` /
 //! `results/BENCH_online.json` against the committed baseline and fails
@@ -32,13 +40,14 @@
 
 use std::process::ExitCode;
 
-use coflow_workloads::io::{parse_json, Value};
+use coflow_workloads::io::{parse_json, read_trace_lines, Value};
 
 struct Args {
     baseline: String,
     fresh: String,
     max_ratio: f64,
     min_ms: f64,
+    json: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
     let mut fresh = None;
     let mut max_ratio = 1.5;
     let mut min_ms = 5.0;
+    let mut json = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
@@ -62,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--min-ms: {e}"))?;
             }
+            "--json" => json = Some(val("--json")?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -70,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         fresh: fresh.ok_or("--fresh is required")?,
         max_ratio,
         min_ms,
+        json,
     })
 }
 
@@ -238,6 +250,81 @@ fn colgen_acceptance(fresh: &Value) -> Vec<String> {
     failures
 }
 
+/// Sibling trace file of a bench artifact, when one exists: the benches
+/// write `TRACE_lp.jsonl` / `TRACE_online.jsonl` next to their JSON.
+fn trace_sibling(artifact: &str, schema: Option<&str>) -> Option<std::path::PathBuf> {
+    let fname = match schema {
+        Some(s) if s.starts_with("coflow-lp-bench/") => "TRACE_lp.jsonl",
+        Some(s) if s.starts_with("coflow-online-bench/") => "TRACE_online.jsonl",
+        _ => return None,
+    };
+    let p = std::path::Path::new(artifact).with_file_name(fname);
+    p.exists().then_some(p)
+}
+
+/// Per-span-name self-time sums of a JSONL trace, in first-appearance
+/// order (raw trace units: ns for wall traces, ticks for logical).
+fn span_self_by_name(path: &std::path::Path) -> Vec<(String, f64)> {
+    let Ok(lines) = read_trace_lines(path) else {
+        return Vec::new();
+    };
+    let mut agg: Vec<(String, f64)> = Vec::new();
+    for l in &lines {
+        if text(l, "type") != Some("span") {
+            continue;
+        }
+        let (Some(name), Some(self_t)) = (text(l, "name"), num(l, "self")) else {
+            continue;
+        };
+        match agg.iter_mut().find(|(n, _)| n == name) {
+            Some(row) => row.1 += self_t,
+            None => agg.push((name.to_string(), self_t)),
+        }
+    }
+    agg
+}
+
+/// On gate failure: per-span self-time diff between the two artifacts'
+/// sibling traces, sorted by absolute slowdown so the worst offender
+/// prints first. Silent when either side has no trace.
+fn print_worst_span_diff(args: &Args, schema: Option<&str>) {
+    let (Some(base_trace), Some(fresh_trace)) = (
+        trace_sibling(&args.baseline, schema),
+        trace_sibling(&args.fresh, schema),
+    ) else {
+        return;
+    };
+    let old = span_self_by_name(&base_trace);
+    let new = span_self_by_name(&fresh_trace);
+    if old.is_empty() || new.is_empty() {
+        return;
+    }
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for (name, new_self) in &new {
+        let old_self = old.iter().find(|(n, _)| n == name).map_or(0.0, |(_, v)| *v);
+        rows.push((name.clone(), old_self, *new_self));
+    }
+    rows.sort_by(|a, b| {
+        let da = a.2 - a.1;
+        let db = b.2 - b.1;
+        db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    eprintln!(
+        "span self-time diff ({} -> {}), worst offender first:",
+        base_trace.display(),
+        fresh_trace.display()
+    );
+    for (i, (name, old_self, new_self)) in rows.iter().enumerate() {
+        let tag = if i == 0 { "  <- worst offender" } else { "" };
+        eprintln!(
+            "  {name}: {:.3} -> {:.3} ms ({:+.3}){tag}",
+            old_self / 1e6,
+            new_self / 1e6,
+            (new_self - old_self) / 1e6,
+        );
+    }
+}
+
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
     let baseline = load(&args.baseline)?;
@@ -246,9 +333,16 @@ fn run() -> Result<bool, String> {
     let fresh_series = extract_series(&fresh);
 
     let mut failures = Vec::new();
+    let mut report: Vec<Value> = Vec::new();
     for (name, new_ms) in &fresh_series {
         let Some((_, old_ms)) = base_series.iter().find(|(n, _)| n == name) else {
             println!("  new series (no baseline): {name}: {new_ms:.3} ms");
+            report.push(Value::Obj(vec![
+                ("name".into(), Value::Str(name.clone())),
+                ("old_ms".into(), Value::Null),
+                ("new_ms".into(), Value::Num(*new_ms)),
+                ("verdict".into(), Value::Str("new".into())),
+            ]));
             continue;
         };
         let ratio = if *old_ms > 0.0 { new_ms / old_ms } else { 1.0 };
@@ -265,14 +359,45 @@ fn run() -> Result<bool, String> {
             "ok"
         };
         println!("  {name}: {old_ms:.3} ms -> {new_ms:.3} ms ({ratio:.2}x) {verdict}");
+        report.push(Value::Obj(vec![
+            ("name".into(), Value::Str(name.clone())),
+            ("old_ms".into(), Value::Num(*old_ms)),
+            ("new_ms".into(), Value::Num(*new_ms)),
+            ("ratio".into(), Value::Num(ratio)),
+            ("verdict".into(), Value::Str(verdict.into())),
+        ]));
     }
     for (name, old_ms) in &base_series {
         if !fresh_series.iter().any(|(n, _)| n == name) {
             println!("  retired series (baseline only): {name}: {old_ms:.3} ms");
+            report.push(Value::Obj(vec![
+                ("name".into(), Value::Str(name.clone())),
+                ("old_ms".into(), Value::Num(*old_ms)),
+                ("new_ms".into(), Value::Null),
+                ("verdict".into(), Value::Str("retired".into())),
+            ]));
         }
     }
     failures.extend(colgen_acceptance(&fresh));
     failures.extend(parallel_acceptance(&baseline, &fresh));
+
+    if let Some(path) = &args.json {
+        let doc = Value::Obj(vec![
+            ("schema".into(), Value::Str("coflow-perf-gate/v1".into())),
+            ("baseline".into(), Value::Str(args.baseline.clone())),
+            ("fresh".into(), Value::Str(args.fresh.clone())),
+            ("max_ratio".into(), Value::Num(args.max_ratio)),
+            ("min_ms".into(), Value::Num(args.min_ms)),
+            ("passed".into(), Value::Bool(failures.is_empty())),
+            ("series".into(), Value::Arr(report)),
+            (
+                "failures".into(),
+                Value::Arr(failures.iter().map(|f| Value::Str(f.clone())).collect()),
+            ),
+        ]);
+        std::fs::write(path, doc.render()).map_err(|e| format!("failed to write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
 
     if failures.is_empty() {
         println!(
@@ -287,6 +412,7 @@ fn run() -> Result<bool, String> {
         for f in &failures {
             eprintln!("  {f}");
         }
+        print_worst_span_diff(&args, text(&fresh, "schema"));
         Ok(false)
     }
 }
@@ -299,7 +425,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: perf_gate --baseline <old.json> --fresh <new.json> \
-                 [--max-ratio 1.5] [--min-ms 5.0]"
+                 [--max-ratio 1.5] [--min-ms 5.0] [--json <report.json>]"
             );
             ExitCode::FAILURE
         }

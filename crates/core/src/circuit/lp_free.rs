@@ -771,6 +771,14 @@ pub fn solve_free_paths_lp_colgen_on_grid(
         added
     })?;
 
+    // Fold each worker's oracle counters (calls, edge relaxations) into
+    // the chain's recorder. Slot order is fixed, and counter merging is
+    // integer addition, so totals are identical at any thread count.
+    for slot in oracle_slots.iter_mut() {
+        let cs = slot.ws.take_counters();
+        chain.obs().merge_counters(&cs);
+    }
+
     // ---- Extraction (mirrors the eager builder's shape). ----
     let mut xs = vec![vec![0.0; nl]; nf];
     let mut routing = Vec::with_capacity(nf);

@@ -28,8 +28,8 @@ use coflow_core::residual::ResidualState;
 use coflow_core::schedule::{CircuitSchedule, FlowSchedule};
 use coflow_core::Instance;
 use coflow_net::Path;
+use coflow_obs::{Counter as ObsCounter, HistId, Recorder, SpanName};
 use coflow_sim::fluid::{fair_fill, greedy_fill, push_segment};
-use std::time::Instant;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -65,6 +65,11 @@ pub struct EngineOutcome {
     /// Engine-level metrics: epochs, re-solve time, pivots, warm-start
     /// outcomes.
     pub engine: EngineMetrics,
+    /// The engine's own trace: one `epoch` span per re-plan boundary with
+    /// a nested `plan` span around the policy call, plus the `resolve`
+    /// latency histogram. Under `COFLOW_OBS_CLOCK=logical` the rendered
+    /// JSONL is byte-identical across runs.
+    pub trace: coflow_obs::Trace,
 }
 
 /// Runs `policy` online over `instance`'s canonical arrival trace (each
@@ -125,6 +130,9 @@ pub fn run_trace(
         rates: RatePlan::Ordered(Vec::new()),
     };
     let mut epoch_log: Vec<EpochRecord> = Vec::new();
+    // The engine's trace recorder: ring pre-allocated here, so recording
+    // inside the event loop never allocates.
+    let mut rec = Recorder::new();
     let mut t = 0.0_f64;
     let mut next_arr = 0usize;
     let mut events = 0usize;
@@ -165,20 +173,23 @@ pub fn run_trace(
             // --- Re-plan (only when there is live work). ---
             let live = (0..nf).any(|f| !done[f] && admitted_at[flat.coflow_of(f)].is_finite());
             if live {
+                rec.enter(SpanName::Epoch);
                 let residual = rstate.update(instance, t, &admission_order, &remaining, &paths_opt);
                 let live_flows = residual
                     .instance
                     .flows()
                     .filter(|&(_, rf, _)| !done[residual.flat_map[rf]])
                     .count();
-                let t0 = Instant::now();
+                rec.enter(SpanName::Plan);
                 plan = policy.plan(&EpochView {
                     now: t,
                     original: instance,
                     residual,
                     paths: &paths_opt,
                 });
-                let resolve_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let plan_span = rec.exit();
+                let resolve_ms = rec.mode().to_ms(plan_span.dur);
+                rec.record_hist(HistId::Resolve, plan_span.dur);
                 for (f, p) in std::mem::take(&mut plan.routes) {
                     if done[f] && flat.size(f) <= 0.0 {
                         continue; // zero-size flows never transmit
@@ -198,6 +209,8 @@ pub fn run_trace(
                     solve: policy.last_solve(),
                     colgen: policy.last_colgen(),
                 });
+                rec.exit();
+                rec.bump(ObsCounter::Epochs, 1);
             } else {
                 plan = EpochPlan {
                     routes: Vec::new(),
@@ -327,5 +340,6 @@ pub fn run_trace(
         paths: paths_flat,
         metrics: m,
         engine,
+        trace: rec.drain(),
     }
 }

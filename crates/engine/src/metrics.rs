@@ -10,6 +10,7 @@
 use crate::policy::OnlinePolicy;
 use coflow_core::Metrics;
 use coflow_lp::{ColGenStats, SolveStats};
+use coflow_obs::Histogram;
 use coflow_workloads::io::Value;
 
 /// One epoch boundary's record.
@@ -45,6 +46,16 @@ pub struct EngineMetrics {
     pub events: usize,
     /// Total plan/re-solve wall time in milliseconds.
     pub total_resolve_ms: f64,
+    /// Median per-epoch re-solve latency in milliseconds. Quantiles come
+    /// from a deterministic power-of-two histogram over nanosecond
+    /// samples ([`coflow_obs::Histogram`]), so the reported value is the
+    /// inclusive upper edge of the bucket holding the requested rank —
+    /// stable across runs and merge orders, coarse by design.
+    pub resolve_ms_p50: f64,
+    /// 90th-percentile per-epoch re-solve latency in milliseconds.
+    pub resolve_ms_p90: f64,
+    /// 99th-percentile per-epoch re-solve latency in milliseconds.
+    pub resolve_ms_p99: f64,
     /// Total simplex pivots across all epoch re-solves.
     pub total_pivots: usize,
     /// Total phase-1 pivots across all epoch re-solves.
@@ -78,6 +89,13 @@ impl EngineMetrics {
         let solves: Vec<&SolveStats> = epoch_log.iter().filter_map(|e| e.solve.as_ref()).collect();
         let colgens: Vec<&ColGenStats> =
             epoch_log.iter().filter_map(|e| e.colgen.as_ref()).collect();
+        // Latency quantiles over ns-scaled samples; the histogram's
+        // integer bucket counts make the result independent of epoch
+        // order and of how many threads each re-solve ran with.
+        let mut resolve = Histogram::new();
+        for e in epoch_log {
+            resolve.record((e.resolve_ms * 1e6) as u64);
+        }
         Self {
             policy: policy.name().to_string(),
             coflow_completion: m.coflow_completion.clone(),
@@ -86,6 +104,9 @@ impl EngineMetrics {
             epochs: epoch_log.len(),
             events,
             total_resolve_ms: epoch_log.iter().map(|e| e.resolve_ms).sum(),
+            resolve_ms_p50: resolve.quantile(0.5) as f64 / 1e6,
+            resolve_ms_p90: resolve.quantile(0.9) as f64 / 1e6,
+            resolve_ms_p99: resolve.quantile(0.99) as f64 / 1e6,
             total_pivots: solves.iter().map(|s| s.iterations).sum(),
             total_phase1_pivots: solves.iter().map(|s| s.phase1_iterations).sum(),
             warm_attempted: solves.iter().filter(|s| s.warm_attempted).count(),
@@ -146,6 +167,9 @@ impl EngineMetrics {
             ("epochs".into(), Value::Num(self.epochs as f64)),
             ("events".into(), Value::Num(self.events as f64)),
             ("total_resolve_ms".into(), Value::Num(self.total_resolve_ms)),
+            ("resolve_ms_p50".into(), Value::Num(self.resolve_ms_p50)),
+            ("resolve_ms_p90".into(), Value::Num(self.resolve_ms_p90)),
+            ("resolve_ms_p99".into(), Value::Num(self.resolve_ms_p99)),
             (
                 "total_columns".into(),
                 Value::Num(self.total_columns as f64),
@@ -224,6 +248,9 @@ mod tests {
             epochs: 3,
             events: 9,
             total_resolve_ms: 1.5,
+            resolve_ms_p50: 0.5,
+            resolve_ms_p90: 1.0,
+            resolve_ms_p99: 1.0,
             total_pivots: 120,
             total_phase1_pivots: 30,
             warm_attempted: 2,
@@ -258,6 +285,8 @@ mod tests {
         let back = parse_json(&v.render()).unwrap();
         assert_eq!(back.lookup("policy"), Some(&Value::Str("LpOrder".into())));
         assert_eq!(back.lookup("total_pivots"), Some(&Value::Num(120.0)));
+        assert_eq!(back.lookup("resolve_ms_p50"), Some(&Value::Num(0.5)));
+        assert_eq!(back.lookup("resolve_ms_p99"), Some(&Value::Num(1.0)));
         let log = match back.lookup("epoch_log") {
             Some(Value::Arr(items)) => items,
             other => panic!("expected epoch_log array, got {other:?}"),

@@ -258,6 +258,27 @@ fn steady_state_epochs_allocate_nothing() {
             s.scratch_reuse
         );
     }
+    // The allocs == 0 contract above held with the trace sink attached:
+    // the recorder lives inside the same retained scratch, so recording
+    // epoch/plan spans and the resolve histogram must not count as an
+    // allocation. The trace proves the sink was live, not a no-op.
+    let trace = &out.trace;
+    assert!(!trace.is_empty(), "engine trace must record spans");
+    assert_eq!(
+        trace.span_count(coflow_obs::SpanName::Epoch),
+        out.engine.epochs,
+        "one epoch span per engine epoch"
+    );
+    assert_eq!(
+        trace.counter(coflow_obs::Counter::Epochs) as usize,
+        out.engine.epochs,
+        "epoch counter tracks the epoch count"
+    );
+    assert_eq!(
+        trace.hists[coflow_obs::HistId::Resolve as usize].total() as usize,
+        out.engine.epochs,
+        "one resolve-latency sample per epoch"
+    );
 }
 
 /// The allocation-free steady-state contract survives the threaded

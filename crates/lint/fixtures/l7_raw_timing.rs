@@ -1,0 +1,31 @@
+// lint-fixture-expect: raw_timing=3
+// Seeded L7 violations: direct clock reads in library code. Timing must go
+// through a `coflow_obs::Recorder` so the logical clock can replace the
+// wall clock and keep traces byte-reproducible.
+
+use std::time::Instant; // flagged
+
+/// A stopwatch around a solve: exactly the pattern the obs crate replaces.
+fn seeded_stopwatch() -> f64 {
+    let t0 = Instant::now(); // flagged
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Epoch stamping via the system clock is just as nondeterministic.
+fn seeded_system_clock() -> bool {
+    std::time::SystemTime::now() // flagged
+        .duration_since(std::time::UNIX_EPOCH)
+        .is_ok()
+}
+
+/// `Duration` is a value type, not a clock read: fine anywhere.
+fn fine_duration(d: std::time::Duration) -> u128 {
+    d.as_millis()
+}
+
+/// A documented waiver works like every other rule's.
+fn fine_waived() -> f64 {
+    // lint: allow(raw_timing) — coarse wall budget, never serialized
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -8,6 +8,7 @@
 //! | L4 | `no_print`   | no `println!` / `eprintln!` / `print!` / `eprint!` / `dbg!` in library `src/` |
 //! | L5 | `crate_attrs` + `unsafe_code` | crate roots carry `#![deny(missing_docs)]` and `#![forbid(unsafe_code)]` (or `deny` where an allowlisted `unsafe` exists); `unsafe` only in allowlisted files with a `// SAFETY:` comment |
 //! | L6 | `hot_alloc`  | no `Vec::new` / `vec![` / `.collect()` / `Box::new` inside a function annotated `// lint: hot` — acquire from reusable scratch or hoist the allocation out |
+//! | L7 | `raw_timing` | no `std::time::Instant` / `SystemTime` in library `src/` outside `coflow-obs` and the bench harness — record through a `coflow_obs::Recorder` so the logical clock keeps traces reproducible |
 //!
 //! Sites with a documented invariant are waived by a marker comment on the
 //! same or the preceding line:
@@ -41,6 +42,7 @@ pub const ALL_RULES: &[&str] = &[
     "crate_attrs",
     "unsafe_code",
     "hot_alloc",
+    "raw_timing",
     "bad_marker",
 ];
 
@@ -53,6 +55,9 @@ pub struct FileClass {
     pub crate_root: bool,
     /// On the explicit `unsafe` allowlist (requires a `// SAFETY:` comment).
     pub unsafe_ok: bool,
+    /// Allowed to read clocks directly (`coflow-obs` itself and the bench
+    /// harness); everywhere else timing goes through a `Recorder`.
+    pub timing_ok: bool,
 }
 
 /// An allow marker parsed from a raw source line.
@@ -367,6 +372,15 @@ pub fn check_file(raw: &str, class: FileClass) -> Vec<Violation> {
                         format!("`{name}!` in library code — route output through a returned value or metrics struct"),
                     );
                 }
+                b"Instant" | b"SystemTime" if !class.timing_ok => {
+                    let name = String::from_utf8_lossy(tok);
+                    push(
+                        &cleaned,
+                        s,
+                        "raw_timing",
+                        format!("`{name}` in library code — time through a `coflow_obs::Recorder` span or accumulator so the logical clock keeps traces reproducible"),
+                    );
+                }
                 b"HashMap" | b"HashSet" => {
                     let line_text = cleaned.line_text(s);
                     let trimmed: &[u8] = {
@@ -515,6 +529,7 @@ mod tests {
         library: true,
         crate_root: false,
         unsafe_ok: false,
+        timing_ok: false,
     };
 
     fn rules_hit(src: &str, class: FileClass) -> Vec<&'static str> {
@@ -586,6 +601,7 @@ mod tests {
             library: true,
             crate_root: true,
             unsafe_ok: false,
+            timing_ok: false,
         };
         assert_eq!(
             rules_hit("//! docs\n", root),
@@ -624,12 +640,38 @@ mod tests {
     }
 
     #[test]
+    fn raw_timing_flags_clock_types_unless_timing_ok() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); let _ = t; }";
+        assert_eq!(rules_hit(src, LIB), ["raw_timing", "raw_timing"]);
+        assert_eq!(
+            rules_hit(
+                "fn f() { let t = std::time::SystemTime::now(); let _ = t; }",
+                LIB
+            ),
+            ["raw_timing"]
+        );
+        // Duration is a value type, not a clock read: fine anywhere.
+        assert!(rules_hit("use std::time::Duration;", LIB).is_empty());
+        // The obs crate and the bench harness read clocks by design.
+        let timed = FileClass {
+            timing_ok: true,
+            ..LIB
+        };
+        assert!(rules_hit("use std::time::Instant;", timed).is_empty());
+        // A documented waiver works like every other rule.
+        let waived =
+            "// lint: allow(raw_timing) — coarse wall budget, never serialized\nuse std::time::Instant;";
+        assert!(rules_hit(waived, LIB).is_empty());
+    }
+
+    #[test]
     fn unsafe_policy() {
         assert_eq!(rules_hit("fn f() { unsafe { g() } }", LIB), ["unsafe_code"]);
         let ok = FileClass {
             library: true,
             crate_root: false,
             unsafe_ok: true,
+            timing_ok: false,
         };
         assert_eq!(rules_hit("fn f() { unsafe { g() } }", ok), ["unsafe_code"]);
         let with_safety = "// SAFETY: g is in bounds by construction\nfn f() { unsafe { g() } }";

@@ -228,6 +228,20 @@ impl WarmChain {
         self.stats
     }
 
+    /// The chain's trace recorder (lives in the scratch workspace, so it
+    /// spans every solve of the chain). Callers use it to nest their own
+    /// spans around solves, merge per-worker counter sets, or force the
+    /// logical clock in tests.
+    pub fn obs(&mut self) -> &mut coflow_obs::Recorder {
+        self.scratch.obs()
+    }
+
+    /// Drains the recorder into a [`Trace`](coflow_obs::Trace) snapshot
+    /// (spans recorded so far, cumulative accumulators and counters).
+    pub fn take_trace(&mut self) -> coflow_obs::Trace {
+        self.scratch.obs().drain()
+    }
+
     /// True once a basis snapshot is available for the next solve.
     pub fn has_basis(&self) -> bool {
         self.basis.is_some()

@@ -38,9 +38,9 @@
 use crate::basis::SolveStats;
 use crate::model::{LpError, Model, Solution, SolverOptions};
 use crate::WarmChain;
+use coflow_obs::SpanName;
 // lint: allow(hash_order) — by_sig is a lookup-only dedup index, never iterated
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// A persistent interning pool for generated columns.
 ///
@@ -153,9 +153,11 @@ pub struct ColGenStats {
     pub final_cols: usize,
     /// Total simplex pivots across all master solves.
     pub total_iterations: usize,
-    /// Wall time spent inside the master solves, in milliseconds.
+    /// Time inside the master solves, in milliseconds — the sum of the
+    /// trace's `master` span durations (ticks under the logical clock).
     pub master_ms: f64,
-    /// Wall time spent inside the pricing oracle, in milliseconds.
+    /// Time inside the pricing oracle, in milliseconds — the sum of the
+    /// trace's `oracle` span durations (ticks under the logical clock).
     pub pricing_ms: f64,
     /// True when the loop stopped because the oracle found nothing
     /// (optimality over the full column set is certified); false when it
@@ -199,21 +201,36 @@ pub fn solve_colgen(
     };
     loop {
         stats.rounds += 1;
-        let t0 = Instant::now();
-        let sol = chain.solve(model, opts)?;
-        stats.master_ms += t0.elapsed().as_secs_f64() * 1e3;
+        // The round/master/oracle spans live in the chain's recorder; the
+        // `master_ms`/`pricing_ms` stats are read back off the span records
+        // (one clock, one bookkeeping system).
+        chain.obs().enter(SpanName::ColgenRound);
+        chain.obs().enter(SpanName::Master);
+        let res = chain.solve(model, opts);
+        let master = chain.obs().exit();
+        let sol = match res {
+            Ok(sol) => sol,
+            Err(e) => {
+                chain.obs().exit(); // balance the colgen_round span
+                return Err(e);
+            }
+        };
+        stats.master_ms += chain.obs().mode().to_ms(master.dur);
         stats.total_iterations += sol.stats.iterations;
         stats.last = sol.stats;
         // Stop *before* pricing when the round budget is exhausted, so the
         // returned solution is always optimal for the returned master.
         if stats.rounds >= max_rounds {
+            chain.obs().exit();
             stats.final_cols = model.num_vars();
             return Ok((sol, stats));
         }
         let rows_before = model.num_rows();
-        let t1 = Instant::now();
+        chain.obs().enter(SpanName::Oracle);
         let added = price(&sol, model);
-        stats.pricing_ms += t1.elapsed().as_secs_f64() * 1e3;
+        let oracle = chain.obs().exit();
+        stats.pricing_ms += chain.obs().mode().to_ms(oracle.dur);
+        chain.obs().exit();
         assert_eq!(
             model.num_rows(),
             rows_before,

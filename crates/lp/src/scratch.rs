@@ -191,12 +191,23 @@ pub struct Scratch {
     /// Sparse LU factors persisted between solves (the production
     /// backend's elimination storage, workspace, and eta file).
     pub(crate) lu: Option<LuFactors>,
+    /// Trace recorder: spans, time accumulators, counters, histograms.
+    /// Lives here because the scratch is already threaded through every
+    /// solve; its ring is allocated at construction so recording on the
+    /// hot path never allocates (the `allocs == 0` contract holds with
+    /// tracing attached).
+    pub(crate) rec: coflow_obs::Recorder,
 }
 
 impl Scratch {
     /// A fresh, empty workspace (buffers grow on first use).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The embedded trace recorder (spans, accumulators, counters).
+    pub fn obs(&mut self) -> &mut coflow_obs::Recorder {
+        &mut self.rec
     }
 }
 

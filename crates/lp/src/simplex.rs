@@ -41,6 +41,7 @@ use crate::scratch::{
     WarmBufs,
 };
 use crate::sparse_lu::complete_basis_into;
+use coflow_obs::{Accum, Counter as ObsCounter, Recorder, SpanName};
 
 /// Variable status in the simplex dictionary.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -165,19 +166,20 @@ impl State {
         tol: f64,
         cnt: &mut Counters,
         fx: &mut FactorBufs,
+        rec: &mut Recorder,
     ) -> Result<(), LpError> {
         if self.m == 0 {
             return Ok(());
         }
-        let t0 = std::time::Instant::now();
+        let t0 = rec.stamp();
         self.gather_basis_cols(cnt, fx);
         f.refactor(self.m, &fx.cols[..self.m], cnt)?;
         self.stats.refactorizations += 1;
+        rec.bump(ObsCounter::Refactorizations, 1);
         self.stats.factor_nnz = f.factor_nnz();
-        self.stats.factor_ms += t0.elapsed().as_secs_f64() * 1e3;
-        let t1 = std::time::Instant::now();
+        let t1 = rec.lap(Accum::Factor, t0);
         self.recompute_basic_values(f, tol, cnt, &mut fx.r)?;
-        self.stats.ftran_btran_ms += t1.elapsed().as_secs_f64() * 1e3;
+        rec.lap(Accum::FtranBtran, t1);
         self.since_refactor = 0;
         Ok(())
     }
@@ -293,6 +295,7 @@ fn run_phase<F: Factorization>(
     cnt: &mut Counters,
     ph: &mut PhaseBufs,
     fx: &mut FactorBufs,
+    rec: &mut Recorder,
 ) -> Result<PhaseEnd, LpError> {
     let m = st.m;
     let tol = opts.tol;
@@ -371,10 +374,9 @@ fn run_phase<F: Factorization>(
         }
         local_iters += 1;
 
-        let t_dual = std::time::Instant::now();
+        let t_dual = rec.stamp();
         st.duals(f, costs, y);
-        let t_scan = std::time::Instant::now();
-        st.stats.ftran_btran_ms += (t_scan - t_dual).as_secs_f64() * 1e3;
+        let t_scan = rec.lap(Accum::FtranBtran, t_dual);
 
         // --- Pricing: pick an entering variable (devex: maximize d²/γ;
         // tie-breaks are mode-specific — see `cand_order` and the
@@ -474,6 +476,7 @@ fn run_phase<F: Factorization>(
                     enter = Some(j as usize);
                     st.stats.pricing_list_hits += 1;
                 }
+                rec.bump(ObsCounter::ColumnsPriced, cand.len() as u64);
             }
             if enter.is_none() {
                 // Refill scan over rotating windows (`Pricing::Full` is the
@@ -595,7 +598,8 @@ fn run_phase<F: Factorization>(
                 }
             }
         }
-        st.stats.pricing_ms += t_scan.elapsed().as_secs_f64() * 1e3;
+        rec.lap(Accum::Pricing, t_scan);
+        rec.bump(ObsCounter::ColumnsPriced, scanned as u64);
         let Some(j_in) = enter else {
             return Ok(PhaseEnd::Optimal);
         };
@@ -614,9 +618,9 @@ fn run_phase<F: Factorization>(
             -1.0
         };
 
-        let t_ftran = std::time::Instant::now();
+        let t_ftran = rec.stamp();
         st.ftran_col(f, j_in, w);
-        st.stats.ftran_btran_ms += t_ftran.elapsed().as_secs_f64() * 1e3;
+        rec.lap(Accum::FtranBtran, t_ftran);
         let wmax = w.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
 
         // --- Two-pass Harris ratio test (bounded variables). ---
@@ -728,6 +732,7 @@ fn run_phase<F: Factorization>(
             sgn[j_in] = if s > 0.0 { 1 } else { -1 };
             st.x[j_in] = if s > 0.0 { st.ub[j_in] } else { st.lb[j_in] };
             st.iterations += 1;
+            rec.bump(ObsCounter::Pivots, 1);
             continue;
         }
 
@@ -744,7 +749,7 @@ fn run_phase<F: Factorization>(
         // every column for `Pricing::Full`. Untouched columns keep
         // slightly stale weights until the next full scan — devex is
         // approximate by design.
-        let t_devex = std::time::Instant::now();
+        let t_devex = rec.stamp();
         let alpha_q = w[r_lv];
         if alpha_q.abs() > 1e-12 {
             f.binv_row(r_lv, rho);
@@ -791,7 +796,7 @@ fn run_phase<F: Factorization>(
                 gamma.fill(1.0);
             }
         }
-        st.stats.pricing_ms += t_devex.elapsed().as_secs_f64() * 1e3;
+        rec.lap(Accum::Pricing, t_devex);
 
         // Move the point.
         for (r, &wr) in w.iter().enumerate() {
@@ -830,17 +835,18 @@ fn run_phase<F: Factorization>(
         sgn[j_in] = 0;
         st.basis[r_lv] = j_in;
         st.iterations += 1;
+        rec.bump(ObsCounter::Pivots, 1);
         match f.update(r_lv, w) {
             Ok(()) => {
                 st.since_refactor += 1;
                 if f.wants_refactor(st.since_refactor, opts) {
-                    st.refactorize(f, tol, cnt, fx)?;
+                    st.refactorize(f, tol, cnt, fx, rec)?;
                 }
             }
             Err(_) if st.since_refactor > 0 => {
                 // Stale factors produced an untrustworthy pivot: rebuild
                 // from scratch (the basis change is already recorded).
-                st.refactorize(f, tol, cnt, fx)?;
+                st.refactorize(f, tol, cnt, fx, rec)?;
             }
             Err(e) => return Err(e),
         }
@@ -863,13 +869,28 @@ pub(crate) fn solve_presolved<F: Factorization + Default>(
     scratch: &mut Scratch,
 ) -> Result<(Solution, Option<Basis>), LpError> {
     scratch.cnt = Counters::default();
+    // Accumulator baselines: the recorder is cumulative over the chain, so
+    // the per-solve `*_ms` stats fields are deltas over this solve (the
+    // stats become a view over the trace rather than parallel bookkeeping).
+    let base_pricing = scratch.rec.acc(Accum::Pricing);
+    let base_xfer = scratch.rec.acc(Accum::FtranBtran);
+    let base_factor = scratch.rec.acc(Accum::Factor);
+    scratch.rec.enter(SpanName::Solve);
     let mut f = F::default();
     f.take_from(scratch);
     let res = solve_presolved_inner(model, pre, opts, warm, want_basis, scratch, &mut f);
     f.store_into(scratch);
+    scratch.rec.exit();
+    scratch
+        .rec
+        .bump(ObsCounter::ScratchReuses, scratch.cnt.reuses as u64);
+    let mode = scratch.rec.mode();
     res.map(|(mut sol, basis)| {
         sol.stats.allocs = scratch.cnt.allocs;
         sol.stats.scratch_reuse = scratch.cnt.reuses;
+        sol.stats.pricing_ms = mode.to_ms(scratch.rec.acc(Accum::Pricing) - base_pricing);
+        sol.stats.ftran_btran_ms = mode.to_ms(scratch.rec.acc(Accum::FtranBtran) - base_xfer);
+        sol.stats.factor_ms = mode.to_ms(scratch.rec.acc(Accum::Factor) - base_factor);
         (sol, basis)
     })
 }
@@ -894,6 +915,7 @@ fn solve_presolved_inner<F: Factorization>(
         asm,
         warm: wb,
         complete,
+        rec,
         ..
     } = scratch;
     let AsmBufs {
@@ -1076,6 +1098,7 @@ fn solve_presolved_inner<F: Factorization>(
             fx,
             wb,
             complete,
+            rec,
         );
         st.stats.warm_used = warm_ready;
     }
@@ -1092,6 +1115,7 @@ fn solve_presolved_inner<F: Factorization>(
             cnt,
             fx,
             &mut wb.resid,
+            rec,
         )?;
     }
 
@@ -1107,7 +1131,10 @@ fn solve_presolved_inner<F: Factorization>(
     }
     let phase1_needed = st.x[n_expl..].iter().any(|&v| v > opts.tol);
     if phase1_needed {
-        match run_phase(st, f, costs1, opts, opts.max_iters, cnt, ph, fx)? {
+        rec.enter(SpanName::Phase1);
+        let end = run_phase(st, f, costs1, opts, opts.max_iters, cnt, ph, fx, rec);
+        rec.exit();
+        match end? {
             PhaseEnd::Optimal => {}
             PhaseEnd::Unbounded => {
                 return Err(LpError::Numerical("phase 1 reported unbounded".into()))
@@ -1147,16 +1174,22 @@ fn solve_presolved_inner<F: Factorization>(
         }
     }
     let remaining = opts.max_iters.saturating_sub(st.iterations).max(1);
-    match run_phase(st, f, costs2, opts, remaining, cnt, ph, fx)? {
+    rec.enter(SpanName::Phase2);
+    let end = run_phase(st, f, costs2, opts, remaining, cnt, ph, fx, rec);
+    rec.exit();
+    match end? {
         PhaseEnd::Optimal => {}
         PhaseEnd::Unbounded => return Err(LpError::Unbounded),
     }
 
     // One final refactorization pass for clean values.
-    st.refactorize(f, opts.tol, cnt, fx)?;
+    st.refactorize(f, opts.tol, cnt, fx, rec)?;
     // Re-check optimality after the refresh: if the cleaned point lost
     // optimality (rare), resume pivoting once.
-    match run_phase(st, f, costs2, opts, remaining, cnt, ph, fx)? {
+    rec.enter(SpanName::Phase2);
+    let end = run_phase(st, f, costs2, opts, remaining, cnt, ph, fx, rec);
+    rec.exit();
+    match end? {
         PhaseEnd::Optimal => {}
         PhaseEnd::Unbounded => return Err(LpError::Unbounded),
     }
@@ -1244,6 +1277,7 @@ fn crash_basis<F: Factorization>(
     cnt: &mut Counters,
     fx: &mut FactorBufs,
     resid: &mut Vec<f64>,
+    rec: &mut Recorder,
 ) -> Result<(), LpError> {
     let m = st.m;
     let n_expl = st.n_expl;
@@ -1311,7 +1345,7 @@ fn crash_basis<F: Factorization>(
             st.vstat[aj] = VStat::Basic;
         }
     }
-    st.refactorize(f, opts.tol, cnt, fx)
+    st.refactorize(f, opts.tol, cnt, fx, rec)
 }
 
 /// Attempts a warm start from `snap`. Returns `true` when a mapped basis
@@ -1339,6 +1373,7 @@ fn try_warm_start<F: Factorization>(
     fx: &mut FactorBufs,
     wb: &mut WarmBufs,
     complete: &mut CompleteBufs,
+    rec: &mut Recorder,
 ) -> bool {
     if snap.is_empty() {
         return false;
@@ -1466,14 +1501,15 @@ fn try_warm_start<F: Factorization>(
     // implied value came out negative.
     prep(cnt, r, m, 0.0);
     for _pass in 0..2 {
-        let t0 = std::time::Instant::now();
+        let t0 = rec.stamp();
         st.gather_basis_cols(cnt, fx);
         if f.refactor(m, &fx.cols[..m], cnt).is_err() {
             return false;
         }
         st.stats.refactorizations += 1;
+        rec.bump(ObsCounter::Refactorizations, 1);
         st.stats.factor_nnz = f.factor_nnz();
-        st.stats.factor_ms += t0.elapsed().as_secs_f64() * 1e3;
+        rec.lap(Accum::Factor, t0);
         r.copy_from_slice(&st.b);
         for j in 0..st.nvars() {
             let xb = match st.vstat[j] {
@@ -1555,7 +1591,7 @@ fn try_warm_start<F: Factorization>(
     if !shifted.is_empty() {
         let cap = 200 + 4 * m;
         let repaired = matches!(
-            run_phase(st, f, costs0, opts, cap, cnt, ph, fx),
+            run_phase(st, f, costs0, opts, cap, cnt, ph, fx, rec),
             Ok(PhaseEnd::Optimal)
         );
         // Restore the original bounds and re-align nonbasic statuses with

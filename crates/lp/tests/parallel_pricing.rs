@@ -170,3 +170,31 @@ fn partial_pricing_unaffected_by_thread_knob() {
         c.0.objective
     );
 }
+
+/// Under the logical clock the rendered trace depends only on the
+/// *sequence* of recording calls, and the pivot sequence is already
+/// thread-invariant (the tests above), so the whole JSONL trace — spans,
+/// accumulators, counters, histograms — must be byte-identical at any
+/// thread count.
+#[test]
+fn logical_clock_traces_byte_identical_across_threads() {
+    let trace_at = |threads: usize| {
+        let m = transport(24);
+        let mut chain = coflow_lp::WarmChain::new();
+        chain.obs().set_mode(coflow_obs::ClockMode::Logical);
+        let opts = SolverOptions {
+            verify: false,
+            pricing: Pricing::Candidate,
+            threads,
+            ..Default::default()
+        };
+        chain.solve(&m, &opts).expect("LP must solve");
+        chain.take_trace().render_jsonl()
+    };
+    let base = trace_at(1);
+    assert!(!base.is_empty(), "trace must not be empty");
+    for threads in [2, 4] {
+        let t = trace_at(threads);
+        assert_eq!(t, base, "threads={threads}: trace bytes differ from serial");
+    }
+}

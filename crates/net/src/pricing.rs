@@ -53,6 +53,25 @@ pub struct PathScratch {
     dist: Vec<Vec<f64>>,
     /// Edge that achieved `dist[h][v]` (predecessor chain per hop layer).
     pred: Vec<Vec<Option<EdgeId>>>,
+    /// Observability tallies (oracle calls, edge relaxations). One scratch
+    /// lives per worker, so parallel pricing fan-outs accumulate here
+    /// without sharing; the coordinator merges the sets in slot order.
+    counters: coflow_obs::CounterSet,
+}
+
+impl PathScratch {
+    /// The tallies accumulated since the last [`PathScratch::take_counters`].
+    pub fn counters(&self) -> &coflow_obs::CounterSet {
+        &self.counters
+    }
+
+    /// Returns the accumulated tallies and resets them (the merge-then-reset
+    /// step of the per-worker counter protocol).
+    pub fn take_counters(&mut self) -> coflow_obs::CounterSet {
+        let out = self.counters;
+        self.counters.clear();
+        out
+    }
 }
 
 /// Minimum-price walk from `src` to `dst` using at most `max_hops` edges,
@@ -94,6 +113,7 @@ pub fn cheapest_path_hop_bounded_in(
     price: impl Fn(EdgeId) -> f64,
     ws: &mut PathScratch,
 ) -> Option<(Path, f64)> {
+    ws.counters.bump(coflow_obs::Counter::OracleCalls, 1);
     if src == dst {
         return Some((Path::empty(), 0.0));
     }
@@ -111,8 +131,13 @@ pub fn cheapest_path_hop_bounded_in(
         p.clear();
         p.resize(nv, None);
     }
-    let PathScratch { dist, pred } = ws;
+    let PathScratch {
+        dist,
+        pred,
+        counters,
+    } = ws;
     dist[0][src.index()] = 0.0;
+    let mut relaxed = 0u64;
     for h in 1..=max_hops {
         let (lower, upper) = dist.split_at_mut(h);
         let prev = &lower[h - 1];
@@ -127,6 +152,7 @@ pub fn cheapest_path_hop_bounded_in(
                 debug_assert!(w >= 0.0, "pricing requires nonnegative edge prices");
                 let v = g.edge_dst(e);
                 let nd = du + w;
+                relaxed += 1;
                 if nd < cur[v.index()] {
                     cur[v.index()] = nd;
                     pred[h][v.index()] = Some(e);
@@ -134,6 +160,7 @@ pub fn cheapest_path_hop_bounded_in(
             }
         }
     }
+    counters.bump(coflow_obs::Counter::OracleRelaxations, relaxed);
     // Best arrival: minimum cost, ties toward fewer hops. Scan only the
     // rows this call computed — the scratch may retain rows from an
     // earlier call with a larger hop bound, and those hold stale

@@ -1,0 +1,129 @@
+//! Property tests for the recording core.
+//!
+//! * **Ring wraparound** — a recorder never loses a span while the total
+//!   stays within its ring capacity; past capacity it evicts exactly
+//!   oldest-first, so the retained window is always the suffix of the
+//!   completion sequence.
+//! * **Histogram determinism** — sharding samples across any number of
+//!   "threads" and merging in any order reproduces the sequential
+//!   histogram exactly, bucket for bucket and quantile for quantile.
+//! * **Logical-clock replay** — the same recording sequence renders to
+//!   byte-identical JSONL on every replay: the logical clock depends only
+//!   on the call sequence, never on elapsed time.
+
+use coflow_obs::{ClockMode, Histogram, Recorder, SpanName, MAX_DEPTH};
+use proptest::prelude::*;
+
+/// The span vocabulary sampled by the generators.
+const NAMES: [SpanName; 5] = [
+    SpanName::Solve,
+    SpanName::Phase1,
+    SpanName::Phase2,
+    SpanName::Master,
+    SpanName::Oracle,
+];
+
+/// Replays `ops` into `rec`: `(name_idx, true)` enters, `(_, false)` exits.
+/// Unmatched exits are legal by contract (tolerated, counted as truncated);
+/// leftover opens are closed at the end so the ring holds every span.
+fn replay(rec: &mut Recorder, ops: &[(u8, bool)]) {
+    for &(n, enter) in ops {
+        if enter {
+            rec.enter(NAMES[n as usize % NAMES.len()]);
+        } else {
+            rec.exit();
+        }
+    }
+    while rec.depth() > 0 {
+        rec.exit();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ring_keeps_every_span_below_capacity_and_evicts_oldest_above(
+        cap in 1usize..48,
+        ops in proptest::collection::vec((0u8..5, proptest::bool::ANY), 0..96),
+    ) {
+        let mut rec = Recorder::with_capacity(cap, ClockMode::Logical);
+        replay(&mut rec, &ops);
+        let completed = rec.spans_completed();
+        let trace = rec.drain();
+
+        if completed <= cap as u64 {
+            // Below capacity: nothing may be lost.
+            prop_assert_eq!(trace.dropped, 0);
+            prop_assert_eq!(trace.spans.len() as u64, completed);
+        } else {
+            // Above capacity: exactly the overflow is dropped, oldest-first.
+            prop_assert_eq!(trace.dropped, completed - cap as u64);
+            prop_assert_eq!(trace.spans.len(), cap);
+        }
+        // The retained window is always the completion-order suffix.
+        let seqs: Vec<u64> = trace.spans.iter().map(|s| s.seq).collect();
+        let expect: Vec<u64> = (trace.dropped..completed).collect();
+        prop_assert_eq!(seqs, expect);
+    }
+
+    #[test]
+    fn histogram_shards_merge_to_the_sequential_result(
+        samples in proptest::collection::vec(0u64..1_000_000, 0..256),
+        shards in 1usize..9,
+        reverse in proptest::bool::ANY,
+    ) {
+        let mut whole = Histogram::new();
+        for &v in &samples {
+            whole.record(v);
+        }
+        let mut parts = vec![Histogram::new(); shards];
+        for (i, &v) in samples.iter().enumerate() {
+            parts[i % shards].record(v);
+        }
+        let mut merged = Histogram::new();
+        if reverse {
+            for p in parts.iter().rev() {
+                merged.merge(p);
+            }
+        } else {
+            for p in &parts {
+                merged.merge(p);
+            }
+        }
+        prop_assert_eq!(&whole, &merged);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(whole.quantile(q), merged.quantile(q));
+        }
+    }
+
+    #[test]
+    fn logical_clock_replay_renders_byte_identical_jsonl(
+        ops in proptest::collection::vec((0u8..5, proptest::bool::ANY), 0..64),
+    ) {
+        let run = || {
+            let mut rec = Recorder::with_capacity(128, ClockMode::Logical);
+            replay(&mut rec, &ops);
+            rec.drain().render_jsonl()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn depth_overflow_never_corrupts_the_stack(
+        extra in 0usize..8,
+        tail in proptest::collection::vec((0u8..5, proptest::bool::ANY), 0..16),
+    ) {
+        let mut rec = Recorder::with_capacity(256, ClockMode::Logical);
+        for _ in 0..MAX_DEPTH + extra {
+            rec.enter(SpanName::Bench);
+        }
+        for _ in 0..MAX_DEPTH + extra {
+            rec.exit();
+        }
+        prop_assert_eq!(rec.depth(), 0);
+        // The recorder keeps working normally after the overflow.
+        replay(&mut rec, &tail);
+        prop_assert_eq!(rec.depth(), 0);
+    }
+}

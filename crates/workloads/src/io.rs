@@ -254,6 +254,28 @@ pub fn load(path: &Path) -> std::io::Result<Instance> {
     from_json(&s).map_err(std::io::Error::other)
 }
 
+/// Writes a trace snapshot as JSONL (one JSON object per line), creating
+/// parent directories as needed. The bytes are exactly
+/// [`coflow_obs::Trace::render_jsonl`] — the canonical serialization, so
+/// logical-clock traces written here byte-diff clean across runs.
+pub fn write_trace(path: &Path, trace: &coflow_obs::Trace) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, trace.render_jsonl())
+}
+
+/// Reads a JSONL trace file back as one [`Value`] per line (blank lines
+/// skipped). Consumers dispatch on each object's `"type"` field; see the
+/// `trace_view` tool for the main reader.
+pub fn read_trace_lines(path: &Path) -> std::io::Result<Vec<Value>> {
+    let s = std::fs::read_to_string(path)?;
+    s.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| parse_json(l).map_err(std::io::Error::other))
+        .collect()
+}
+
 // ---------------------------------------------------------------------------
 // Minimal JSON value, parser, and string writer.
 // ---------------------------------------------------------------------------
@@ -821,6 +843,37 @@ mod tests {
         assert_eq!(back, v);
         assert_eq!(back.lookup("pivots"), Some(&Value::Num(42.0)));
         assert_eq!(back.lookup("missing"), None);
+    }
+
+    #[test]
+    fn trace_file_roundtrips_line_by_line() {
+        let mut rec = coflow_obs::Recorder::new();
+        rec.set_mode(coflow_obs::ClockMode::Logical);
+        rec.enter(coflow_obs::SpanName::Solve);
+        rec.enter(coflow_obs::SpanName::Phase2);
+        rec.exit();
+        rec.exit();
+        let trace = rec.drain();
+        let dir = std::env::temp_dir().join("coflow-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("trace.jsonl");
+        write_trace(&p, &trace).unwrap();
+        let lines = read_trace_lines(&p).unwrap();
+        assert_eq!(
+            lines[0].lookup("type"),
+            Some(&Value::Str("meta".into())),
+            "first line must be the meta record"
+        );
+        assert_eq!(
+            lines[0].lookup("clock"),
+            Some(&Value::Str("logical".into()))
+        );
+        let spans = lines
+            .iter()
+            .filter(|l| l.lookup("type") == Some(&Value::Str("span".into())))
+            .count();
+        assert_eq!(spans, 2);
+        std::fs::remove_file(&p).ok();
     }
 
     #[test]

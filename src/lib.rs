@@ -12,6 +12,7 @@
 //! | [`sim`] | `coflow-sim` | fluid and packet simulators (§4.1) |
 //! | [`engine`] | `coflow-engine` | event-driven online scheduler with warm-started epoch re-solves |
 //! | [`workloads`] | `coflow-workloads` | seeded random instance generators |
+//! | [`obs`] | `coflow-obs` | deterministic structured tracing and metrics (spans, counters, histograms) |
 //!
 //! See `README.md` for a tour of the workspace, how to run the
 //! experiment binaries, and the vendored dependency policy.
@@ -23,6 +24,7 @@ pub use coflow_core as algo;
 pub use coflow_engine as engine;
 pub use coflow_lp as lp;
 pub use coflow_net as net;
+pub use coflow_obs as obs;
 pub use coflow_sim as sim;
 pub use coflow_workloads as workloads;
 
