@@ -27,6 +27,8 @@ use coflow_bench::print_table;
 use coflow_core::circuit::lp_free::FreePathsLpConfig;
 use coflow_core::circuit::round_free::{FreeRoundingConfig, PathSelection};
 use coflow_engine::{run, EngineConfig, EngineMetrics, Fifo, Greedy, LpOrder, WeightedFair};
+use coflow_faults::{FaultPlan, FaultPlanConfig};
+use coflow_lp::Budget;
 use coflow_net::topo;
 use coflow_workloads::gen::{generate, GenConfig};
 use coflow_workloads::io::Value;
@@ -133,6 +135,32 @@ fn lp_colgen_policy(seed: u64, pooled: bool) -> LpOrder {
     }
 }
 
+/// The faulted series: the warm LP policy under a solver budget with a
+/// seeded [`FaultPlan`] injecting singular factorizations and pricing
+/// faults — the measured cost of surviving (budgets + recovery ladder +
+/// degradation ladder) relative to the clean `LpOrder` series.
+fn lp_faulted_policy(seed: u64) -> (LpOrder, std::sync::Arc<coflow_faults::FaultCounters>) {
+    let (lp_cfg, round_cfg) = lp_cfgs(seed);
+    let lp_cfg = FreePathsLpConfig {
+        solver: coflow_lp::SolverOptions {
+            budget: Budget {
+                max_pivots: Some(2_000),
+                ..Budget::default()
+            },
+            ..lp_cfg.solver
+        },
+        ..lp_cfg
+    };
+    let mut pol = LpOrder::new(lp_cfg, round_cfg);
+    let plan = FaultPlan::new(FaultPlanConfig {
+        seed: seed ^ 0xFA17,
+        ..Default::default()
+    });
+    let counters = plan.counters();
+    pol.set_fault_hook(Some(Box::new(plan)));
+    (pol, counters)
+}
+
 /// Sums a metric over per-trial engine metrics.
 fn total(ms: &[EngineMetrics], f: impl Fn(&EngineMetrics) -> f64) -> f64 {
     ms.iter().map(f).sum()
@@ -189,6 +217,8 @@ fn main() {
             ("Fifo", Vec::new()),
         ];
         let mut lp_cold: Vec<EngineMetrics> = Vec::new();
+        let mut lp_faulted: Vec<EngineMetrics> = Vec::new();
+        let mut faults_injected = 0u64;
 
         for (trial, inst) in instances.iter().enumerate() {
             let seed = trial as u64;
@@ -218,6 +248,20 @@ fn main() {
                 assert!(violations.is_empty(), "colgen lp: {violations:?}");
                 sink.push(out.engine);
             }
+            // The faulted series: same workload, solver faults injected.
+            // Feasibility and full completion must survive the faults —
+            // that is the series' whole point.
+            let (mut faulted_pol, counters) = lp_faulted_policy(seed);
+            let out = run(inst, &mut faulted_pol, &cfg);
+            let routed = inst.with_paths(&out.paths);
+            let violations = out.schedule.check(&routed, 1e-6, 1e-6);
+            assert!(violations.is_empty(), "faulted lp: {violations:?}");
+            assert!(
+                out.flow_completion.iter().all(|&c| c > 0.0),
+                "faulted lp left flows unfinished"
+            );
+            faults_injected += counters.total();
+            lp_faulted.push(out.engine);
         }
 
         let warm = &per_policy[0].1;
@@ -256,9 +300,34 @@ fn main() {
                 Value::Arr(per_policy.iter().map(|(_, ms)| summarize(ms)).collect()),
             ),
             ("lp_cold".into(), summarize(&lp_cold)),
+            (
+                "lp_faulted".into(),
+                Value::Obj(vec![
+                    ("summary".into(), summarize(&lp_faulted)),
+                    ("faults_injected".into(), Value::Num(faults_injected as f64)),
+                    (
+                        "degraded_epochs".into(),
+                        Value::Num(total(&lp_faulted, |m| m.degraded_epochs as f64)),
+                    ),
+                    (
+                        "fallback_policy_uses".into(),
+                        Value::Num(total(&lp_faulted, |m| m.fallback_policy_uses as f64)),
+                    ),
+                    (
+                        "stale_schedule_ms".into(),
+                        Value::Num(total(&lp_faulted, |m| m.stale_schedule_ms)),
+                    ),
+                ]),
+            ),
             // Full per-epoch SolveStats of the first trial's warm LP run.
             ("lp_warm_trial0".into(), warm[0].to_json()),
         ]));
+        println!(
+            "  rate {rate}: faulted LpOrder survived {faults_injected} injected faults \
+             ({} degraded epochs, {} fallback epochs)",
+            total(&lp_faulted, |m| m.degraded_epochs as f64) as usize,
+            total(&lp_faulted, |m| m.fallback_policy_uses as f64) as usize,
+        );
     }
 
     print_table(

@@ -325,16 +325,18 @@ fn print_worst_span_diff(args: &Args, schema: Option<&str>) {
     }
 }
 
-fn run() -> Result<bool, String> {
-    let args = parse_args()?;
-    let baseline = load(&args.baseline)?;
-    let fresh = load(&args.fresh)?;
-    let base_series = extract_series(&baseline);
-    let fresh_series = extract_series(&fresh);
-
+/// Compares matched series; a series present on only one side — a fresh
+/// point the committed baseline predates, or a retired one — is
+/// informational, never a failure. Returns (failures, JSON report rows).
+fn gate_series(
+    base_series: &[(String, f64)],
+    fresh_series: &[(String, f64)],
+    max_ratio: f64,
+    min_ms: f64,
+) -> (Vec<String>, Vec<Value>) {
     let mut failures = Vec::new();
     let mut report: Vec<Value> = Vec::new();
-    for (name, new_ms) in &fresh_series {
+    for (name, new_ms) in fresh_series {
         let Some((_, old_ms)) = base_series.iter().find(|(n, _)| n == name) else {
             println!("  new series (no baseline): {name}: {new_ms:.3} ms");
             report.push(Value::Obj(vec![
@@ -346,11 +348,10 @@ fn run() -> Result<bool, String> {
             continue;
         };
         let ratio = if *old_ms > 0.0 { new_ms / old_ms } else { 1.0 };
-        let noise_floor = *old_ms < args.min_ms && *new_ms < args.min_ms;
-        let verdict = if ratio > args.max_ratio && !noise_floor {
+        let noise_floor = *old_ms < min_ms && *new_ms < min_ms;
+        let verdict = if ratio > max_ratio && !noise_floor {
             failures.push(format!(
-                "{name}: {old_ms:.3} ms -> {new_ms:.3} ms ({ratio:.2}x > {:.2}x)",
-                args.max_ratio
+                "{name}: {old_ms:.3} ms -> {new_ms:.3} ms ({ratio:.2}x > {max_ratio:.2}x)"
             ));
             "REGRESSION"
         } else if noise_floor {
@@ -367,7 +368,7 @@ fn run() -> Result<bool, String> {
             ("verdict".into(), Value::Str(verdict.into())),
         ]));
     }
-    for (name, old_ms) in &base_series {
+    for (name, old_ms) in base_series {
         if !fresh_series.iter().any(|(n, _)| n == name) {
             println!("  retired series (baseline only): {name}: {old_ms:.3} ms");
             report.push(Value::Obj(vec![
@@ -378,8 +379,32 @@ fn run() -> Result<bool, String> {
             ]));
         }
     }
+    (failures, report)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    // A missing or unreadable committed baseline demotes every comparison
+    // to informational instead of erroring the lane: the gate still runs
+    // the fresh-artifact acceptance guards, which need no baseline.
+    let baseline = match load(&args.baseline) {
+        Ok(doc) => Some(doc),
+        Err(e) => {
+            eprintln!("warning: baseline unavailable ({e}); comparisons skipped, fresh-only acceptance still enforced");
+            None
+        }
+    };
+    let fresh = load(&args.fresh)?;
+    let base_series = baseline.as_ref().map(extract_series).unwrap_or_default();
+    let fresh_series = extract_series(&fresh);
+
+    let (mut failures, report) =
+        gate_series(&base_series, &fresh_series, args.max_ratio, args.min_ms);
     failures.extend(colgen_acceptance(&fresh));
-    failures.extend(parallel_acceptance(&baseline, &fresh));
+    failures.extend(parallel_acceptance(
+        baseline.as_ref().unwrap_or(&Value::Null),
+        &fresh,
+    ));
 
     if let Some(path) = &args.json {
         let doc = Value::Obj(vec![
@@ -533,5 +558,39 @@ mod tests {
         let base = serial_doc(358.0);
         let bad = parallel_acceptance(&base, &serial_doc(358.0));
         assert_eq!(bad.len(), 2, "{bad:?}");
+    }
+
+    #[test]
+    fn series_missing_from_baseline_warn_and_skip() {
+        // A fresh point the committed baseline predates is informational
+        // ("new"), never a regression — the lane must stay green.
+        let base = vec![("old_point".to_string(), 10.0)];
+        let fresh = vec![
+            ("old_point".to_string(), 11.0),
+            ("brand_new_point".to_string(), 900.0),
+        ];
+        let (failures, report) = gate_series(&base, &fresh, 1.5, 5.0);
+        assert!(failures.is_empty(), "{failures:?}");
+        let verdicts: Vec<_> = report
+            .iter()
+            .map(|r| match r.lookup("verdict") {
+                Some(Value::Str(s)) => s.clone(),
+                _ => panic!("missing verdict"),
+            })
+            .collect();
+        assert_eq!(verdicts, vec!["ok", "new"]);
+        // Matched series still gate.
+        let (failures, _) = gate_series(&base, &[("old_point".to_string(), 100.0)], 1.5, 5.0);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+    }
+
+    #[test]
+    fn absent_baseline_doc_skips_cross_file_guards_only() {
+        // With no baseline document at all, the baseline-relative pricing
+        // guard is skipped but the fresh-only k16 wall cap still gates.
+        assert!(parallel_acceptance(&Value::Null, &parallel_doc(250.0, 65.0)).is_empty());
+        let bad = parallel_acceptance(&Value::Null, &parallel_doc(250.0, 1500.0));
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("fat_tree_k16"), "{}", bad[0]);
     }
 }

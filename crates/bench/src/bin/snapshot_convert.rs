@@ -37,26 +37,17 @@ fn write_any(instance: &Instance, path: &Path) -> std::io::Result<()> {
     }
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    let [_, input, output] = args.as_slice() else {
-        eprintln!("usage: snapshot_convert <input(.json|.cofb)> <output(.json|.cofb)>");
-        return ExitCode::FAILURE;
-    };
-    let (input, output) = (Path::new(input), Path::new(output));
-    let instance = match read_any(input) {
-        Ok(i) => i,
-        Err(e) => {
-            eprintln!("error: failed to read {}: {e}", input.display());
-            return ExitCode::FAILURE;
-        }
-    };
-    if let Err(e) = write_any(&instance, output) {
-        eprintln!("error: failed to write {}: {e}", output.display());
-        return ExitCode::FAILURE;
-    }
+/// The whole conversion: returns the summary line, or the message `main`
+/// prints before exiting nonzero. Corrupt input surfaces here as the typed
+/// parse error (`BinError` / `JsonError`) wrapped with the file name, so
+/// a truncated or bit-flipped snapshot can never convert "successfully".
+fn convert(input: &Path, output: &Path) -> Result<String, String> {
+    let instance =
+        read_any(input).map_err(|e| format!("failed to read {}: {e}", input.display()))?;
+    write_any(&instance, output)
+        .map_err(|e| format!("failed to write {}: {e}", output.display()))?;
     let flows: usize = instance.coflows.iter().map(|c| c.flows.len()).sum();
-    println!(
+    Ok(format!(
         "{} -> {}: {} coflows, {} flows, {} nodes, {} edges",
         input.display(),
         output.display(),
@@ -64,8 +55,25 @@ fn main() -> ExitCode {
         flows,
         instance.graph.node_count(),
         instance.graph.edge_count()
-    );
-    ExitCode::SUCCESS
+    ))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, input, output] = args.as_slice() else {
+        eprintln!("usage: snapshot_convert <input(.json|.cofb)> <output(.json|.cofb)>");
+        return ExitCode::FAILURE;
+    };
+    match convert(Path::new(input), Path::new(output)) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +106,36 @@ mod tests {
             std::fs::read(&c).unwrap(),
             "JSON -> binary -> JSON must be byte-identical"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_input_fails_with_clear_message() {
+        let dir = std::env::temp_dir().join("coflow_snapshot_convert_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("out.json");
+
+        // Truncated binary snapshot: typed BinError, named input file.
+        let t = coflow_net::topo::fat_tree(4, 1.0);
+        let inst = generate(&t, &GenConfig::default());
+        let bin = dir.join("bad.cofb");
+        binio::save_bin(&inst, &bin).unwrap();
+        let bytes = std::fs::read(&bin).unwrap();
+        std::fs::write(&bin, &bytes[..bytes.len() / 2]).unwrap();
+        let err = convert(&bin, &out).unwrap_err();
+        assert!(err.contains("bad.cofb"), "{err}");
+        assert!(err.contains("binary snapshot error"), "{err}");
+
+        // Garbage JSON: typed JsonError.
+        let j = dir.join("bad.json");
+        std::fs::write(&j, "{\"nodes\": [nope").unwrap();
+        let err = convert(&j, &out).unwrap_err();
+        assert!(err.contains("bad.json"), "{err}");
+        assert!(err.contains("json error"), "{err}");
+
+        // A missing file also reports its name, not a bare errno.
+        let err = convert(&dir.join("absent.cofb"), &out).unwrap_err();
+        assert!(err.contains("absent.cofb"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -347,5 +347,17 @@ mod tests {
         let r = st.update(&inst, 0.0, &[1, 0], &remaining, &paths);
         assert_eq!(r.coflow_map, vec![1, 0]);
         assert_eq!(r.flat_map, vec![2, 0, 1]);
+        // The rebuilt residual is indistinguishable from a from-scratch one:
+        // reordering must not leak any state from the previous epoch.
+        let fresh = residual_instance(&inst, 0.0, &[1, 0], &remaining, &paths);
+        assert_eq!(r.coflow_map, fresh.coflow_map);
+        assert_eq!(r.flat_map, fresh.flat_map);
+        assert_eq!(r.instance.coflows.len(), fresh.instance.coflows.len());
+        for ((ia, fa, a), (ib, fb, b)) in r.instance.flows().zip(fresh.instance.flows()) {
+            assert_eq!((ia, fa), (ib, fb));
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.release, b.release);
+            assert_eq!(a.path, b.path);
+        }
     }
 }

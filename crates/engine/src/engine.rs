@@ -39,6 +39,9 @@ pub struct EngineConfig {
     /// Relative volume tolerance for deeming a flow complete (matches
     /// [`coflow_sim::fluid::SimConfig::vol_eps`]).
     pub vol_eps: f64,
+    /// What to do when the policy fails to plan an epoch (see
+    /// [`RecoveryPolicy`]).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for EngineConfig {
@@ -46,6 +49,79 @@ impl Default for EngineConfig {
         Self {
             trigger: EpochTrigger::default(),
             vol_eps: 1e-9,
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+}
+
+/// The solver-free policy the degradation ladder's last rung plans with.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FallbackPolicy {
+    /// Shortest-remaining-coflow-first ([`crate::policy::Greedy`]).
+    #[default]
+    Greedy,
+    /// Weighted max–min fair sharing ([`crate::policy::WeightedFair`]).
+    WeightedFair,
+    /// Admission order ([`crate::policy::Fifo`]).
+    Fifo,
+}
+
+impl FallbackPolicy {
+    /// Display name recorded in the epoch log.
+    pub fn name(self) -> &'static str {
+        match self {
+            FallbackPolicy::Greedy => "Greedy",
+            FallbackPolicy::WeightedFair => "WeightedFair",
+            FallbackPolicy::Fifo => "Fifo",
+        }
+    }
+
+    fn plan(self, view: &EpochView<'_>) -> EpochPlan {
+        use crate::policy::{Fifo, Greedy, WeightedFair};
+        let planned = match self {
+            FallbackPolicy::Greedy => Greedy.plan(view),
+            FallbackPolicy::WeightedFair => WeightedFair.plan(view),
+            FallbackPolicy::Fifo => Fifo.plan(view),
+        };
+        // lint: allow(no_panic) — the solver-free policies never return Err
+        planned.expect("solver-free fallback policies are infallible")
+    }
+}
+
+/// Per-epoch degradation ladder: what the engine does when
+/// [`OnlinePolicy::plan`] fails.
+///
+/// The rungs, in order:
+/// 1. **retry** the primary policy up to `retry` more times in the same
+///    epoch (retries matter: LP failures are often transient — a warm
+///    basis gone bad, an injected fault window, a budget raced by arrival
+///    bursts);
+/// 2. **reuse the standing plan** (`reuse_last_plan`): keep the previous
+///    epoch's rate discipline, route newly arrived flows by BFS, and track
+///    how stale the reused plan was;
+/// 3. **fall back** to a solver-free policy (`fallback`) for this epoch —
+///    always succeeds, so a run never dies at a plan failure.
+///
+/// Every degraded epoch is recorded in the epoch log, the aggregate
+/// [`EngineMetrics`] (`degraded_epochs`, `fallback_policy_uses`,
+/// `stale_schedule_ms`), and the engine trace (a `fallback` span plus the
+/// `degraded_epochs` / `policy_fallbacks` counters).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Same-epoch retries of the primary policy after a failure.
+    pub retry: usize,
+    /// Reuse the previous epoch's plan before falling back.
+    pub reuse_last_plan: bool,
+    /// The ladder's last rung.
+    pub fallback: FallbackPolicy,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            retry: 1,
+            reuse_last_plan: true,
+            fallback: FallbackPolicy::Greedy,
         }
     }
 }
@@ -129,6 +205,11 @@ pub fn run_trace(
         routes: Vec::new(),
         rates: RatePlan::Ordered(Vec::new()),
     };
+    // Degradation-ladder state: when the standing plan was computed and
+    // whether one exists at all (rung 2 reuses it; without one the ladder
+    // goes straight to the fallback policy).
+    let mut plan_birth = 0.0_f64;
+    let mut have_plan = false;
     let mut epoch_log: Vec<EpochRecord> = Vec::new();
     // The engine's trace recorder: ring pre-allocated here, so recording
     // inside the event loop never allocates.
@@ -181,12 +262,53 @@ pub fn run_trace(
                     .filter(|&(_, rf, _)| !done[residual.flat_map[rf]])
                     .count();
                 rec.enter(SpanName::Plan);
-                plan = policy.plan(&EpochView {
+                let view = EpochView {
                     now: t,
                     original: instance,
                     residual,
                     paths: &paths_opt,
-                });
+                };
+                // --- Degradation ladder (see RecoveryPolicy). ---
+                let mut retries = 0usize;
+                let mut fresh = policy.plan(&view);
+                while fresh.is_err() && retries < cfg.recovery.retry {
+                    retries += 1;
+                    rec.bump(ObsCounter::Recoveries, 1);
+                    fresh = policy.plan(&view);
+                }
+                let mut degraded = None;
+                let mut stale_ms = 0.0_f64;
+                let mut fallback = false;
+                match fresh {
+                    Ok(p) => {
+                        plan = p;
+                        plan_birth = t;
+                        have_plan = true;
+                    }
+                    Err(e) => {
+                        rec.enter(SpanName::Fallback);
+                        rec.bump(ObsCounter::DegradedEpochs, 1);
+                        if cfg.recovery.reuse_last_plan && have_plan {
+                            // Rung 2: keep the standing rate discipline,
+                            // but flows that arrived after it was computed
+                            // still need routes to make progress.
+                            stale_ms = t - plan_birth;
+                            plan.routes = crate::policy::route_missing(&view);
+                            degraded = Some(format!("stale-reuse: {e}"));
+                        } else {
+                            // Rung 3: plan this epoch with the solver-free
+                            // fallback policy.
+                            rec.bump(ObsCounter::PolicyFallbacks, 1);
+                            fallback = true;
+                            plan = cfg.recovery.fallback.plan(&view);
+                            plan_birth = t;
+                            have_plan = true;
+                            degraded =
+                                Some(format!("fallback {}: {e}", cfg.recovery.fallback.name()));
+                        }
+                        rec.exit();
+                    }
+                }
                 let plan_span = rec.exit();
                 let resolve_ms = rec.mode().to_ms(plan_span.dur);
                 rec.record_hist(HistId::Resolve, plan_span.dur);
@@ -208,6 +330,10 @@ pub fn run_trace(
                     resolve_ms,
                     solve: policy.last_solve(),
                     colgen: policy.last_colgen(),
+                    degraded,
+                    retries,
+                    stale_ms,
+                    fallback,
                 });
                 rec.exit();
                 rec.bump(ObsCounter::Epochs, 1);

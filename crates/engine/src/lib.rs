@@ -38,11 +38,11 @@ pub mod metrics;
 pub mod policy;
 pub mod trace;
 
-pub use engine::{run, run_trace, EngineConfig, EngineOutcome};
+pub use engine::{run, run_trace, EngineConfig, EngineOutcome, FallbackPolicy, RecoveryPolicy};
 pub use epoch::EpochTrigger;
 pub use metrics::{EngineMetrics, EpochRecord};
 pub use policy::{
-    EpochPlan, EpochView, Fifo, Greedy, LpOrder, OnlinePolicy, RatePlan, WeightedFair,
+    EpochPlan, EpochView, Fifo, Greedy, LpOrder, OnlinePolicy, PolicyError, RatePlan, WeightedFair,
 };
 pub use trace::ArrivalTrace;
 
@@ -140,6 +140,53 @@ mod tests {
         assert!(out.schedule.check(&routed, 1e-6, 1e-6).is_empty());
     }
 
+    /// A junk warm basis — here one whose factorization fails, via a fault
+    /// hook forcing the warm-start refactorization singular — must be
+    /// rejected early in the epoch loop: the solver cold-starts that epoch
+    /// (`warm_attempted` without `warm_used`), the run stays checker-clean,
+    /// and warm starts resume on later epochs once the basis is sane again.
+    #[test]
+    fn junk_warm_basis_is_rejected_in_epoch_loop() {
+        struct FailFirst {
+            calls: usize,
+        }
+        impl coflow_lp::FaultHook for FailFirst {
+            fn on_factorization(&mut self) -> bool {
+                self.calls += 1;
+                self.calls == 1
+            }
+        }
+        let inst = staggered();
+        let mut pol = LpOrder::default();
+        let a = run(&inst, &mut pol, &EngineConfig::default());
+        assert!(a.engine.epochs >= 2);
+
+        // The chain still holds run A's final basis. Poison its very next
+        // factorization: the epoch-1 warm-start refactorize fails, which is
+        // exactly what a stale/corrupt snapshot looks like to the solver.
+        pol.set_fault_hook(Some(Box::new(FailFirst { calls: 0 })));
+        let b = run(&inst, &mut pol, &EngineConfig::default());
+        let first = b.engine.epoch_log[0]
+            .solve
+            .as_ref()
+            .expect("first epoch of an LpOrder run re-solves");
+        assert!(first.warm_attempted, "stale basis must be offered");
+        assert!(
+            !first.warm_used,
+            "junk basis must be rejected, not limp along: {first:?}"
+        );
+        assert!(
+            b.engine.warm_used >= 1,
+            "later epochs must warm-start again: {:?}",
+            b.engine
+        );
+        assert!(b.flow_completion.iter().all(|&c| c.is_finite() && c > 0.0));
+        let routed = inst.with_paths(&b.paths);
+        assert!(b.schedule.check(&routed, 1e-6, 1e-6).is_empty());
+        // Same instance, so the degraded run still lands on the same plan.
+        assert_eq!(a.flow_completion, b.flow_completion);
+    }
+
     #[test]
     fn periodic_trigger_batches_admissions() {
         let inst = staggered();
@@ -165,6 +212,103 @@ mod tests {
         let out = run(&inst, &mut Greedy, &EngineConfig::default());
         assert_eq!(out.engine.epochs, 0);
         assert_eq!(out.metrics.weighted_sum, 0.0);
+    }
+
+    /// A policy whose `plan` fails in a chosen call window; outside the
+    /// window it defers to [`Greedy`].
+    struct Flaky {
+        calls: usize,
+        fail_from: usize,
+        fail_to: usize,
+    }
+
+    impl OnlinePolicy for Flaky {
+        fn name(&self) -> &'static str {
+            "Flaky"
+        }
+        fn plan(&mut self, view: &EpochView<'_>) -> Result<EpochPlan, PolicyError> {
+            self.calls += 1;
+            if self.calls >= self.fail_from && self.calls < self.fail_to {
+                Err(PolicyError::Other("injected plan failure".into()))
+            } else {
+                Greedy.plan(view)
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_falls_back_when_first_epoch_fails() {
+        let inst = staggered();
+        // First epoch: the plan call and its one retry both fail; there is
+        // no standing plan to reuse, so the fallback policy serves it.
+        let mut pol = Flaky {
+            calls: 0,
+            fail_from: 1,
+            fail_to: 3,
+        };
+        let out = run(&inst, &mut pol, &EngineConfig::default());
+        assert!(out.flow_completion.iter().all(|&c| c > 0.0), "all complete");
+        assert_eq!(out.engine.degraded_epochs, 1);
+        assert_eq!(out.engine.fallback_policy_uses, 1);
+        assert_eq!(out.engine.stale_schedule_ms, 0.0);
+        let first = &out.engine.epoch_log[0];
+        assert_eq!(first.retries, 1);
+        assert!(first.fallback);
+        assert!(first.degraded.as_deref().unwrap().starts_with("fallback"));
+        let routed = inst.with_paths(&out.paths);
+        assert!(out.schedule.check(&routed, 1e-6, 1e-6).is_empty());
+    }
+
+    #[test]
+    fn ladder_reuses_stale_plan_mid_run() {
+        let inst = staggered();
+        // Second epoch (the t=1 arrival) fails past its retry: the engine
+        // keeps epoch 1's rate plan (stale by 1 time unit) and BFS-routes
+        // the newly arrived flow so it still makes progress.
+        let mut pol = Flaky {
+            calls: 0,
+            fail_from: 2,
+            fail_to: 4,
+        };
+        let out = run(&inst, &mut pol, &EngineConfig::default());
+        assert!((out.flow_completion[0] - 2.0).abs() < 1e-9);
+        assert!(
+            (out.flow_completion[1] - 3.0).abs() < 1e-9,
+            "stale plan still serves the new flow"
+        );
+        assert!(out.engine.degraded_epochs >= 1);
+        assert_eq!(out.engine.fallback_policy_uses, 0);
+        assert!(out.engine.stale_schedule_ms > 0.0);
+        let degraded = out
+            .engine
+            .epoch_log
+            .iter()
+            .find(|e| e.degraded.is_some())
+            .unwrap();
+        assert!(degraded
+            .degraded
+            .as_deref()
+            .unwrap()
+            .starts_with("stale-reuse"));
+        assert!(degraded.stale_ms > 0.0);
+        let routed = inst.with_paths(&out.paths);
+        assert!(out.schedule.check(&routed, 1e-6, 1e-6).is_empty());
+    }
+
+    #[test]
+    fn retry_rung_recovers_without_degrading() {
+        let inst = staggered();
+        // Each failure window is one call wide: the single retry succeeds,
+        // so no epoch degrades and the run matches plain Greedy.
+        let mut pol = Flaky {
+            calls: 0,
+            fail_from: 1,
+            fail_to: 2,
+        };
+        let out = run(&inst, &mut pol, &EngineConfig::default());
+        assert_eq!(out.engine.degraded_epochs, 0);
+        assert_eq!(out.engine.epoch_log[0].retries, 1);
+        assert!((out.flow_completion[0] - 2.0).abs() < 1e-9);
     }
 
     #[test]

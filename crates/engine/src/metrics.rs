@@ -27,6 +27,17 @@ pub struct EpochRecord {
     /// Column-generation statistics of the re-solve (`None` for
     /// solver-free policies and eager column enumeration).
     pub colgen: Option<ColGenStats>,
+    /// How the epoch was served when the primary policy failed: `None` for
+    /// a fresh primary plan, otherwise a description of the degradation
+    /// rung taken and the error that forced it.
+    pub degraded: Option<String>,
+    /// Primary-policy retries consumed at this boundary.
+    pub retries: usize,
+    /// How stale the reused plan was at this boundary (model-time units;
+    /// 0 unless the stale-reuse rung was taken).
+    pub stale_ms: f64,
+    /// The epoch was planned by the fallback policy.
+    pub fallback: bool,
 }
 
 /// Aggregate engine metrics for one run.
@@ -74,6 +85,14 @@ pub struct EngineMetrics {
     pub total_columns_generated: usize,
     /// Restricted-master pricing rounds across all epoch re-solves.
     pub total_colgen_rounds: usize,
+    /// Epochs not served by a fresh primary-policy plan (the degradation
+    /// ladder's stale-reuse or fallback rung fired).
+    pub degraded_epochs: usize,
+    /// Epochs planned by the fallback policy.
+    pub fallback_policy_uses: usize,
+    /// Total model time the executor ran under a stale (reused) plan,
+    /// summed over degraded boundaries as `now − plan birth`.
+    pub stale_schedule_ms: f64,
     /// The per-epoch log.
     pub epoch_log: Vec<EpochRecord>,
 }
@@ -114,6 +133,9 @@ impl EngineMetrics {
             total_columns: colgens.iter().map(|c| c.final_cols).sum(),
             total_columns_generated: colgens.iter().map(|c| c.generated_cols).sum(),
             total_colgen_rounds: colgens.iter().map(|c| c.rounds).sum(),
+            degraded_epochs: epoch_log.iter().filter(|e| e.degraded.is_some()).count(),
+            fallback_policy_uses: epoch_log.iter().filter(|e| e.fallback).count(),
+            stale_schedule_ms: epoch_log.iter().map(|e| e.stale_ms).sum(),
             epoch_log: epoch_log.to_vec(),
         }
     }
@@ -193,6 +215,18 @@ impl EngineMetrics {
             ),
             ("warm_used".into(), Value::Num(self.warm_used as f64)),
             (
+                "degraded_epochs".into(),
+                Value::Num(self.degraded_epochs as f64),
+            ),
+            (
+                "fallback_policy_uses".into(),
+                Value::Num(self.fallback_policy_uses as f64),
+            ),
+            (
+                "stale_schedule_ms".into(),
+                Value::Num(self.stale_schedule_ms),
+            ),
+            (
                 "epoch_log".into(),
                 Value::Arr(
                     self.epoch_log
@@ -203,6 +237,12 @@ impl EngineMetrics {
                                 ("live_flows".into(), Value::Num(e.live_flows as f64)),
                                 ("resolve_ms".into(), Value::Num(e.resolve_ms)),
                             ];
+                            if let Some(d) = &e.degraded {
+                                pairs.push(("degraded".into(), Value::Str(d.clone())));
+                                pairs.push(("retries".into(), Value::Num(e.retries as f64)));
+                                pairs.push(("stale_ms".into(), Value::Num(e.stale_ms)));
+                                pairs.push(("fallback".into(), Value::Bool(e.fallback)));
+                            }
                             if let Some(s) = &e.solve {
                                 pairs.push(("solve".into(), solve_json(s)));
                             }
@@ -258,10 +298,17 @@ mod tests {
             total_columns: 60,
             total_columns_generated: 12,
             total_colgen_rounds: 5,
+            degraded_epochs: 1,
+            fallback_policy_uses: 0,
+            stale_schedule_ms: 0.25,
             epoch_log: vec![EpochRecord {
                 time: 0.0,
                 live_flows: 4,
                 resolve_ms: 0.5,
+                degraded: Some("stale-reuse: lp: numerical".into()),
+                retries: 1,
+                stale_ms: 0.25,
+                fallback: false,
                 solve: Some(SolveStats {
                     iterations: 40,
                     warm_attempted: true,

@@ -63,13 +63,45 @@ pub struct EpochPlan {
     pub rates: RatePlan,
 }
 
+/// Why a policy could not produce a plan this epoch.
+///
+/// A plan failure is an *epoch-local* event, not a run failure: the engine
+/// answers it with its degradation ladder (retry → reuse the standing plan
+/// → fall back to a solver-free policy — see
+/// [`RecoveryPolicy`](crate::engine::RecoveryPolicy)).
+#[derive(Clone, Debug, PartialEq)]
+pub enum PolicyError {
+    /// The LP re-solve failed (numerical breakdown past the solver's own
+    /// recovery ladder, infeasibility, budget exhaustion before
+    /// feasibility, ...).
+    Lp(coflow_lp::LpError),
+    /// Any other policy-internal failure.
+    Other(String),
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyError::Lp(e) => write!(f, "lp: {e}"),
+            PolicyError::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl From<coflow_lp::LpError> for PolicyError {
+    fn from(e: coflow_lp::LpError) -> Self {
+        PolicyError::Lp(e)
+    }
+}
+
 /// An online scheduling policy.
 pub trait OnlinePolicy {
     /// Display name (stable; used in metrics artifacts).
     fn name(&self) -> &'static str;
 
-    /// Computes the plan for the epoch starting at `view.now`.
-    fn plan(&mut self, view: &EpochView<'_>) -> EpochPlan;
+    /// Computes the plan for the epoch starting at `view.now`, or reports
+    /// why it cannot (the engine's degradation ladder takes over).
+    fn plan(&mut self, view: &EpochView<'_>) -> Result<EpochPlan, PolicyError>;
 
     /// Solver statistics of the last [`OnlinePolicy::plan`] call's LP
     /// re-solve (`None` for solver-free policies).
@@ -92,8 +124,10 @@ pub trait OnlinePolicy {
 }
 
 /// BFS-shortest-path routes for every live, unrouted flow — the default
-/// routing of the solver-free policies.
-fn route_missing(view: &EpochView<'_>) -> Vec<(usize, Path)> {
+/// routing of the solver-free policies, and the routing rung the engine
+/// uses when it reuses a stale plan (a reused plan cannot route flows that
+/// arrived after it was computed).
+pub(crate) fn route_missing(view: &EpochView<'_>) -> Vec<(usize, Path)> {
     let g = &view.original.graph;
     let mut routes = Vec::new();
     for (rflat, &oflat) in view.residual.flat_map.iter().enumerate() {
@@ -142,12 +176,12 @@ impl OnlinePolicy for Fifo {
         "Fifo"
     }
 
-    fn plan(&mut self, view: &EpochView<'_>) -> EpochPlan {
+    fn plan(&mut self, view: &EpochView<'_>) -> Result<EpochPlan, PolicyError> {
         let ranked: Vec<usize> = (0..view.residual.instance.coflow_count()).collect();
-        EpochPlan {
+        Ok(EpochPlan {
             routes: route_missing(view),
             rates: RatePlan::Ordered(order_by_coflows(view.residual, &ranked)),
-        }
+        })
     }
 }
 
@@ -165,7 +199,7 @@ impl OnlinePolicy for Greedy {
         "Greedy"
     }
 
-    fn plan(&mut self, view: &EpochView<'_>) -> EpochPlan {
+    fn plan(&mut self, view: &EpochView<'_>) -> Result<EpochPlan, PolicyError> {
         let inst = &view.residual.instance;
         let mut ranked: Vec<usize> = (0..inst.coflow_count()).collect();
         ranked.sort_by(|&a, &b| {
@@ -175,10 +209,10 @@ impl OnlinePolicy for Greedy {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.cmp(&b))
         });
-        EpochPlan {
+        Ok(EpochPlan {
             routes: route_missing(view),
             rates: RatePlan::Ordered(order_by_coflows(view.residual, &ranked)),
-        }
+        })
     }
 }
 
@@ -197,15 +231,15 @@ impl OnlinePolicy for WeightedFair {
         "WeightedFair"
     }
 
-    fn plan(&mut self, view: &EpochView<'_>) -> EpochPlan {
+    fn plan(&mut self, view: &EpochView<'_>) -> Result<EpochPlan, PolicyError> {
         let mut weights = vec![1.0; view.original.flow_count()];
         for (id, flat, _) in view.original.flows() {
             weights[flat] = view.original.coflows[id.coflow as usize].weight.max(1e-9);
         }
-        EpochPlan {
+        Ok(EpochPlan {
             routes: route_missing(view),
             rates: RatePlan::Fair(weights),
-        }
+        })
     }
 }
 
@@ -302,6 +336,13 @@ impl LpOrder {
     pub fn pooled_paths(&self) -> usize {
         self.pool.len()
     }
+
+    /// Installs a solver fault-injection hook on the policy's warm chain
+    /// (`None` removes it). A chaos facility — see
+    /// [`coflow_lp::FaultHook`]; production configurations never set one.
+    pub fn set_fault_hook(&mut self, hook: Option<Box<dyn coflow_lp::FaultHook>>) {
+        self.chain.set_fault_hook(hook);
+    }
 }
 
 impl OnlinePolicy for LpOrder {
@@ -309,25 +350,27 @@ impl OnlinePolicy for LpOrder {
         "LpOrder"
     }
 
-    fn plan(&mut self, view: &EpochView<'_>) -> EpochPlan {
+    fn plan(&mut self, view: &EpochView<'_>) -> Result<EpochPlan, PolicyError> {
         let residual = view.residual;
         let inst = &residual.instance;
         if inst.flow_count() == 0 {
-            return EpochPlan {
+            return Ok(EpochPlan {
                 routes: Vec::new(),
                 rates: RatePlan::Ordered(Vec::new()),
-            };
+            });
         }
         if !self.warm {
             self.chain.reset();
         }
         let grid = IntervalGrid::cover(self.lp_cfg.eps, inst.horizon());
+        // Residual LPs are feasible by construction, but the *solve* can
+        // still fail (numerical breakdown past the solver's recovery
+        // ladder, an exhausted budget, injected faults): that surfaces
+        // here as a PolicyError for the engine's degradation ladder.
         let lp = match self.lp_cfg.columns {
             ColumnMode::Eager => {
                 self.last_colgen = None;
-                solve_free_paths_lp_paths_on_grid(inst, &self.lp_cfg, grid, &mut self.chain)
-                    // lint: allow(no_panic) — residual instances always admit a feasible LP
-                    .expect("residual LP is feasible by construction")
+                solve_free_paths_lp_paths_on_grid(inst, &self.lp_cfg, grid, &mut self.chain)?
             }
             ColumnMode::Delayed { .. } => {
                 if !self.pool_reuse {
@@ -339,9 +382,7 @@ impl OnlinePolicy for LpOrder {
                     grid,
                     &mut self.chain,
                     &mut self.pool,
-                )
-                // lint: allow(no_panic) — residual instances always admit a feasible LP
-                .expect("residual LP is feasible by construction");
+                )?;
                 self.last_colgen = Some(cg);
                 lp
             }
@@ -362,10 +403,10 @@ impl OnlinePolicy for LpOrder {
             .into_iter()
             .map(|rflat| residual.flat_map[rflat])
             .collect();
-        EpochPlan {
+        Ok(EpochPlan {
             routes,
             rates: RatePlan::Ordered(order),
-        }
+        })
     }
 
     fn last_solve(&self) -> Option<SolveStats> {
@@ -421,7 +462,7 @@ mod tests {
             residual: &residual,
             paths: &paths,
         };
-        let plan = Greedy.plan(&view);
+        let plan = Greedy.plan(&view).unwrap();
         match plan.rates {
             RatePlan::Ordered(o) => assert_eq!(o, vec![1, 0], "size-1 coflow first"),
             _ => panic!("greedy is ordered"),
@@ -439,7 +480,7 @@ mod tests {
             residual: &residual,
             paths: &paths,
         };
-        match Fifo.plan(&view).rates {
+        match Fifo.plan(&view).unwrap().rates {
             RatePlan::Ordered(o) => assert_eq!(o, vec![0, 1]),
             _ => panic!("fifo is ordered"),
         }
@@ -455,7 +496,7 @@ mod tests {
             residual: &residual,
             paths: &paths,
         };
-        match WeightedFair.plan(&view).rates {
+        match WeightedFair.plan(&view).unwrap().rates {
             RatePlan::Fair(w) => assert_eq!(w, vec![1.0, 3.0]),
             _ => panic!("weighted fair is fair"),
         }
@@ -472,7 +513,7 @@ mod tests {
             paths: &paths,
         };
         let mut pol = LpOrder::default();
-        let plan = pol.plan(&view);
+        let plan = pol.plan(&view).unwrap();
         match plan.rates {
             RatePlan::Ordered(o) => {
                 assert_eq!(o.len(), 2);
@@ -498,9 +539,9 @@ mod tests {
             paths: &paths,
         };
         for plan in [
-            Fifo.plan(&view),
-            Greedy.plan(&view),
-            LpOrder::default().plan(&view),
+            Fifo.plan(&view).unwrap(),
+            Greedy.plan(&view).unwrap(),
+            LpOrder::default().plan(&view).unwrap(),
         ] {
             assert!(
                 plan.routes.iter().all(|&(f, _)| f != 0),

@@ -1,0 +1,29 @@
+// lint-fixture-expect: no_print=1
+// lint-fixture-class: fault_harness
+// The `crates/faults/` file class: deliberate failure-injection code may
+// fail fast on chaos invariants (L1 waived) and time fault windows
+// directly (L7 waived), but every other rule still applies — injection
+// hooks stay deterministic and print-free.
+
+/// Chaos invariants fail fast: not flagged under this class.
+fn seeded_invariant(violations: usize) {
+    if violations > 0 {
+        panic!("checker found {violations} violations under injected faults");
+    }
+}
+
+/// Harness-side timing of a fault window: not flagged under this class.
+fn seeded_fault_window() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Fail-fast accessors are fine too.
+fn seeded_unwrap(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+/// But output still routes through returned values, even in chaos code.
+fn seeded_print() {
+    println!("fault fired"); // flagged
+}

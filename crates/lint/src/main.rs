@@ -151,6 +151,10 @@ fn classify(rel: &str, root: &Path) -> Option<FileClass> {
         // The obs crate is where clock reads live; the bench harness times
         // whole experiment runs and is the other sanctioned reader.
         timing_ok: rel.starts_with("crates/obs/") || rel.starts_with("crates/bench/"),
+        // Fault-injection code asserts chaos invariants fail-fast and may
+        // time fault windows; L1/L7 are waived there (rules.rs has the
+        // rationale), everything else still applies.
+        fault_harness: rel.starts_with("crates/faults/"),
     })
 }
 
@@ -206,6 +210,7 @@ fn check_paths(paths: &[PathBuf]) -> std::io::Result<usize> {
             crate_root: raw.contains("// lint-fixture-class: crate_root"),
             unsafe_ok: false,
             timing_ok: raw.contains("// lint-fixture-class: timing_ok"),
+            fault_harness: raw.contains("// lint-fixture-class: fault_harness"),
         };
         let vs = check_file(&raw, class);
         report(&path.to_string_lossy(), &vs);
@@ -258,6 +263,7 @@ fn self_test(root: &Path) -> std::io::Result<bool> {
             crate_root: raw.contains("// lint-fixture-class: crate_root"),
             unsafe_ok: raw.contains("// lint-fixture-class: unsafe_ok"),
             timing_ok: raw.contains("// lint-fixture-class: timing_ok"),
+            fault_harness: raw.contains("// lint-fixture-class: fault_harness"),
         };
         let vs = check_file(&raw, class);
         let mut ok = true;

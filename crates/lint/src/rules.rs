@@ -58,6 +58,12 @@ pub struct FileClass {
     /// Allowed to read clocks directly (`coflow-obs` itself and the bench
     /// harness); everywhere else timing goes through a `Recorder`.
     pub timing_ok: bool,
+    /// Deliberate failure-injection code (`crates/faults`): chaos
+    /// invariants fail fast (L1 `no_panic` waived) and the harness may
+    /// time fault windows directly (L7 `raw_timing` waived). All other
+    /// rules still apply — injection hooks must stay deterministic and
+    /// print-free.
+    pub fault_harness: bool,
 }
 
 /// An allow marker parsed from a raw source line.
@@ -340,7 +346,9 @@ pub fn check_file(raw: &str, class: FileClass) -> Vec<Violation> {
             let tok = &text[s..e];
             match tok {
                 b"unwrap" | b"expect"
-                    if prev_nonws(text, s) == Some(b'.') && next_nonws(text, e) == Some(b'(') =>
+                    if !class.fault_harness
+                        && prev_nonws(text, s) == Some(b'.')
+                        && next_nonws(text, e) == Some(b'(') =>
                 {
                     let name = String::from_utf8_lossy(tok);
                     push(
@@ -351,7 +359,7 @@ pub fn check_file(raw: &str, class: FileClass) -> Vec<Violation> {
                     );
                 }
                 b"panic" | b"unreachable" | b"todo" | b"unimplemented"
-                    if next_nonws(text, e) == Some(b'!') =>
+                    if !class.fault_harness && next_nonws(text, e) == Some(b'!') =>
                 {
                     let name = String::from_utf8_lossy(tok);
                     push(
@@ -372,7 +380,7 @@ pub fn check_file(raw: &str, class: FileClass) -> Vec<Violation> {
                         format!("`{name}!` in library code — route output through a returned value or metrics struct"),
                     );
                 }
-                b"Instant" | b"SystemTime" if !class.timing_ok => {
+                b"Instant" | b"SystemTime" if !class.timing_ok && !class.fault_harness => {
                     let name = String::from_utf8_lossy(tok);
                     push(
                         &cleaned,
@@ -530,6 +538,12 @@ mod tests {
         crate_root: false,
         unsafe_ok: false,
         timing_ok: false,
+        fault_harness: false,
+    };
+
+    const FAULTS: FileClass = FileClass {
+        fault_harness: true,
+        ..LIB
     };
 
     fn rules_hit(src: &str, class: FileClass) -> Vec<&'static str> {
@@ -549,6 +563,22 @@ mod tests {
         assert_eq!(rules_hit("fn f() { println!(\"x\"); }", LIB), ["no_print"]);
         assert!(rules_hit("fn f() { assert!(true); }", LIB).is_empty());
         assert!(rules_hit("fn f() { writeln!(w, \"x\").ok(); }", LIB).is_empty());
+    }
+
+    #[test]
+    fn fault_harness_waives_panics_and_timing_only() {
+        assert!(rules_hit("fn f() { x.unwrap(); }", FAULTS).is_empty());
+        assert!(rules_hit("fn f() { panic!(\"chaos invariant\"); }", FAULTS).is_empty());
+        assert!(rules_hit("fn f() { let t = std::time::Instant::now(); }", FAULTS).is_empty());
+        // Everything else still applies to injection code.
+        assert_eq!(
+            rules_hit("fn f() { println!(\"x\"); }", FAULTS),
+            ["no_print"]
+        );
+        assert_eq!(
+            rules_hit("use std::collections::HashMap;", FAULTS),
+            ["hash_order"]
+        );
     }
 
     #[test]
@@ -598,10 +628,8 @@ mod tests {
     #[test]
     fn crate_root_attrs() {
         let root = FileClass {
-            library: true,
             crate_root: true,
-            unsafe_ok: false,
-            timing_ok: false,
+            ..LIB
         };
         assert_eq!(
             rules_hit("//! docs\n", root),
@@ -668,10 +696,8 @@ mod tests {
     fn unsafe_policy() {
         assert_eq!(rules_hit("fn f() { unsafe { g() } }", LIB), ["unsafe_code"]);
         let ok = FileClass {
-            library: true,
-            crate_root: false,
             unsafe_ok: true,
-            timing_ok: false,
+            ..LIB
         };
         assert_eq!(rules_hit("fn f() { unsafe { g() } }", ok), ["unsafe_code"]);
         let with_safety = "// SAFETY: g is in bounds by construction\nfn f() { unsafe { g() } }";

@@ -148,6 +148,22 @@ pub struct SolveStats {
     /// clamped to at least 1). Purely informational: results are byte
     /// identical at any thread count.
     pub threads: usize,
+    /// The solve returned a budget-truncated (feasible, possibly
+    /// suboptimal) point — see [`crate::Budget`].
+    pub truncated: bool,
+    /// Times the anti-cycling monitor saw a repeated basis signature on a
+    /// degenerate pivot and locked pricing to Bland's rule for the rest of
+    /// the phase.
+    pub cycles_detected: usize,
+    /// Recovery-ladder rung 1: refactorize-in-place retries after a
+    /// numerical failure mid-phase.
+    pub recovery_refactorizations: usize,
+    /// Recovery-ladder rung 2: basis repairs (rebuild the crash basis and
+    /// restore feasibility from the current point).
+    pub recovery_basis_repairs: usize,
+    /// Recovery-ladder rung 3: cold restarts from the all-artificial
+    /// identity basis (the factorization that cannot fail).
+    pub recovery_cold_restarts: usize,
 }
 
 impl SolveStats {
@@ -245,6 +261,19 @@ impl WarmChain {
     /// True once a basis snapshot is available for the next solve.
     pub fn has_basis(&self) -> bool {
         self.basis.is_some()
+    }
+
+    /// Installs a fault-injection hook consulted by this chain's solves
+    /// (see [`FaultHook`](crate::FaultHook)); `None` removes it. Hooks are
+    /// a test/chaos facility: production chains never set one.
+    pub fn set_fault_hook(&mut self, hook: Option<Box<dyn crate::FaultHook>>) {
+        self.scratch.state.hook = hook;
+    }
+
+    /// The installed fault hook, if any (consulted by `solve_colgen` for
+    /// round-level faults).
+    pub fn fault_hook_mut(&mut self) -> Option<&mut Box<dyn crate::FaultHook>> {
+        self.scratch.state.hook.as_mut()
     }
 
     /// Drops the snapshot (next solve is cold); statistics are kept.

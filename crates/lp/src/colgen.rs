@@ -36,9 +36,10 @@
 //! `coflow_core` for the LP-specific reduced-cost assembly).
 
 use crate::basis::SolveStats;
+use crate::fault::{perturb_duals_in_place, ColgenFault};
 use crate::model::{LpError, Model, Solution, SolverOptions};
 use crate::WarmChain;
-use coflow_obs::SpanName;
+use coflow_obs::{Counter, SpanName};
 // lint: allow(hash_order) — by_sig is a lookup-only dedup index, never iterated
 use std::collections::HashMap;
 
@@ -178,6 +179,14 @@ pub struct ColGenStats {
 /// stable) until the oracle adds nothing or `max_rounds` is reached, and
 /// returns the last solution together with [`ColGenStats`].
 ///
+/// Two degradation controls tighten the loop without failing it, both
+/// returning the current restricted optimum with `converged = false`:
+/// [`SolverOptions::budget`]'s `max_colgen_rounds` caps rounds below the
+/// caller's `max_rounds`, and an installed
+/// [`FaultHook`](crate::FaultHook) may abort a round's pricing or perturb
+/// the duals handed to the oracle (chaos testing of exactly that degraded
+/// path).
+///
 /// Correctness contract for `price`:
 /// * it must only **add columns** (never rows — asserted) and never add a
 ///   column that is already present, or the loop cannot terminate;
@@ -195,6 +204,10 @@ pub fn solve_colgen(
     mut price: impl FnMut(&Solution, &mut Model) -> usize,
 ) -> Result<(Solution, ColGenStats), LpError> {
     assert!(max_rounds >= 1, "need at least one master solve");
+    let cap = match opts.budget.max_colgen_rounds {
+        Some(b) => max_rounds.min(b.max(1)),
+        None => max_rounds,
+    };
     let mut stats = ColGenStats {
         seeded_cols: model.num_vars(),
         ..Default::default()
@@ -220,14 +233,35 @@ pub fn solve_colgen(
         stats.last = sol.stats;
         // Stop *before* pricing when the round budget is exhausted, so the
         // returned solution is always optimal for the returned master.
-        if stats.rounds >= max_rounds {
+        if stats.rounds >= cap {
+            chain.obs().exit();
+            stats.final_cols = model.num_vars();
+            return Ok((sol, stats));
+        }
+        // Fault hook: consulted at this serial point, once per round, before
+        // the duals reach the oracle (see `crate::fault` for the contract).
+        let fault = chain
+            .fault_hook_mut()
+            .map_or(ColgenFault::None, |h| h.on_colgen_round(stats.rounds));
+        if fault != ColgenFault::None {
+            chain.obs().bump(Counter::FaultsInjected, 1);
+        }
+        if fault == ColgenFault::AbortPricing {
+            // Oracle outage: the restricted optimum, un-converged — the same
+            // degraded contract as hitting the round budget.
             chain.obs().exit();
             stats.final_cols = model.num_vars();
             return Ok((sol, stats));
         }
         let rows_before = model.num_rows();
         chain.obs().enter(SpanName::Oracle);
-        let added = price(&sol, model);
+        let added = if let ColgenFault::PerturbDuals(eps) = fault {
+            let mut noisy = sol.clone();
+            perturb_duals_in_place(&mut noisy.duals, eps);
+            price(&noisy, model)
+        } else {
+            price(&sol, model)
+        };
         let oracle = chain.obs().exit();
         stats.pricing_ms += chain.obs().mode().to_ms(oracle.dur);
         chain.obs().exit();
@@ -369,6 +403,43 @@ mod tests {
         );
         assert!(stats.rounds >= 2, "pricing must have fired");
         assert_eq!(chain.stats().solves, stats.rounds);
+    }
+
+    /// A master solve that exhausts the recovery ladder surfaces as
+    /// `LpError::Numerical` from `solve_colgen` itself: the error is not
+    /// swallowed, pricing never runs, and the chain stays usable for a
+    /// retry once the hook is cleared.
+    #[test]
+    fn numerical_failure_propagates_out_of_solve_colgen() {
+        struct AlwaysFail;
+        impl crate::FaultHook for AlwaysFail {
+            fn on_factorization(&mut self) -> bool {
+                true
+            }
+        }
+        let mut m = Model::new();
+        let x = m.add_nonneg(1.0, "x");
+        let y = m.add_nonneg(2.0, "y");
+        m.add_row(Cmp::Ge, 1.0, &[(x, 1.0), (y, 1.0)]);
+        m.add_row(Cmp::Ge, 1.0, &[(x, 1.0), (y, 2.0)]);
+
+        let mut chain = WarmChain::new();
+        chain.set_fault_hook(Some(Box::new(AlwaysFail)));
+        let mut priced = 0usize;
+        let err = solve_colgen(&mut m, &SolverOptions::default(), &mut chain, 4, |_, _| {
+            priced += 1;
+            0
+        })
+        .unwrap_err();
+        assert!(matches!(err, LpError::Numerical(_)), "{err:?}");
+        assert_eq!(priced, 0, "pricing must not run after a failed master");
+
+        // Clearing the hook heals the chain: the same model now solves.
+        chain.set_fault_hook(None);
+        let (sol, stats) =
+            solve_colgen(&mut m, &SolverOptions::default(), &mut chain, 4, |_, _| 0).unwrap();
+        assert!((sol.objective - 1.0).abs() < 1e-9);
+        assert_eq!(stats.rounds, 1);
     }
 
     /// Hitting the round cap returns the current restricted optimum (still

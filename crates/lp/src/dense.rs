@@ -248,6 +248,7 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
     let objective = model.objective_of(&values);
     Ok(Solution {
         objective,
+        bound: objective,
         values,
         duals: vec![0.0; model.num_rows()],
         iterations: 0,

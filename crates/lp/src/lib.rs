@@ -65,6 +65,7 @@ pub mod basis;
 pub mod colgen;
 pub mod dense;
 pub(crate) mod factor;
+pub mod fault;
 pub mod model;
 pub mod par;
 pub mod presolve;
@@ -75,7 +76,10 @@ pub(crate) mod sparse_lu;
 pub use backend::{backend_for, Backend, LpBackend};
 pub use basis::{Basis, ChainStats, SolveStats, WarmChain};
 pub use colgen::{solve_colgen, ColGenStats, ColumnPool};
-pub use model::{Cmp, LpError, Model, Pricing, RowId, Solution, SolverOptions, Status, VarId};
+pub use fault::{ColgenFault, FaultHook};
+pub use model::{
+    Budget, Cmp, LpError, Model, Pricing, RowId, Solution, SolverOptions, Status, VarId,
+};
 pub use scratch::Scratch;
 
 /// Default feasibility / optimality tolerance.

@@ -58,6 +58,10 @@ pub enum Cmp {
 pub enum Status {
     /// Proven optimal within tolerance.
     Optimal,
+    /// A [`Budget`] ran out after feasibility was reached: the returned
+    /// point is primal feasible but possibly suboptimal. The gap to the
+    /// true optimum is bracketed by [`Solution::bound`].
+    Truncated,
 }
 
 /// Solver failure modes.
@@ -69,6 +73,10 @@ pub enum LpError {
     Unbounded,
     /// Iteration limit was exhausted (see [`SolverOptions::max_iters`]).
     IterationLimit,
+    /// A [`Budget`] ran out *before* a feasible point was found (phase 1
+    /// still running), so there is nothing usable to return. Budgets that
+    /// expire after feasibility yield [`Status::Truncated`] instead.
+    BudgetExhausted,
     /// Numerical trouble the solver could not recover from.
     Numerical(String),
 }
@@ -79,6 +87,12 @@ impl fmt::Display for LpError {
             LpError::Infeasible => write!(f, "LP is infeasible"),
             LpError::Unbounded => write!(f, "LP is unbounded"),
             LpError::IterationLimit => write!(f, "simplex iteration limit reached"),
+            LpError::BudgetExhausted => {
+                write!(
+                    f,
+                    "solver budget exhausted before a feasible point was found"
+                )
+            }
             LpError::Numerical(s) => write!(f, "numerical failure: {s}"),
         }
     }
@@ -112,6 +126,37 @@ pub enum Pricing {
     /// [`Pricing::Partial`]'s, so solves may return a different
     /// equally-optimal vertex than the default mode.
     Candidate,
+}
+
+/// Resource budget for a single solve (and, through
+/// [`solve_colgen`](crate::solve_colgen), a column-generation sequence).
+///
+/// All limits default to `None` (unlimited — the behavior before budgets
+/// existed). When a limit trips *after* phase 1 has produced a feasible
+/// point, the solve returns that point with [`Status::Truncated`] and a
+/// valid objective bound instead of an error; tripping during phase 1
+/// yields [`LpError::BudgetExhausted`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Budget {
+    /// Hard cap on simplex pivots for one solve, across both phases.
+    /// Unlike [`SolverOptions::max_iters`] (which errors), exhausting this
+    /// truncates gracefully.
+    pub max_pivots: Option<usize>,
+    /// Deadline on the solve's `coflow_obs` clock (comparing against the
+    /// recorder's raw stamps, so under `ClockMode::Logical` this is a tick
+    /// count and fully deterministic). Checked once per pivot using the
+    /// stamp the pivot loop already takes — budgets never add clock reads.
+    pub deadline: Option<u64>,
+    /// Cap on column-generation rounds, tightening the `max_rounds`
+    /// argument of [`solve_colgen`](crate::solve_colgen).
+    pub max_colgen_rounds: Option<usize>,
+}
+
+impl Budget {
+    /// True when no limit is set (the default).
+    pub fn is_unlimited(&self) -> bool {
+        *self == Self::default()
+    }
 }
 
 /// Options controlling the simplex.
@@ -153,6 +198,9 @@ pub struct SolverOptions {
     /// Defaults to the `COFLOW_LP_THREADS` environment variable when set
     /// to a positive integer, else 1.
     pub threads: usize,
+    /// Resource budget (pivots / clock deadline / colgen rounds). The
+    /// default is unlimited; see [`Budget`] for truncation semantics.
+    pub budget: Budget,
 }
 
 /// Reads the `COFLOW_LP_THREADS` default for [`SolverOptions::threads`].
@@ -177,6 +225,7 @@ impl Default for SolverOptions {
             pricing: Pricing::default(),
             backend: Backend::default(),
             threads: threads_from_env(),
+            budget: Budget::default(),
         }
     }
 }
@@ -479,11 +528,12 @@ impl Model {
         scratch: &mut crate::scratch::Scratch,
     ) -> Result<(Solution, Option<Basis>), LpError> {
         let backend = backend_for(opts.backend);
-        let (mut sol, basis) = backend.solve_model(self, opts, warm, want_basis, scratch)?;
+        let (sol, basis) = backend.solve_model(self, opts, warm, want_basis, scratch)?;
         if opts.verify {
+            // Feasibility and objective consistency hold for truncated
+            // points too; only reduced-cost optimality would not.
             self.verify_solution(&sol, opts.tol.max(1e-6) * 100.0);
         }
-        sol.status = Status::Optimal;
         Ok((sol, basis))
     }
 
@@ -536,11 +586,18 @@ impl Model {
     }
 }
 
-/// An optimal solution.
+/// An optimal (or budget-truncated feasible) solution.
 #[derive(Clone, Debug)]
 pub struct Solution {
-    /// Optimal objective value.
+    /// Objective value of the returned point (optimal unless
+    /// [`Status::Truncated`]).
     pub objective: f64,
+    /// A valid lower bound on the optimum of the solver's working
+    /// objective. Equals `objective` for [`Status::Optimal`]; for
+    /// [`Status::Truncated`] it is the Lagrangian bound at the last dual
+    /// iterate (`-inf` when the duals certify nothing yet), so
+    /// `objective - bound` brackets the truncation gap.
+    pub bound: f64,
     /// Primal values, indexed by [`VarId`].
     pub values: Vec<f64>,
     /// Dual prices, indexed by [`RowId`]: raw simplex multipliers
@@ -558,7 +615,8 @@ pub struct Solution {
     pub iterations: usize,
     /// Pivots spent in phase 1 (diagnostics).
     pub phase1_iterations: usize,
-    /// Termination status (always [`Status::Optimal`] on `Ok`).
+    /// Termination status: [`Status::Optimal`], or [`Status::Truncated`]
+    /// when a [`Budget`] expired after feasibility.
     pub status: Status,
     /// Detailed per-solve statistics (factorization fill-in,
     /// refactorization count, warm-start outcome, ...).

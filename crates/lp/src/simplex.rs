@@ -97,6 +97,11 @@ pub(crate) struct State {
     iterations: usize,
     /// Per-solve statistics under construction.
     stats: SolveStats,
+    /// Optional fault-injection hook (chaos testing only), consulted once
+    /// per factorization attempt — a serial point, so injected fault
+    /// sequences are thread-count independent. Installed through
+    /// [`crate::WarmChain::set_fault_hook`]; `None` in production.
+    pub(crate) hook: Option<Box<dyn crate::FaultHook>>,
 }
 
 impl State {
@@ -171,6 +176,12 @@ impl State {
         if self.m == 0 {
             return Ok(());
         }
+        if let Some(h) = self.hook.as_mut() {
+            if h.on_factorization() {
+                rec.bump(ObsCounter::FaultsInjected, 1);
+                return Err(LpError::Numerical("injected singular factorization".into()));
+            }
+        }
         let t0 = rec.stamp();
         self.gather_basis_cols(cnt, fx);
         f.refactor(self.m, &fx.cols[..self.m], cnt)?;
@@ -242,6 +253,84 @@ impl State {
 enum PhaseEnd {
     Optimal,
     Unbounded,
+    /// A [`crate::Budget`] limit tripped (pivot cap or clock deadline).
+    /// The state holds the last point reached — primal feasible whenever
+    /// the phase was entered feasible — and the caller decides whether
+    /// that is returnable ([`Status::Truncated`]) or not (phase 1:
+    /// [`LpError::BudgetExhausted`]).
+    Truncated,
+}
+
+/// SplitMix64: the statistics-grade integer hash behind the basis
+/// signatures of the anti-cycling monitor (and, through
+/// [`splitmix_unit`], the deterministic cost jitters).
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Salt distinguishing a bound *flip* of column `j` from a basis entry of
+/// `j` in the cycle signature (both are XOR-toggles, so revisiting a state
+/// restores the signature exactly).
+const FLIP_SALT: u64 = 0xF11B_0000_0000_0001;
+
+/// Anti-cycling monitor: a 64-bit XOR-of-hashes signature of the current
+/// dictionary (basis members, plus a toggle per at-upper flip) updated
+/// incrementally at each pivot. During a degenerate stall the recent
+/// signatures are ring-buffered; seeing one again means the pivot sequence
+/// has returned to a dictionary it already visited with no objective
+/// progress in between — a cycle devex can repeat forever — so the caller
+/// locks pricing to Bland's rule for the rest of the phase (the
+/// termination argument needs the lock to be permanent). Any nondegenerate
+/// step clears the ring: the objective strictly improved, so no earlier
+/// dictionary can recur and stale signatures would only risk a (harmless
+/// but pivot-wasting) false positive.
+struct CycleMon {
+    sig: u64,
+    ring: [u64; 32],
+    len: usize,
+    pos: usize,
+    locked: bool,
+}
+
+impl CycleMon {
+    fn new(basis: &[usize]) -> Self {
+        let mut sig = 0u64;
+        for &j in basis {
+            sig ^= splitmix64(j as u64);
+        }
+        Self {
+            sig,
+            ring: [0; 32],
+            len: 0,
+            pos: 0,
+            locked: false,
+        }
+    }
+
+    /// Records the post-pivot signature. Returns `true` exactly once, on
+    /// the pivot where a repeat is first detected.
+    fn observe(&mut self, degenerate: bool) -> bool {
+        if !degenerate {
+            self.len = 0;
+            self.pos = 0;
+            return false;
+        }
+        if self.locked {
+            return false;
+        }
+        if self.ring[..self.len].contains(&self.sig) {
+            self.locked = true;
+            return true;
+        }
+        self.ring[self.pos] = self.sig;
+        self.pos = (self.pos + 1) % self.ring.len();
+        self.len = (self.len + 1).min(self.ring.len());
+        false
+    }
 }
 
 /// Candidate-list capacity: how many of the best-scoring columns a refill
@@ -363,6 +452,7 @@ fn run_phase<F: Factorization>(
     let mut scan_start = 0usize;
     let mut stall = 0usize;
     let mut bland = false;
+    let mut cyc = CycleMon::new(&st.basis);
     let mut local_iters = 0usize;
     // Boundary between the two candidate-list generations: `cand[..gen_split]`
     // is the previous refill, `cand[gen_split..]` the most recent one.
@@ -373,8 +463,23 @@ fn run_phase<F: Factorization>(
             return Err(LpError::IterationLimit);
         }
         local_iters += 1;
+        // Budget pivot cap: unlike the hard iteration limit above, this
+        // truncates gracefully (counts pivots across both phases).
+        if let Some(cap) = opts.budget.max_pivots {
+            if st.iterations >= cap {
+                return Ok(PhaseEnd::Truncated);
+            }
+        }
 
         let t_dual = rec.stamp();
+        // Budget deadline, checked against the stamp the loop already
+        // takes — budgets never add clock reads, so enabling one cannot
+        // perturb the logical-clock trace of the pivots that do run.
+        if let Some(deadline) = opts.budget.deadline {
+            if t_dual >= deadline {
+                return Ok(PhaseEnd::Truncated);
+            }
+        }
         st.duals(f, costs, y);
         let t_scan = rec.lap(Accum::FtranBtran, t_dual);
 
@@ -698,7 +803,8 @@ fn run_phase<F: Factorization>(
             None => t_flip,
         };
 
-        // Degeneracy bookkeeping.
+        // Degeneracy bookkeeping. A cycle-monitor lock survives
+        // nondegenerate steps; the stall-counter trigger does not.
         if step <= tol {
             stall += 1;
             if stall > opts.bland_after {
@@ -706,7 +812,7 @@ fn run_phase<F: Factorization>(
             }
         } else {
             stall = 0;
-            bland = false;
+            bland = cyc.locked;
         }
 
         let use_flip = t_flip.is_finite()
@@ -733,6 +839,11 @@ fn run_phase<F: Factorization>(
             st.x[j_in] = if s > 0.0 { st.ub[j_in] } else { st.lb[j_in] };
             st.iterations += 1;
             rec.bump(ObsCounter::Pivots, 1);
+            cyc.sig ^= splitmix64(j_in as u64 ^ FLIP_SALT);
+            if cyc.observe(step <= tol) {
+                bland = true;
+                st.stats.cycles_detected += 1;
+            }
             continue;
         }
 
@@ -836,6 +947,11 @@ fn run_phase<F: Factorization>(
         st.basis[r_lv] = j_in;
         st.iterations += 1;
         rec.bump(ObsCounter::Pivots, 1);
+        cyc.sig ^= splitmix64(j_out as u64) ^ splitmix64(j_in as u64);
+        if cyc.observe(step <= tol) {
+            bland = true;
+            st.stats.cycles_detected += 1;
+        }
         match f.update(r_lv, w) {
             Ok(()) => {
                 st.since_refactor += 1;
@@ -851,6 +967,127 @@ fn run_phase<F: Factorization>(
             Err(e) => return Err(e),
         }
     }
+}
+
+/// Runs phase 1 (when the current point carries artificial infeasibility),
+/// locks the artificials, then runs phase 2 including the final
+/// refactorize-and-re-optimize pass. Returns the pivot count after phase 1
+/// and whether a [`crate::Budget`] truncated phase 2.
+///
+/// Called through the recovery ladder in [`solve_presolved_inner`], so it
+/// must tolerate re-entry: the phase-1 check is value-based (artificials
+/// already locked at zero skip straight to phase 2), and `st.iterations`
+/// accumulates across attempts so budgets stay per-solve.
+#[allow(clippy::too_many_arguments)]
+fn run_phases<F: Factorization>(
+    st: &mut State,
+    f: &mut F,
+    opts: &SolverOptions,
+    costs1: &[f64],
+    costs2: &[f64],
+    cnt: &mut Counters,
+    ph: &mut PhaseBufs,
+    fx: &mut FactorBufs,
+    rec: &mut Recorder,
+) -> Result<(usize, bool), LpError> {
+    let n_expl = st.n_expl;
+    let nvars = st.nvars();
+    // ---- Phase 1: minimize sum of artificials. ----
+    let phase1_needed = st.x[n_expl..].iter().any(|&v| v > opts.tol);
+    if phase1_needed {
+        rec.enter(SpanName::Phase1);
+        let end = run_phase(st, f, costs1, opts, opts.max_iters, cnt, ph, fx, rec);
+        rec.exit();
+        match end? {
+            PhaseEnd::Optimal => {}
+            // A budget expiring before feasibility leaves nothing usable.
+            PhaseEnd::Truncated => return Err(LpError::BudgetExhausted),
+            PhaseEnd::Unbounded => {
+                return Err(LpError::Numerical("phase 1 reported unbounded".into()))
+            }
+        }
+        let infeas: f64 = st.x[n_expl..].iter().sum();
+        let scale = 1.0 + st.b.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        if infeas > opts.tol * scale * 10.0 {
+            return Err(LpError::Infeasible);
+        }
+    }
+    let phase1_iterations = st.iterations;
+    // Lock artificials at zero for phase 2.
+    for j in n_expl..nvars {
+        st.ub[j] = 0.0;
+        if st.vstat[j] != VStat::Basic {
+            st.vstat[j] = VStat::AtLower;
+            st.x[j] = 0.0;
+        } else {
+            st.x[j] = st.x[j].min(opts.tol).max(0.0);
+        }
+    }
+
+    // ---- Phase 2: the real objective. ----
+    let remaining = opts.max_iters.saturating_sub(st.iterations).max(1);
+    rec.enter(SpanName::Phase2);
+    let end = run_phase(st, f, costs2, opts, remaining, cnt, ph, fx, rec);
+    rec.exit();
+    let mut truncated = match end? {
+        PhaseEnd::Optimal => false,
+        PhaseEnd::Truncated => true,
+        PhaseEnd::Unbounded => return Err(LpError::Unbounded),
+    };
+
+    // One final refactorization pass for clean values.
+    st.refactorize(f, opts.tol, cnt, fx, rec)?;
+    if !truncated {
+        // Re-check optimality after the refresh: if the cleaned point lost
+        // optimality (rare), resume pivoting once. Truncated solves skip
+        // the re-check — the budget is already spent.
+        let remaining = opts.max_iters.saturating_sub(st.iterations).max(1);
+        rec.enter(SpanName::Phase2);
+        let end = run_phase(st, f, costs2, opts, remaining, cnt, ph, fx, rec);
+        rec.exit();
+        truncated = match end? {
+            PhaseEnd::Optimal => false,
+            PhaseEnd::Truncated => true,
+            PhaseEnd::Unbounded => return Err(LpError::Unbounded),
+        };
+    }
+    Ok((phase1_iterations, truncated))
+}
+
+/// `Σ costs·x` over the working variables: the working-space objective of
+/// the current point, used to translate a working-space dual bound into
+/// reported-objective space.
+fn working_objective(st: &State, costs: &[f64]) -> f64 {
+    (0..st.nvars()).map(|j| costs[j] * st.x[j]).sum()
+}
+
+/// Lagrangian dual value `yᵀb + Σ_j min_{x ∈ [l_j, u_j]} d_j·x` of the
+/// working problem at duals `y` (`d` = reduced costs under `costs`): a
+/// valid lower bound on the working optimum for *any* `y`. Reduced costs
+/// at noise level are clamped to zero so basic columns with infinite upper
+/// bound do not collapse the bound spuriously — the result is therefore
+/// valid up to `tol·‖x*‖₁`. Returns `-inf` when a genuinely adverse
+/// infinite-bound column makes the duals certify nothing yet.
+fn lagrangian_dual(st: &State, costs: &[f64], y: &[f64], tol: f64) -> f64 {
+    let mut v = 0.0;
+    for (r, &br) in st.b.iter().enumerate() {
+        v += y[r] * br;
+    }
+    for (j, &cj) in costs.iter().enumerate().take(st.nvars()) {
+        let mut d = cj;
+        st.for_col(j, |r, a| d -= y[r] * a);
+        if d.abs() <= tol {
+            continue;
+        }
+        if d > 0.0 {
+            v += d * st.lb[j];
+        } else if st.ub[j].is_finite() {
+            v += d * st.ub[j];
+        } else {
+            return f64::NEG_INFINITY;
+        }
+    }
+    v
 }
 
 /// Entry point used by the backends: solve the presolved LP with the given
@@ -973,6 +1210,7 @@ fn solve_presolved_inner<F: Factorization>(
         return Ok((
             Solution {
                 objective,
+                bound: objective,
                 values,
                 duals,
                 iterations: 0,
@@ -1104,7 +1342,7 @@ fn solve_presolved_inner<F: Factorization>(
     }
 
     if !warm_ready {
-        crash_basis(
+        let first = crash_basis(
             model,
             kept_rows,
             slack_of_row,
@@ -1116,10 +1354,38 @@ fn solve_presolved_inner<F: Factorization>(
             fx,
             &mut wb.resid,
             rec,
-        )?;
+            true,
+        );
+        if let Err(e) = first {
+            let LpError::Numerical(_) = e else {
+                return Err(e);
+            };
+            // The very first factorization failed (in practice only an
+            // injected fault: the crash basis is diagonal). Rungs 1/2 of
+            // the recovery ladder would redo exactly what just failed, so
+            // escalate straight to rung 3: the all-artificial identity
+            // cold start.
+            st.stats.recovery_cold_restarts += 1;
+            rec.bump(ObsCounter::Recoveries, 1);
+            crash_basis(
+                model,
+                kept_rows,
+                slack_of_row,
+                n_struct,
+                st,
+                f,
+                opts,
+                cnt,
+                fx,
+                &mut wb.resid,
+                rec,
+                false,
+            )?;
+        }
     }
 
-    // ---- Phase 1: minimize sum of artificials. ----
+    // ---- Cost vectors for both phases (prepared once: the recovery
+    // ladder below may run the phases more than once). ----
     // The artificial costs carry a tiny deterministic jitter: exact unit
     // costs make transportation-like LPs massively dual-degenerate in
     // phase 1 (every tied reduced cost spawns a run of degenerate pivots);
@@ -1129,36 +1395,6 @@ fn solve_presolved_inner<F: Factorization>(
     for (r, c) in costs1.iter_mut().skip(n_expl).enumerate() {
         *c = 1.0 + opts.phase1_jitter * splitmix_unit(r as u64 + 0x5EED);
     }
-    let phase1_needed = st.x[n_expl..].iter().any(|&v| v > opts.tol);
-    if phase1_needed {
-        rec.enter(SpanName::Phase1);
-        let end = run_phase(st, f, costs1, opts, opts.max_iters, cnt, ph, fx, rec);
-        rec.exit();
-        match end? {
-            PhaseEnd::Optimal => {}
-            PhaseEnd::Unbounded => {
-                return Err(LpError::Numerical("phase 1 reported unbounded".into()))
-            }
-        }
-        let infeas: f64 = st.x[n_expl..].iter().sum();
-        let scale = 1.0 + st.b.iter().map(|v| v.abs()).fold(0.0, f64::max);
-        if infeas > opts.tol * scale * 10.0 {
-            return Err(LpError::Infeasible);
-        }
-    }
-    let phase1_iterations = st.iterations;
-    // Lock artificials at zero for phase 2.
-    for j in n_expl..nvars {
-        st.ub[j] = 0.0;
-        if st.vstat[j] != VStat::Basic {
-            st.vstat[j] = VStat::AtLower;
-            st.x[j] = 0.0;
-        } else {
-            st.x[j] = st.x[j].min(opts.tol).max(0.0);
-        }
-    }
-
-    // ---- Phase 2: the real objective. ----
     prep(cnt, costs2, nvars, 0.0);
     for (rj, &oj) in pre.kept_vars.iter().enumerate() {
         costs2[rj] = model.cols[oj as usize].cost;
@@ -1173,26 +1409,74 @@ fn solve_presolved_inner<F: Factorization>(
             *c += opts.perturb * scale * splitmix_unit(j as u64 + 1);
         }
     }
-    let remaining = opts.max_iters.saturating_sub(st.iterations).max(1);
-    rec.enter(SpanName::Phase2);
-    let end = run_phase(st, f, costs2, opts, remaining, cnt, ph, fx, rec);
-    rec.exit();
-    match end? {
-        PhaseEnd::Optimal => {}
-        PhaseEnd::Unbounded => return Err(LpError::Unbounded),
-    }
 
-    // One final refactorization pass for clean values.
-    st.refactorize(f, opts.tol, cnt, fx, rec)?;
-    // Re-check optimality after the refresh: if the cleaned point lost
-    // optimality (rare), resume pivoting once.
-    rec.enter(SpanName::Phase2);
-    let end = run_phase(st, f, costs2, opts, remaining, cnt, ph, fx, rec);
-    rec.exit();
-    match end? {
-        PhaseEnd::Optimal => {}
-        PhaseEnd::Unbounded => return Err(LpError::Unbounded),
-    }
+    // ---- Phase 1 + phase 2, wrapped in the singular-factorization
+    // recovery ladder: a numerical failure escalates through
+    // (1) refactorize the current basis in place, (2) rebuild the crash
+    // basis and restore feasibility from scratch, (3) cold-restart from
+    // the all-artificial identity basis — before giving up. Each rung is
+    // attempted at most once per solve; a rung that itself fails (the
+    // basis is singular beyond repair, or the fault hook keeps firing)
+    // escalates immediately.
+    let mut rung = 0usize;
+    let (phase1_iterations, truncated) = loop {
+        match run_phases(st, f, opts, costs1, costs2, cnt, ph, fx, rec) {
+            Ok(out) => break out,
+            Err(LpError::Numerical(msg)) if rung < 3 => {
+                let mut recovered = false;
+                while !recovered && rung < 3 {
+                    rung += 1;
+                    rec.bump(ObsCounter::Recoveries, 1);
+                    recovered = match rung {
+                        1 => {
+                            st.stats.recovery_refactorizations += 1;
+                            st.refactorize(f, opts.tol, cnt, fx, rec).is_ok()
+                        }
+                        2 => {
+                            st.stats.recovery_basis_repairs += 1;
+                            crash_basis(
+                                model,
+                                kept_rows,
+                                slack_of_row,
+                                n_struct,
+                                st,
+                                f,
+                                opts,
+                                cnt,
+                                fx,
+                                &mut wb.resid,
+                                rec,
+                                true,
+                            )
+                            .is_ok()
+                        }
+                        _ => {
+                            st.stats.recovery_cold_restarts += 1;
+                            crash_basis(
+                                model,
+                                kept_rows,
+                                slack_of_row,
+                                n_struct,
+                                st,
+                                f,
+                                opts,
+                                cnt,
+                                fx,
+                                &mut wb.resid,
+                                rec,
+                                false,
+                            )
+                            .is_ok()
+                        }
+                    };
+                }
+                if !recovered {
+                    return Err(LpError::Numerical(msg));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    };
 
     // ---- Scatter back to the original variable space. ----
     let mut values = pre.fixed_values.clone();
@@ -1207,6 +1491,15 @@ fn solve_presolved_inner<F: Factorization>(
     }
     crate::presolve::postsolve_singleton_duals(model, pre, opts.tol, &mut duals);
     let objective = model.objective_of(&values);
+    // For optimal solves the bound IS the objective. For budget-truncated
+    // solves it is the Lagrangian dual value at the current working duals,
+    // translated into reported-objective space (exact for `perturb == 0`,
+    // within the perturbation scale otherwise).
+    let bound = if truncated {
+        objective - working_objective(st, costs2) + lagrangian_dual(st, costs2, ydual, opts.tol)
+    } else {
+        objective
+    };
 
     // ---- Snapshot the final basis (by name) if requested. ----
     let basis_out = want_basis.then(|| {
@@ -1246,14 +1539,20 @@ fn solve_presolved_inner<F: Factorization>(
 
     st.stats.iterations = st.iterations;
     st.stats.phase1_iterations = phase1_iterations;
+    st.stats.truncated = truncated;
     Ok((
         Solution {
             objective,
+            bound,
             values,
             duals,
             iterations: st.iterations,
             phase1_iterations,
-            status: Status::Optimal,
+            status: if truncated {
+                Status::Truncated
+            } else {
+                Status::Optimal
+            },
             stats: st.stats,
         },
         basis_out,
@@ -1264,6 +1563,10 @@ fn solve_presolved_inner<F: Factorization>(
 /// at a feasible (nonnegative) value, otherwise fall back to an artificial.
 /// This leaves artificials only on equality rows and on inequality rows
 /// violated at the all-lower-bound point, which slashes phase-1 work.
+///
+/// With `prefer_slacks = false` every row is covered by its artificial
+/// instead — the recovery ladder's last rung: the basis matrix is then a
+/// signed identity, the one factorization that cannot fail numerically.
 // lint: hot
 #[allow(clippy::too_many_arguments)]
 fn crash_basis<F: Factorization>(
@@ -1278,6 +1581,7 @@ fn crash_basis<F: Factorization>(
     fx: &mut FactorBufs,
     resid: &mut Vec<f64>,
     rec: &mut Recorder,
+    prefer_slacks: bool,
 ) -> Result<(), LpError> {
     let m = st.m;
     let n_expl = st.n_expl;
@@ -1307,7 +1611,7 @@ fn crash_basis<F: Factorization>(
     }
     for (r, &res) in resid.iter().enumerate() {
         let aj = n_expl + r;
-        let slack_ok = match slack_of_row[r] {
+        let slack_ok = match slack_of_row[r].filter(|_| prefer_slacks) {
             Some(si) => {
                 let sj = n_struct + si;
                 // Slack coefficient: +1 for Le, -1 for Ge.
@@ -1639,6 +1943,7 @@ fn splitmix_unit(mut x: u64) -> f64 {
 // Unit tests assert exact expected values; strict float equality is the point.
 #[allow(clippy::float_cmp)]
 mod tests {
+    use super::{splitmix64, CycleMon};
     use crate::{Backend, LpError, Model, SolverOptions};
 
     fn assert_close(a: f64, b: f64) {
@@ -1986,5 +2291,185 @@ mod tests {
         assert_close(warm.objective, cold.objective);
         assert!(warm.stats.warm_attempted);
         assert!(!warm.stats.warm_used, "no shared names: must cold start");
+    }
+
+    /// A zero-pivot budget on an LP whose crash basis is already feasible
+    /// (all `Le` rows) returns the crash point as a `Truncated` solution
+    /// with a valid lower bound, instead of an error.
+    #[test]
+    fn pivot_budget_truncates_phase2() {
+        let mut m = Model::new();
+        let x = m.add_nonneg(-3.0, "x");
+        let y = m.add_nonneg(-5.0, "y");
+        m.le(&[(x, 1.0)], 4.0);
+        m.le(&[(y, 2.0)], 12.0);
+        m.le(&[(x, 3.0), (y, 2.0)], 18.0);
+        let opts = SolverOptions {
+            budget: crate::Budget {
+                max_pivots: Some(0),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let s = m.solve_with(&opts).unwrap();
+        assert_eq!(s.status, crate::Status::Truncated);
+        assert!(s.stats.truncated);
+        assert_eq!(s.iterations, 0);
+        // The crash point is the origin: objective 0, true optimum -36.
+        assert_close(s.objective, 0.0);
+        assert!(
+            s.bound <= -36.0 + 1e-6,
+            "bound {} must under-estimate",
+            s.bound
+        );
+        // An ample budget leaves the solve untouched.
+        let opts = SolverOptions {
+            budget: crate::Budget {
+                max_pivots: Some(10_000),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let s = m.solve_with(&opts).unwrap();
+        assert_eq!(s.status, crate::Status::Optimal);
+        assert_close(s.objective, -36.0);
+        assert_close(s.bound, -36.0);
+    }
+
+    /// A budget that expires during phase 1 means there is no feasible
+    /// point to degrade to: the solve fails with `BudgetExhausted`.
+    #[test]
+    fn pivot_budget_in_phase1_is_exhaustion() {
+        let mut m = Model::new();
+        let x = m.add_nonneg(2.0, "x");
+        let y = m.add_nonneg(3.0, "y");
+        m.ge(&[(x, 1.0), (y, 1.0)], 4.0);
+        m.ge(&[(x, 1.0)], 1.0);
+        let opts = SolverOptions {
+            budget: crate::Budget {
+                max_pivots: Some(0),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert_eq!(m.solve_with(&opts).unwrap_err(), LpError::BudgetExhausted);
+    }
+
+    /// A deadline already in the past truncates immediately (the deadline
+    /// is checked against the same stamps the trace already takes, so an
+    /// unset deadline perturbs nothing).
+    #[test]
+    fn past_deadline_truncates() {
+        let mut m = Model::new();
+        let x = m.add_nonneg(-3.0, "x");
+        let y = m.add_nonneg(-5.0, "y");
+        m.le(&[(x, 1.0), (y, 1.0)], 4.0);
+        m.le(&[(x, 3.0), (y, 2.0)], 18.0);
+        let opts = SolverOptions {
+            budget: crate::Budget {
+                deadline: Some(0),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let s = m.solve_with(&opts).unwrap();
+        assert_eq!(s.status, crate::Status::Truncated);
+    }
+
+    /// A hook that fails the first factorization forces the rung-3 cold
+    /// restart; one that fails a later factorization exercises rung 1.
+    /// Either way the solve still reaches the true optimum.
+    #[test]
+    fn fault_hook_drives_recovery_ladder() {
+        struct FailCalls {
+            calls: usize,
+            fail_from: usize,
+            fail_to: usize,
+        }
+        impl crate::FaultHook for FailCalls {
+            fn on_factorization(&mut self) -> bool {
+                self.calls += 1;
+                self.calls >= self.fail_from && self.calls < self.fail_to
+            }
+        }
+        let mut m = Model::new();
+        let x = m.add_nonneg(-3.0, "x");
+        let y = m.add_nonneg(-5.0, "y");
+        m.le(&[(x, 1.0)], 4.0);
+        m.le(&[(y, 2.0)], 12.0);
+        m.le(&[(x, 3.0), (y, 2.0)], 18.0);
+
+        // Fault on the very first factorization only.
+        let mut chain = crate::WarmChain::new();
+        chain.set_fault_hook(Some(Box::new(FailCalls {
+            calls: 0,
+            fail_from: 1,
+            fail_to: 2,
+        })));
+        let s = chain.solve(&m, &SolverOptions::default()).unwrap();
+        assert_close(s.objective, -36.0);
+        assert_eq!(
+            s.stats.recovery_cold_restarts, 1,
+            "first-factorization fault"
+        );
+
+        // Fault on the second factorization (the end-of-phase refactorize):
+        // rung 1 (plain refactorize retry) recovers.
+        let mut chain = crate::WarmChain::new();
+        chain.set_fault_hook(Some(Box::new(FailCalls {
+            calls: 0,
+            fail_from: 2,
+            fail_to: 3,
+        })));
+        let s = chain.solve(&m, &SolverOptions::default()).unwrap();
+        assert_close(s.objective, -36.0);
+        assert_eq!(s.stats.recovery_refactorizations, 1, "mid-solve fault");
+        assert_eq!(s.stats.recovery_cold_restarts, 0);
+
+        // A hook that never stops failing exhausts the ladder.
+        struct AlwaysFail;
+        impl crate::FaultHook for AlwaysFail {
+            fn on_factorization(&mut self) -> bool {
+                true
+            }
+        }
+        let mut chain = crate::WarmChain::new();
+        chain.set_fault_hook(Some(Box::new(AlwaysFail)));
+        assert!(matches!(
+            chain.solve(&m, &SolverOptions::default()),
+            Err(LpError::Numerical(_))
+        ));
+    }
+
+    /// The anti-cycling monitor: signatures are XOR toggles, so revisiting
+    /// a basis state during a degenerate stall is detected exactly once,
+    /// and any nondegenerate step clears the history.
+    #[test]
+    fn cycle_monitor_detects_revisit() {
+        let basis = vec![3usize, 7, 11];
+        let mut cyc = CycleMon::new(&basis);
+        // A 2-cycle: swap 3↔5, swap back, swap again. Signatures are only
+        // recorded *after* each pivot, so detection fires on the pivot
+        // that re-produces an already-buffered signature.
+        cyc.sig ^= splitmix64(3) ^ splitmix64(5);
+        assert!(!cyc.observe(true), "fresh signature");
+        cyc.sig ^= splitmix64(5) ^ splitmix64(3);
+        assert!(!cyc.observe(true), "start signature was never buffered");
+        cyc.sig ^= splitmix64(3) ^ splitmix64(5);
+        assert!(cyc.observe(true), "revisit must be flagged");
+        assert!(cyc.locked, "detection locks Bland's rule");
+        // Already locked: further revisits are not re-reported.
+        cyc.sig ^= splitmix64(5) ^ splitmix64(3);
+        assert!(!cyc.observe(true), "reported once per phase");
+
+        // A nondegenerate step clears the ring: the old signature no
+        // longer counts as a revisit.
+        let mut cyc = CycleMon::new(&basis);
+        cyc.sig ^= splitmix64(3) ^ splitmix64(5);
+        assert!(!cyc.observe(true));
+        cyc.sig ^= splitmix64(5) ^ splitmix64(3);
+        assert!(!cyc.observe(false), "objective moved: not a cycle");
+        cyc.sig ^= splitmix64(3) ^ splitmix64(5);
+        assert!(!cyc.observe(true), "history was cleared");
     }
 }

@@ -129,11 +129,15 @@ pub enum SpanName {
     Plan,
     /// A bench-harness measurement region.
     Bench,
+    /// A degradation-ladder rung inside an epoch: a plan retry, a stale
+    /// schedule reuse, or a fallback-policy re-plan after the primary
+    /// policy failed.
+    Fallback,
 }
 
 impl SpanName {
     /// Number of registered names.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// Every registered name, in wire order.
     pub const ALL: [SpanName; SpanName::COUNT] = [
@@ -146,6 +150,7 @@ impl SpanName {
         SpanName::Epoch,
         SpanName::Plan,
         SpanName::Bench,
+        SpanName::Fallback,
     ];
 
     /// The interned wire name.
@@ -160,6 +165,7 @@ impl SpanName {
             SpanName::Epoch => "epoch",
             SpanName::Plan => "plan",
             SpanName::Bench => "bench",
+            SpanName::Fallback => "fallback",
         }
     }
 }
@@ -215,11 +221,23 @@ pub enum Counter {
     OracleRelaxations,
     /// Engine epochs executed.
     Epochs,
+    /// Solver recovery-ladder rungs taken after a numerical failure
+    /// (refactorize retries, basis repairs, cold restarts).
+    Recoveries,
+    /// Faults injected by an installed fault hook (test/chaos runs only;
+    /// always zero in production).
+    FaultsInjected,
+    /// Engine epochs that did not get a fresh primary-policy plan (stale
+    /// schedule reused or fallback policy engaged).
+    DegradedEpochs,
+    /// Epochs planned by the fallback policy after the primary policy
+    /// failed past all retries.
+    PolicyFallbacks,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 11;
 
     /// Every counter, in wire order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -230,6 +248,10 @@ impl Counter {
         Counter::OracleCalls,
         Counter::OracleRelaxations,
         Counter::Epochs,
+        Counter::Recoveries,
+        Counter::FaultsInjected,
+        Counter::DegradedEpochs,
+        Counter::PolicyFallbacks,
     ];
 
     /// The interned wire name.
@@ -242,6 +264,10 @@ impl Counter {
             Counter::OracleCalls => "oracle_calls",
             Counter::OracleRelaxations => "oracle_relaxations",
             Counter::Epochs => "epochs",
+            Counter::Recoveries => "recoveries",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::DegradedEpochs => "degraded_epochs",
+            Counter::PolicyFallbacks => "policy_fallbacks",
         }
     }
 }

@@ -26,17 +26,41 @@ use coflow_net::{EdgeId, Graph, NodeId, Path as NetPath};
 use std::fmt;
 use std::path::Path;
 
+/// What went wrong, coarsely: callers that only want to distinguish
+/// resource-limit rejections (hostile or corrupt input) from ordinary
+/// malformed documents can match on this instead of the message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JsonErrorKind {
+    /// Syntax or schema violation (the common case).
+    #[default]
+    Malformed,
+    /// Input exceeds [`MAX_INPUT_BYTES`]; parsing never started.
+    TooLarge,
+    /// Nesting exceeds [`MAX_DEPTH`]; parsing stopped at the ceiling.
+    TooDeep,
+}
+
 /// Error produced by [`from_json`] / [`to_json`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct JsonError {
     /// Human-readable description, with byte offset for parse errors.
     pub message: String,
+    /// Coarse classification (see [`JsonErrorKind`]).
+    pub kind: JsonErrorKind,
 }
 
 impl JsonError {
     fn new(message: impl Into<String>) -> Self {
         JsonError {
             message: message.into(),
+            kind: JsonErrorKind::Malformed,
+        }
+    }
+
+    fn limit(kind: JsonErrorKind, message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+            kind,
         }
     }
 }
@@ -472,10 +496,25 @@ struct Parser<'a> {
 
 /// Nesting ceiling: snapshot files are 3 levels deep, so any input past
 /// this is garbage — better a `JsonError` than recursing to stack overflow.
-const MAX_DEPTH: usize = 64;
+pub const MAX_DEPTH: usize = 64;
+
+/// Input-size ceiling (bytes). The largest committed artifacts are a few
+/// megabytes; a document past this is a corrupt or hostile file, rejected
+/// up front ([`JsonErrorKind::TooLarge`]) before the parser allocates a
+/// value tree proportional to it.
+pub const MAX_INPUT_BYTES: usize = 64 << 20;
 
 /// Parses a JSON document into a [`Value`] tree.
 pub fn parse_json(s: &str) -> Result<Value, JsonError> {
+    if s.len() > MAX_INPUT_BYTES {
+        return Err(JsonError::limit(
+            JsonErrorKind::TooLarge,
+            format!(
+                "input is {} bytes, over the {MAX_INPUT_BYTES}-byte limit",
+                s.len()
+            ),
+        ));
+    }
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
@@ -543,7 +582,10 @@ impl<'a> Parser<'a> {
     fn descend(&mut self) -> Result<(), JsonError> {
         self.depth += 1;
         if self.depth > MAX_DEPTH {
-            return Err(self.err("nesting too deep"));
+            return Err(JsonError::limit(
+                JsonErrorKind::TooDeep,
+                format!("nesting deeper than {MAX_DEPTH} at byte {}", self.pos),
+            ));
         }
         Ok(())
     }
@@ -776,7 +818,28 @@ mod tests {
     fn deep_nesting_rejected_not_stack_overflow() {
         let bomb = "[".repeat(100_000);
         let err = from_json(&bomb).unwrap_err();
-        assert!(err.message.contains("nesting too deep"), "{err}");
+        assert_eq!(err.kind, JsonErrorKind::TooDeep);
+        assert!(err.message.contains("nesting deeper than"), "{err}");
+        // Exactly at the ceiling still parses (as unbalanced input, but
+        // the depth guard itself must not fire one level early).
+        let at_limit = "[".repeat(MAX_DEPTH);
+        assert_eq!(
+            from_json(&at_limit).unwrap_err().kind,
+            JsonErrorKind::Malformed
+        );
+    }
+
+    #[test]
+    fn oversized_input_rejected_before_parsing() {
+        let huge = "x".repeat(MAX_INPUT_BYTES + 1);
+        let err = from_json(&huge).unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::TooLarge);
+        assert!(err.message.contains("byte limit"), "{err}");
+        // Ordinary malformed input keeps the default kind.
+        assert_eq!(
+            from_json("{not json").unwrap_err().kind,
+            JsonErrorKind::Malformed
+        );
     }
 
     #[test]
